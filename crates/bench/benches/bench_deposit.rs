@@ -1,0 +1,54 @@
+//! Criterion microbench: the four deposit strategies across contention
+//! levels (the Section 3.3 design space).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oppic_core::{deposit_loop, DepositMethod, ExecPolicy};
+
+fn bench_deposit(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut g = c.benchmark_group("deposit");
+    g.throughput(Throughput::Elements(n as u64));
+    for &targets in &[16usize, 4096, 262_144] {
+        for method in [
+            DepositMethod::Serial,
+            DepositMethod::ScatterArrays,
+            DepositMethod::Atomics,
+            DepositMethod::UnsafeAtomics,
+            DepositMethod::SegmentedReduction,
+        ] {
+            let policy = if method == DepositMethod::Serial {
+                ExecPolicy::Seq
+            } else {
+                ExecPolicy::Par
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}/targets{targets}", method.label()), targets),
+                &targets,
+                |b, &targets| {
+                    let mut buf = vec![0.0f64; targets];
+                    b.iter(|| {
+                        deposit_loop(&policy, method, n, &mut buf, |i, dep| {
+                            for k in 0..4usize {
+                                dep.add((i.wrapping_mul(2654435761) + k * 97) % targets, 1.0);
+                            }
+                        })
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_deposit
+}
+criterion_main!(benches);

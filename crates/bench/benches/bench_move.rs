@@ -1,0 +1,63 @@
+//! Criterion microbench: multi-hop vs direct-hop particle move on the
+//! Mini-FEM-PIC duct, slow-flow and fast-flow regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oppic_core::ExecPolicy;
+use oppic_fempic::{FemPic, FemPicConfig, MoveStrategy};
+
+fn config(fast: bool, strategy: MoveStrategy) -> FemPicConfig {
+    FemPicConfig {
+        nx: 12,
+        ny: 6,
+        nz: 6,
+        lx: 6.0,
+        ly: 1.0,
+        lz: 1.0,
+        inlet_velocity: if fast { 4.0 } else { 0.6 },
+        dt: if fast { 0.25 } else { 0.05 },
+        inject_per_step: 4000,
+        policy: ExecPolicy::Par,
+        move_strategy: strategy,
+        ..FemPicConfig::default()
+    }
+}
+
+fn bench_move(c: &mut Criterion) {
+    let mut g = c.benchmark_group("particle_move");
+    for fast in [false, true] {
+        let regime = if fast { "fast" } else { "slow" };
+        for (label, strategy) in [
+            ("MH", MoveStrategy::MultiHop),
+            ("DH", MoveStrategy::DirectHop { overlay_res: 48 }),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, regime),
+                &fast,
+                |b, &fast| {
+                    // Warm a simulation to a populated steady state,
+                    // then time individual move passes.
+                    let mut sim = FemPic::new(config(fast, strategy));
+                    sim.run(10);
+                    b.iter(|| {
+                        sim.calc_pos_vel();
+                        sim.move_particles()
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_move
+}
+criterion_main!(benches);

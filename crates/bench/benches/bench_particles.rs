@@ -1,0 +1,92 @@
+//! Criterion microbench: particle-store bookkeeping — hole filling at
+//! varying removal fractions, cell sort, shuffle, pack/unpack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oppic_core::ParticleDats;
+
+fn make_store(n: usize) -> ParticleDats {
+    let mut ps = ParticleDats::new();
+    let pos = ps.decl_dat("pos", 3);
+    ps.decl_dat("vel", 3);
+    ps.decl_dat("w", 1);
+    ps.inject(n, 0);
+    for i in 0..n {
+        ps.el_mut(pos, i)[0] = i as f64;
+        ps.cells_mut()[i] = ((i * 2654435761) % 1000) as i32;
+    }
+    ps
+}
+
+fn bench_holefill(c: &mut Criterion) {
+    let n = 200_000usize;
+    let mut g = c.benchmark_group("holefill");
+    g.throughput(Throughput::Elements(n as u64));
+    for &pct in &[1usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::new("remove_fill", pct), &pct, |b, &pct| {
+            let proto = make_store(n);
+            let holes: Vec<usize> = (0..n).filter(|i| i % 100 < pct).collect();
+            b.iter_batched(
+                || proto.clone(),
+                |mut ps| ps.remove_fill(&holes),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_shuffle(c: &mut Criterion) {
+    let n = 200_000usize;
+    let mut g = c.benchmark_group("reorder");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("sort_by_cell", |b| {
+        let proto = make_store(n);
+        b.iter_batched(
+            || proto.clone(),
+            |mut ps| ps.sort_by_cell(1000),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("shuffle", |b| {
+        let proto = make_store(n);
+        b.iter_batched(
+            || proto.clone(),
+            |mut ps| ps.shuffle(42),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let n = 10_000usize;
+    let mut g = c.benchmark_group("migration_pack");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("pack_unpack_all", |b| {
+        let src = make_store(n);
+        b.iter(|| {
+            let mut dst = src.clone_schema();
+            let mut buf = Vec::with_capacity(src.dofs());
+            for i in 0..n {
+                buf.clear();
+                src.pack_one(i, &mut buf);
+                dst.unpack_one(&buf, 0);
+            }
+            dst.len()
+        });
+    });
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_holefill, bench_sort_shuffle, bench_pack
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion microbench: substrate layers — CG solve, halo exchange,
+//! partitioners, overlay build/locate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oppic_linalg::{cg_solve, CgConfig, CsrBuilder};
+use oppic_mesh::{StructuredOverlay, TetMesh, Vec3};
+use oppic_mpi::comm::world_run;
+use oppic_mpi::halo::build_rank_meshes;
+use oppic_mpi::partition::{directional_partition, graph_growing_partition, rcb_partition};
+
+fn bench_cg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cg_solve");
+    for &n in &[8usize, 14] {
+        let mesh = TetMesh::duct(n, n, n, 1.0, 1.0, 1.0);
+        let fem = oppic_fempic::FemSolver::assemble(&mesh, 1.0);
+        let _ = fem;
+        // Assemble a Laplacian-like SPD system directly.
+        let nn = mesh.n_nodes();
+        let mut b = CsrBuilder::new(nn, nn);
+        for cidx in 0..mesh.n_cells() {
+            let gders = &mesh.shape_deriv[cidx];
+            let vol = mesh.volume[cidx];
+            let nd = mesh.c2n[cidx];
+            for i in 0..4 {
+                b.add(nd[i], nd[i], vol * gders[i].dot(gders[i]) + 1e-3);
+                for j in 0..4 {
+                    if i != j {
+                        b.add(nd[i], nd[j], vol * gders[i].dot(gders[j]));
+                    }
+                }
+            }
+        }
+        let a = b.build();
+        let rhs = vec![1.0; nn];
+        g.bench_with_input(BenchmarkId::new("jacobi_pcg", nn), &nn, |bch, _| {
+            bch.iter(|| {
+                let mut x = vec![0.0; nn];
+                cg_solve(&a, &rhs, &mut x, CgConfig { rtol: 1e-8, ..Default::default() })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_halo(c: &mut Criterion) {
+    let mesh = TetMesh::duct(10, 10, 10, 1.0, 1.0, 1.0);
+    let cen: Vec<Vec3> = (0..mesh.n_cells()).map(|i| mesh.cell_centroid(i)).collect();
+    let ranks = 4usize;
+    let part = directional_partition(&cen, 0, ranks);
+    let c2c: Vec<Vec<i32>> = mesh.c2c.iter().map(|a| a.to_vec()).collect();
+    let meshes = build_rank_meshes(&c2c, &part, ranks);
+    c.bench_function("halo_forward_exchange_4ranks", |b| {
+        b.iter(|| {
+            world_run(ranks, |ctx| {
+                let rm = &meshes[ctx.rank];
+                let mut data = vec![1.0; rm.n_local() * 3];
+                rm.plan.forward(ctx, &mut data, 3);
+                data[0]
+            })
+        });
+    });
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mesh = TetMesh::duct(12, 12, 12, 1.0, 1.0, 1.0);
+    let cen: Vec<Vec3> = (0..mesh.n_cells()).map(|i| mesh.cell_centroid(i)).collect();
+    let c2c: Vec<Vec<i32>> = mesh.c2c.iter().map(|a| a.to_vec()).collect();
+    let mut g = c.benchmark_group("partition_10k_cells");
+    g.bench_function("directional", |b| b.iter(|| directional_partition(&cen, 0, 16)));
+    g.bench_function("rcb", |b| b.iter(|| rcb_partition(&cen, 16)));
+    g.bench_function("graph_growing", |b| b.iter(|| graph_growing_partition(&c2c, 16)));
+    g.finish();
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    let mesh = TetMesh::duct(8, 8, 8, 1.0, 1.0, 1.0);
+    let mut g = c.benchmark_group("overlay");
+    g.bench_function("build_32cubed", |b| {
+        b.iter(|| StructuredOverlay::build(&mesh, [32; 3]))
+    });
+    let ov = StructuredOverlay::build(&mesh, [32; 3]);
+    g.bench_function("locate", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % 997;
+            let t = k as f64 / 997.0;
+            ov.locate(Vec3::new(t, 1.0 - t, t * 0.5))
+        })
+    });
+    g.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_cg, bench_halo, bench_partitioners, bench_overlay
+}
+criterion_main!(benches);

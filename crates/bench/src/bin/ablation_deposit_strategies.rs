@@ -1,0 +1,130 @@
+//! Ablation (Section 3.3 / 4.1.1): race-handling strategies for the
+//! double-indirect charge deposit — scatter arrays (SA), safe atomics
+//! (AT), unsafe atomics (UA), segmented reduction (SR).
+//!
+//! Three views:
+//! 1. host wall-times of the real strategies across a contention sweep
+//!    (few targets = the serialization pathology);
+//! 2. end-to-end Mini-FEM-PIC runtime per strategy;
+//! 3. modeled GPU deposit times, reproducing "standard atomics (AT) on
+//!    AMD GPUs perform significantly worse, over 200× slower than UA
+//!    or SR".
+
+use oppic_bench::report::{banner, steps};
+use oppic_core::{deposit_loop, DepositMethod, ExecPolicy};
+use oppic_device::{analyze_warps, AtomicFlavor, DeviceSpec};
+use oppic_fempic::{FemPic, FemPicConfig};
+use std::time::Instant;
+
+fn main() {
+    banner("Ablation", "deposit race handling: SA / AT / UA / SR");
+
+    // ---- 1. contention sweep on the raw executor ----
+    let n = 400_000usize;
+    println!("--- raw deposit_loop, {n} iterations × 4 adds, host wall time (ms) ---");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "targets", "SA", "AT", "UA", "SR"
+    );
+    for targets in [8usize, 512, 65_536] {
+        print!("{targets:>10}");
+        for method in [
+            DepositMethod::ScatterArrays,
+            DepositMethod::Atomics,
+            DepositMethod::UnsafeAtomics,
+            DepositMethod::SegmentedReduction,
+        ] {
+            let mut buf = vec![0.0f64; targets];
+            let t0 = Instant::now();
+            deposit_loop(&ExecPolicy::Par, method, n, &mut buf, |i, dep| {
+                for k in 0..4usize {
+                    dep.add((i.wrapping_mul(2654435761) + k * 97) % targets, 1.0);
+                }
+            });
+            print!(" {:>10.3}", t0.elapsed().as_secs_f64() * 1e3);
+            // Guard: totals must match regardless of strategy.
+            let total: f64 = buf.iter().sum();
+            assert!((total - 4.0 * n as f64).abs() < 1e-6 * n as f64);
+        }
+        println!();
+    }
+
+    // ---- 2. end-to-end Mini-FEM-PIC ----
+    let n_steps = steps(15);
+    println!("\n--- Mini-FEM-PIC end-to-end, DepositCharge seconds per strategy ---");
+    for method in [
+        DepositMethod::ScatterArrays,
+        DepositMethod::Atomics,
+        DepositMethod::UnsafeAtomics,
+        DepositMethod::SegmentedReduction,
+    ] {
+        let mut cfg = FemPicConfig::paper_scaled(0.01);
+        cfg.policy = ExecPolicy::Par;
+        cfg.deposit = method;
+        let mut sim = FemPic::new(cfg);
+        sim.run(n_steps);
+        let dep = sim.profiler.get("DepositCharge").map_or(0.0, |s| s.seconds);
+        println!("{:<24} {:>10.4} s  (total charge {:.6})", format!("{method:?}"), dep, sim.node_charge.sum());
+    }
+    // The paper's third CPU option: cell coloring (sorted particles).
+    {
+        let mut cfg = FemPicConfig::paper_scaled(0.01);
+        cfg.policy = ExecPolicy::Par;
+        cfg.coloring = true;
+        let mut sim = FemPic::new(cfg);
+        sim.run(n_steps);
+        let dep = sim.profiler.get("DepositCharge").map_or(0.0, |s| s.seconds);
+        let sort = sim.profiler.get("SortParticles").map_or(0.0, |s| s.seconds);
+        println!(
+            "{:<24} {:>10.4} s  (+ {:.4} s sort overhead, total charge {:.6})",
+            "Coloring", dep, sort, sim.node_charge.sum()
+        );
+    }
+
+    // ---- 3. modeled GPU deposit times ----
+    println!("\n--- modeled GPU deposit time (ms) for a 70M-particle-equivalent step ---");
+    let mut cfg = FemPicConfig::paper_scaled(0.01);
+    cfg.policy = ExecPolicy::Par;
+    let mut sim = FemPic::new(cfg);
+    sim.run(5);
+    let np = sim.ps.len();
+    let cells = sim.ps.cells().to_vec();
+    let c2n = sim.mesh.c2n.clone();
+    let st = sim.profiler.get("DepositCharge").unwrap();
+    let (b, f) = (st.bytes as f64 / 5.0, st.flops as f64 / 5.0);
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>10}",
+        "device", "AT", "UA", "SR", "AT/UA"
+    );
+    for spec in [
+        DeviceSpec::v100(),
+        DeviceSpec::mi210(),
+        DeviceSpec::mi250x_gcd(),
+        DeviceSpec::intel_max_1550(), // the paper's future-work target
+    ] {
+        let rep = analyze_warps(spec.warp_size, np, |_| 0, |i, out| {
+            out.extend(c2n[cells[i] as usize].iter().map(|&x| x as u32));
+        });
+        let at = rep.modeled_seconds(&spec, AtomicFlavor::Safe, b, f);
+        let ua = rep.modeled_seconds(&spec, AtomicFlavor::Unsafe, b, f);
+        // SR: no atomics at all; sort/reduce costs ~3 extra passes over
+        // the staged pairs.
+        let sr_bytes = b + rep.atomic_ops as f64 * 12.0 * 3.0;
+        let sr = spec.roofline_time(sr_bytes, f);
+        println!(
+            "{:<22} {:>12.4} {:>12.4} {:>12.4} {:>9.0}x",
+            spec.name,
+            at * 1e3,
+            ua * 1e3,
+            sr * 1e3,
+            at / ua
+        );
+    }
+
+    println!(
+        "\nShape checks vs the paper: on the CPU, scatter arrays win and all methods\n\
+         agree numerically; on AMD-class devices safe atomics are two orders of\n\
+         magnitude slower than UA/SR under contention (the >200x finding), while\n\
+         NVIDIA atomics stay competitive; SR ≈ UA with a small constant overhead."
+    );
+}

@@ -1,0 +1,24 @@
+//! # oppic-bench — the evaluation harness
+//!
+//! One binary per paper table/figure (see `src/bin/`), plus the
+//! distributed drivers that run both applications over the in-process
+//! rank runtime ([`distributed`]) and shared reporting helpers
+//! ([`report`]).
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig09a_fempic_breakdown`   | Figure 9(a) runtime breakdown |
+//! | `fig09b_cabana_breakdown`   | Figure 9(b) runtime breakdown |
+//! | `table01_utilization`       | Table 1 device utilisation |
+//! | `fig10_fempic_roofline`     | Figure 10 rooflines |
+//! | `fig11_cabana_roofline`     | Figure 11 rooflines |
+//! | `fig12_cabana_vs_original`  | Figure 12 DSL vs structured |
+//! | `fig13_fempic_weak_scaling` | Figure 13 weak scaling |
+//! | `fig14_cabana_weak_scaling` | Figure 14 weak scaling |
+//! | `fig15_power_equivalent`    | Figure 15 power equivalence |
+//! | `ablation_move_strategies`  | §4.2 MH vs DH (~20% claim) |
+//! | `ablation_deposit_strategies` | §3.3/§4.1.1 AT/UA/SR/SA |
+
+pub mod analysis;
+pub mod distributed;
+pub mod report;

@@ -1,0 +1,78 @@
+//! Shared reporting helpers for the figure/table binaries: consistent
+//! headers, simple ASCII bar charts (the terminal stand-in for the
+//! paper's matplotlib plots), and environment scaling knobs.
+
+/// Print a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{id}: {caption}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Problem-size scale factor from `OPPIC_SCALE` (default keeps each
+/// binary under ~a minute on a laptop; 1.0 = the paper's sizes).
+pub fn scale_factor(default: f64) -> f64 {
+    std::env::var("OPPIC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Steps override from `OPPIC_STEPS`.
+pub fn steps(default: usize) -> usize {
+    std::env::var("OPPIC_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A horizontal ASCII bar scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round().max(0.0) as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Render a labelled bar chart.
+pub fn bar_chart(rows: &[(String, f64)], unit: &str) -> String {
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let mut out = String::new();
+    for (label, v) in rows {
+        out.push_str(&format!("{label:<34} {v:>10.4} {unit}  |{}\n", bar(*v, max, 34)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########", "clamped");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn chart_renders_all_rows() {
+        let rows = vec![("Move".to_string(), 3.0), ("DepositCharge".to_string(), 1.5)];
+        let c = bar_chart(&rows, "s");
+        assert!(c.contains("Move"));
+        assert!(c.contains("DepositCharge"));
+        assert_eq!(c.lines().count(), 2);
+    }
+
+    #[test]
+    fn env_knobs_default() {
+        // No env vars set in tests: defaults come back.
+        std::env::remove_var("OPPIC_SCALE");
+        std::env::remove_var("OPPIC_STEPS");
+        assert_eq!(scale_factor(0.25), 0.25);
+        assert_eq!(steps(50), 50);
+    }
+}

@@ -1,0 +1,109 @@
+//! CabanaPIC application binary — the artifact's
+//! `bin/cabana <config_file>` workflow (the original generates its
+//! mesh from `nx ny nz` at runtime; so does this).
+//!
+//! Config keys: `nx ny nz ppc v0 perturbation modes dt charge mass
+//! steps parallel structured sort_every report_every seed`.
+
+use oppic_cabana::{CabanaConfig, CabanaPic, StructuredCabana};
+use oppic_core::{ExecPolicy, Params};
+
+const KNOWN: &[&str] = &[
+    "nx", "ny", "nz", "ppc", "v0", "perturbation", "modes", "dt", "charge", "mass", "steps",
+    "parallel", "structured", "sort_every", "report_every", "seed",
+];
+
+fn config_from(params: &Params) -> Result<(CabanaConfig, usize, usize, usize, bool), String> {
+    params.check_known(KNOWN)?;
+    let nx = params.get_usize("nx", 16)?;
+    let ny = params.get_usize("ny", 8)?;
+    let nz = params.get_usize("nz", 8)?;
+    let nmax = nx.max(ny).max(nz) as f64;
+    let cfg = CabanaConfig {
+        nx,
+        ny,
+        nz,
+        dx: 1.0 / nx as f64,
+        dy: 1.0 / ny as f64,
+        dz: 1.0 / nz as f64,
+        ppc: params.get_usize("ppc", 32)?,
+        v0: params.get_f64("v0", 0.2)?,
+        perturbation: params.get_f64("perturbation", 0.01)?,
+        modes: params.get_usize("modes", 1)?,
+        dt: params.get_f64("dt", 0.5 / nmax / (3f64).sqrt())?,
+        charge: params.get_f64("charge", -1.0)?,
+        mass: params.get_f64("mass", 1.0)?,
+        policy: if params.get_bool("parallel", true)? {
+            ExecPolicy::Par
+        } else {
+            ExecPolicy::Seq
+        },
+        seed: params.get_usize("seed", 0xCAB4A)? as u64,
+        record_visits: false,
+    };
+    if cfg.ppc < 2 || cfg.ppc % 2 != 0 {
+        return Err("ppc must be an even number >= 2 (two beams)".into());
+    }
+    let steps = params.get_usize("steps", 100)?;
+    let sort_every = params.get_usize("sort_every", 0)?;
+    let report_every = params.get_usize("report_every", 10)?.max(1);
+    let structured = params.get_bool("structured", false)?;
+    Ok((cfg, steps, sort_every, report_every, structured))
+}
+
+fn run<T: oppic_cabana::Topology>(
+    mut sim: oppic_cabana::CabanaEngine<T>,
+    steps: usize,
+    sort_every: usize,
+    report_every: usize,
+) {
+    println!(
+        "CabanaPIC ({}): {} cells x {} ppc = {} particles, {} steps",
+        sim.topo.name(),
+        sim.cfg.n_cells(),
+        sim.cfg.ppc,
+        sim.ps.len(),
+        steps
+    );
+    let t0 = std::time::Instant::now();
+    for s in 1..=steps {
+        if sort_every > 0 && s % sort_every == 0 {
+            let nc = sim.geom.n_cells();
+            sim.ps.sort_by_cell(nc);
+        }
+        let d = sim.step();
+        if s % report_every == 0 || s == steps {
+            println!(
+                "step {:>5}: E {:>12.5e}  B {:>12.5e}  kinetic {:>12.5e}",
+                d.step, d.e_field, d.b_field, d.kinetic
+            );
+        }
+    }
+    println!("\nMainLoop TotalTime = {:.4} s", t0.elapsed().as_secs_f64());
+    print!("{}", sim.profiler.breakdown_table());
+    if let Err(e) = sim.check_invariants() {
+        eprintln!("INVARIANT VIOLATION: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let params = match args.get(1).map(String::as_str) {
+        Some(path) => Params::load(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        None => Params::default(),
+    };
+    let (cfg, steps, sort_every, report_every, structured) =
+        config_from(&params).unwrap_or_else(|e| {
+            eprintln!("config error: {e}");
+            std::process::exit(2);
+        });
+    if structured {
+        run(StructuredCabana::new_structured(cfg), steps, sort_every, report_every);
+    } else {
+        run(CabanaPic::new_dsl(cfg), steps, sort_every, report_every);
+    }
+}

@@ -1,0 +1,77 @@
+//! The OP-PIC version of CabanaPIC: neighbour access through explicit
+//! unstructured maps.
+//!
+//! "In this work, we implement the application with OP-PIC, using
+//! unstructured-mesh mappings solving the same physics as the
+//! original." — every periodic face-neighbour lookup reads the
+//! `c2c6` integer map built by [`oppic_mesh::HexMesh`], never index
+//! arithmetic.
+
+use crate::config::CabanaConfig;
+use crate::engine::{CabanaEngine, Topology};
+use oppic_mesh::HexMesh;
+
+/// Map-backed topology: the unstructured expression of the cuboid box.
+pub struct MapTopology {
+    /// Face-neighbour map, arity 6, order `[-x,+x,-y,+y,-z,+z]`.
+    c2c6: Vec<[i32; 6]>,
+}
+
+impl Topology for MapTopology {
+    #[inline]
+    fn neighbor(&self, cell: usize, axis: usize, dir: i32) -> usize {
+        debug_assert!(dir == 1 || dir == -1);
+        let slot = axis * 2 + usize::from(dir > 0);
+        self.c2c6[cell][slot] as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "OP-PIC (unstructured maps)"
+    }
+}
+
+/// CabanaPIC on the DSL.
+pub type CabanaPic = CabanaEngine<MapTopology>;
+
+impl CabanaPic {
+    /// Build the DSL version: generate the periodic box's explicit
+    /// maps, then instantiate the shared engine over them.
+    pub fn new_dsl(cfg: CabanaConfig) -> Self {
+        let mesh = HexMesh::periodic_box(cfg.nx, cfg.ny, cfg.nz, cfg.dx, cfg.dy, cfg.dz);
+        debug_assert!(mesh.validate().is_empty());
+        CabanaEngine::new(cfg, MapTopology { c2c6: mesh.c2c6 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_topology_matches_arithmetic() {
+        let cfg = CabanaConfig::tiny();
+        let sim = CabanaPic::new_dsl(cfg);
+        let g = sim.geom;
+        for c in 0..g.n_cells() {
+            for axis in 0..3 {
+                for dir in [-1i32, 1] {
+                    let via_map = sim.topo.neighbor(c, axis, dir);
+                    let mut ijk = g.cell_ijk(c);
+                    let n = g.dims()[axis] as i64;
+                    ijk[axis] = ((ijk[axis] as i64 + dir as i64).rem_euclid(n)) as usize;
+                    assert_eq!(via_map, g.cell_id(ijk), "cell {c} axis {axis} dir {dir}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dsl_steps_and_keeps_invariants() {
+        let mut sim = CabanaPic::new_dsl(CabanaConfig::tiny());
+        let d = sim.run(5);
+        assert_eq!(d.len(), 5);
+        sim.check_invariants().unwrap();
+        // Current flows (two beams): J must be non-zero after a step.
+        assert!(sim.j.raw().iter().any(|&x| x != 0.0));
+    }
+}

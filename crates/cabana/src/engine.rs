@@ -1,0 +1,475 @@
+//! The shared CabanaPIC step engine.
+//!
+//! Both the DSL version ([`crate::dsl::CabanaPic`]) and the structured
+//! baseline ([`crate::structured::StructuredCabana`]) are this engine
+//! instantiated with a different [`Topology`]: the DSL resolves
+//! neighbours by "reading an int mapping, whereas the Kokkos version
+//! computes the next cell index directly" (the paper's own description
+//! of the Figure 12 comparison). All floating-point work is shared, so
+//! the two versions agree bit-for-bit under sequential execution.
+
+use crate::common::{
+    advance_b_cell, advance_e_cell, boris_push, gather_trilinear, init_two_stream,
+    move_deposit_particle, GridGeom,
+};
+use crate::config::CabanaConfig;
+use oppic_core::parloop::{par_loop_direct1, par_loop_slices2_cells};
+use oppic_core::profile::{KernelClass, Profiler};
+use oppic_core::{ColId, Dat, ParticleDats};
+use oppic_device::DeviceBuffer;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// How a version resolves periodic face-neighbours.
+pub trait Topology: Sync {
+    fn neighbor(&self, cell: usize, axis: usize, dir: i32) -> usize;
+    fn name(&self) -> &'static str;
+}
+
+/// Per-step energy/diagnostic record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyDiagnostics {
+    pub step: usize,
+    pub e_field: f64,
+    pub b_field: f64,
+    pub kinetic: f64,
+    /// Mean cells visited per particle in Move_Deposit.
+    pub mean_visited: f64,
+}
+
+impl EnergyDiagnostics {
+    pub fn total(&self) -> f64 {
+        self.e_field + self.b_field + self.kinetic
+    }
+}
+
+/// The CabanaPIC engine, generic over neighbour resolution.
+pub struct CabanaEngine<T: Topology> {
+    pub cfg: CabanaConfig,
+    pub geom: GridGeom,
+    pub topo: T,
+    /// Cell fields, dim 3 each — with the current accumulator that is
+    /// the paper's "9 DOFs per cell".
+    pub e: Dat,
+    pub b: Dat,
+    pub j: Dat,
+    /// Interpolator copies (CabanaPIC's `Interpolate` stage stores
+    /// field derivatives as interpolator values within cell data).
+    interp_e: Dat,
+    interp_b: Dat,
+    /// Current accumulator (atomic — races between particles landing
+    /// in the same cell are resolved here).
+    acc: DeviceBuffer,
+    pub ps: ParticleDats,
+    pub pos: ColId,
+    pub vel: ColId,
+    /// Macro-particle statistical weight.
+    pub weight: f64,
+    pub profiler: Profiler,
+    step_no: usize,
+    /// Per-particle visited-cell counts from the last `Move_Deposit`
+    /// (empty unless [`CabanaConfig::record_visits`] is set).
+    pub last_visited: Vec<u32>,
+}
+
+impl<T: Topology> CabanaEngine<T> {
+    pub fn new(cfg: CabanaConfig, topo: T) -> Self {
+        let geom = GridGeom {
+            nx: cfg.nx,
+            ny: cfg.ny,
+            nz: cfg.nz,
+            dx: cfg.dx,
+            dy: cfg.dy,
+            dz: cfg.dz,
+        };
+        let n_cells = geom.n_cells();
+        let (pos_v, vel_v, cell_v, weight) =
+            init_two_stream(&geom, cfg.ppc, cfg.v0, cfg.perturbation, cfg.modes);
+
+        let mut ps = ParticleDats::new();
+        let pos = ps.decl_dat("pos", 3);
+        let vel = ps.decl_dat("vel", 3);
+        // The 7th particle DOF of the paper: the statistical weight
+        // (uniform here, still declared for layout parity).
+        let w_col = ps.decl_dat("weight", 1);
+        ps.inject_into(&cell_v);
+        ps.col_mut(pos).copy_from_slice(&pos_v);
+        ps.col_mut(vel).copy_from_slice(&vel_v);
+        ps.col_mut(w_col).fill(weight);
+
+        CabanaEngine {
+            geom,
+            topo,
+            e: Dat::zeros("E", n_cells, 3),
+            b: Dat::zeros("B", n_cells, 3),
+            j: Dat::zeros("J", n_cells, 3),
+            interp_e: Dat::zeros("interp E", n_cells, 3),
+            interp_b: Dat::zeros("interp B", n_cells, 3),
+            acc: DeviceBuffer::zeros(n_cells * 3),
+            ps,
+            pos,
+            vel,
+            weight,
+            profiler: Profiler::new(),
+            step_no: 0,
+            last_visited: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// `Interpolate`: refresh the per-cell interpolator data from the
+    /// live fields (a bandwidth-shaped copy, as in the original).
+    pub fn interpolate(&mut self) {
+        let e = &self.e;
+        par_loop_direct1(&self.cfg.policy, &mut self.interp_e, |c, w| {
+            w.copy_from_slice(e.el(c));
+        });
+        let b = &self.b;
+        par_loop_direct1(&self.cfg.policy, &mut self.interp_b, |c, w| {
+            w.copy_from_slice(b.el(c));
+        });
+        let bytes = (self.geom.n_cells() * 6 * 8 * 2) as u64;
+        self.profiler.add_traffic("Interpolate", bytes, 0);
+    }
+
+    /// `Move_Deposit`: gather fields at the particle (trilinear), Boris
+    /// push, path-splitting move with per-cell current deposition —
+    /// the single fused routine the paper describes.
+    pub fn move_deposit(&mut self) -> u64 {
+        let geom = self.geom;
+        let topo = &self.topo;
+        let dt = self.cfg.dt;
+        let qm_half_dt = self.cfg.charge / self.cfg.mass * dt * 0.5;
+        let q_w = self.cfg.charge * self.weight;
+        let ie = &self.interp_e;
+        let ib = &self.interp_b;
+        let acc = &self.acc;
+        let visited_total = AtomicU64::new(0);
+        use std::sync::atomic::AtomicU32;
+        let visit_log: Vec<AtomicU32> = if self.cfg.record_visits {
+            (0..self.ps.len()).map(|_| AtomicU32::new(0)).collect()
+        } else {
+            Vec::new()
+        };
+
+        let (pos, vel, cells) = self.ps.cols_mut2_with_cells_mut(self.pos, self.vel);
+        par_loop_slices2_cells(
+            &self.cfg.policy,
+            (3, pos),
+            (3, vel),
+            cells,
+            |_i, x, v, cl| {
+                let c = *cl as usize;
+                let nb = |cc: usize, a: usize, d: i32| topo.neighbor(cc, a, d);
+                let p = [x[0], x[1], x[2]];
+                let ef = gather_trilinear(&geom, p, c, &nb, |cc| {
+                    let s = ie.el(cc);
+                    [s[0], s[1], s[2]]
+                });
+                let bf = gather_trilinear(&geom, p, c, &nb, |cc| {
+                    let s = ib.el(cc);
+                    [s[0], s[1], s[2]]
+                });
+                let nv = boris_push([v[0], v[1], v[2]], ef, bf, qm_half_dt);
+                v.copy_from_slice(&nv);
+                let (final_cell, visited) =
+                    move_deposit_particle(&geom, x, &nv, c, dt, &nb, |cell, frac| {
+                        acc.atomic_add(cell * 3, q_w * nv[0] * frac);
+                        acc.atomic_add(cell * 3 + 1, q_w * nv[1] * frac);
+                        acc.atomic_add(cell * 3 + 2, q_w * nv[2] * frac);
+                    });
+                *cl = final_cell as i32;
+                visited_total.fetch_add(visited as u64, Ordering::Relaxed);
+                if let Some(slot) = visit_log.get(_i) {
+                    slot.store(visited, Ordering::Relaxed);
+                }
+            },
+        );
+        self.last_visited = visit_log.into_iter().map(AtomicU32::into_inner).collect();
+
+        let n = self.ps.len() as u64;
+        // Gather 16 cells (2 fields × 8 corners) + pos/vel rw + deposit.
+        self.profiler
+            .add_traffic("Move_Deposit", n * (16 * 24 + 12 * 8 + 3 * 16 + 4), n * 230);
+        visited_total.into_inner()
+    }
+
+    /// `AccumulateCurrent`: accumulator → current density
+    /// (`J = Σ q·w·v·frac / V_cell`), then clear the accumulator.
+    pub fn accumulate_current(&mut self) {
+        let inv_vol = 1.0 / self.geom.cell_volume();
+        let acc = &self.acc;
+        par_loop_direct1(&self.cfg.policy, &mut self.j, |c, w| {
+            w[0] = acc.get(c * 3) * inv_vol;
+            w[1] = acc.get(c * 3 + 1) * inv_vol;
+            w[2] = acc.get(c * 3 + 2) * inv_vol;
+        });
+        self.acc.clear();
+        let bytes = (self.geom.n_cells() * 6 * 8) as u64;
+        self.profiler.add_traffic("AccumulateCurrent", bytes, (self.geom.n_cells() * 3) as u64);
+    }
+
+    /// `AdvanceB`: `B ← B − dt·∇×E` (forward differences).
+    pub fn advance_b(&mut self) {
+        let geom = self.geom;
+        let topo = &self.topo;
+        let e = &self.e;
+        let dt = self.cfg.dt;
+        par_loop_direct1(&self.cfg.policy, &mut self.b, |c, w| {
+            let nb = |cc: usize, a: usize, d: i32| topo.neighbor(cc, a, d);
+            let db = advance_b_cell(&geom, c, &nb, |cc| {
+                let s = e.el(cc);
+                [s[0], s[1], s[2]]
+            }, dt);
+            w[0] += db[0];
+            w[1] += db[1];
+            w[2] += db[2];
+        });
+        let nc = self.geom.n_cells() as u64;
+        self.profiler.add_traffic("AdvanceB", nc * (4 * 24 + 48), nc * 18);
+    }
+
+    /// `AdvanceE`: `E ← E + dt·(∇×B − J)` (backward differences).
+    pub fn advance_e(&mut self) {
+        let geom = self.geom;
+        let topo = &self.topo;
+        let b = &self.b;
+        let j = &self.j;
+        let dt = self.cfg.dt;
+        par_loop_direct1(&self.cfg.policy, &mut self.e, |c, w| {
+            let nb = |cc: usize, a: usize, d: i32| topo.neighbor(cc, a, d);
+            let jj = j.el(c);
+            let de = advance_e_cell(&geom, c, &nb, |cc| {
+                let s = b.el(cc);
+                [s[0], s[1], s[2]]
+            }, [jj[0], jj[1], jj[2]], dt);
+            w[0] += de[0];
+            w[1] += de[1];
+            w[2] += de[2];
+        });
+        let nc = self.geom.n_cells() as u64;
+        self.profiler.add_traffic("AdvanceE", nc * (4 * 24 + 24 + 48), nc * 21);
+    }
+
+    /// `Update_Ghosts`: in shared memory the periodic maps close the
+    /// torus, so this stage only exists for breakdown parity (the
+    /// distributed driver replaces it with real halo exchanges).
+    pub fn update_ghosts(&mut self) {
+        self.profiler.record("Update_Ghosts", std::time::Duration::ZERO);
+        self.profiler.classify("Update_Ghosts", KernelClass::Comm);
+    }
+
+    /// Snapshot the raw current accumulator — the distributed driver
+    /// allreduces this across ranks between `Move_Deposit` and
+    /// `AccumulateCurrent` (its `Update_Ghosts`).
+    pub fn accumulator_snapshot(&self) -> Vec<f64> {
+        self.acc.to_vec()
+    }
+
+    /// Overwrite the accumulator with globally reduced values.
+    pub fn accumulator_overwrite(&self, values: &[f64]) {
+        assert_eq!(values.len(), self.acc.len(), "accumulator shape mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self.acc.set(i, v);
+        }
+    }
+
+    /// List particles whose current cell is owned by another rank:
+    /// `(index, destination rank, cell)` triples for
+    /// [`oppic-mpi`]'s `migrate_particles`. `cell_rank` maps global
+    /// cell → owner.
+    pub fn extract_leavers(&self, cell_rank: &[u32], my_rank: u32) -> Vec<(usize, u32, i32)> {
+        self.ps
+            .cells()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| {
+                let owner = cell_rank[c as usize];
+                (owner != my_rank).then_some((i, owner, c))
+            })
+            .collect()
+    }
+
+    /// One full leap-frog step. Returns diagnostics.
+    pub fn step(&mut self) -> EnergyDiagnostics {
+        self.step_no += 1;
+
+        let t0 = Instant::now();
+        self.interpolate();
+        self.profiler.record("Interpolate", t0.elapsed());
+        self.profiler.classify("Interpolate", KernelClass::WeightFields);
+
+        let t0 = Instant::now();
+        let visited = self.move_deposit();
+        self.profiler.record("Move_Deposit", t0.elapsed());
+        self.profiler.classify("Move_Deposit", KernelClass::Move);
+
+        let t0 = Instant::now();
+        self.accumulate_current();
+        self.profiler.record("AccumulateCurrent", t0.elapsed());
+        self.profiler.classify("AccumulateCurrent", KernelClass::Deposit);
+
+        let t0 = Instant::now();
+        self.advance_b();
+        self.profiler.record("AdvanceB", t0.elapsed());
+        self.profiler.classify("AdvanceB", KernelClass::FieldSolve);
+
+        let t0 = Instant::now();
+        self.advance_e();
+        self.profiler.record("AdvanceE", t0.elapsed());
+        self.profiler.classify("AdvanceE", KernelClass::FieldSolve);
+
+        self.update_ghosts();
+
+        let mut d = self.energies();
+        d.mean_visited = visited as f64 / self.ps.len().max(1) as f64;
+        d
+    }
+
+    /// Run `n` steps, returning all diagnostics.
+    pub fn run(&mut self, n: usize) -> Vec<EnergyDiagnostics> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Field and kinetic energies — the per-iteration validation
+    /// quantity of Section 4 ("we validate the electric and magnetic
+    /// field energy per iteration against ... the original").
+    pub fn energies(&self) -> EnergyDiagnostics {
+        let vol = self.geom.cell_volume();
+        let quad = |d: &Dat| 0.5 * vol * d.raw().iter().map(|x| x * x).sum::<f64>();
+        let kin = 0.5
+            * self.cfg.mass
+            * self.weight
+            * self
+                .ps
+                .col(self.vel)
+                .chunks(3)
+                .map(|v| v[0] * v[0] + v[1] * v[1] + v[2] * v[2])
+                .sum::<f64>();
+        EnergyDiagnostics {
+            step: self.step_no,
+            e_field: quad(&self.e),
+            b_field: quad(&self.b),
+            kinetic: kin,
+            mean_visited: 0.0,
+        }
+    }
+
+    /// Every particle must sit inside its recorded cell and inside the
+    /// periodic box.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let [lx, ly, lz] = self.geom.lengths();
+        for i in 0..self.ps.len() {
+            let p = self.ps.el(self.pos, i);
+            if !(0.0..=lx).contains(&p[0])
+                || !(0.0..=ly).contains(&p[1])
+                || !(0.0..=lz).contains(&p[2])
+            {
+                return Err(format!("particle {i} out of box: {p:?}"));
+            }
+            let c = self.ps.cells()[i];
+            if c < 0 || c as usize >= self.geom.n_cells() {
+                return Err(format!("particle {i} invalid cell {c}"));
+            }
+            let ijk = self.geom.cell_ijk(c as usize);
+            let lo = self.geom.cell_lo(ijk);
+            let d = self.geom.deltas();
+            for a in 0..3 {
+                let tol = 1e-9 * d[a];
+                if p[a] < lo[a] - tol || p[a] > lo[a] + d[a] + tol {
+                    return Err(format!(
+                        "particle {i} axis {a}: {p:?} not in cell {c} [{}, {}]",
+                        lo[a],
+                        lo[a] + d[a]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn step_count(&self) -> usize {
+        self.step_no
+    }
+
+    /// Write a restartable snapshot: step counter, fields, and the
+    /// particle store. (The topology and initial condition are rebuilt
+    /// from the config; the accumulator is transient — always empty
+    /// between steps.)
+    pub fn save_checkpoint<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        let mut bw = oppic_core::BinWriter::new(w)?;
+        bw.u64(self.step_no as u64)?;
+        self.e.write_checkpoint(&mut bw)?;
+        self.b.write_checkpoint(&mut bw)?;
+        self.j.write_checkpoint(&mut bw)?;
+        self.ps.write_checkpoint(&mut bw)?;
+        bw.finish()?;
+        Ok(())
+    }
+
+    /// Restore a snapshot written by
+    /// [`CabanaEngine::save_checkpoint`] into an engine built with the
+    /// same configuration.
+    pub fn restore_checkpoint<R: std::io::Read>(&mut self, r: R) -> std::io::Result<()> {
+        use std::io::{Error, ErrorKind};
+        let mut br = oppic_core::BinReader::new(r)?;
+        let step_no = br.u64()? as usize;
+        let e = Dat::read_checkpoint(&mut br)?;
+        let b = Dat::read_checkpoint(&mut br)?;
+        let j = Dat::read_checkpoint(&mut br)?;
+        if e.len() != self.geom.n_cells() {
+            return Err(Error::new(ErrorKind::InvalidData, "cell count mismatch"));
+        }
+        let ps = ParticleDats::read_checkpoint(&mut br)?;
+        if ps.dofs() != self.ps.dofs() {
+            return Err(Error::new(ErrorKind::InvalidData, "particle schema mismatch"));
+        }
+        self.step_no = step_no;
+        self.e = e;
+        self.b = b;
+        self.j = j;
+        self.ps = ps;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use crate::config::CabanaConfig;
+    use crate::structured::StructuredCabana;
+
+    #[test]
+    fn restart_is_bit_exact() {
+        let cfg = CabanaConfig::tiny();
+        let mut full = StructuredCabana::new_structured(cfg.clone());
+        let full_diags = full.run(12);
+
+        let mut first = StructuredCabana::new_structured(cfg.clone());
+        first.run(7);
+        let mut snap = Vec::new();
+        first.save_checkpoint(&mut snap).unwrap();
+
+        let mut resumed = StructuredCabana::new_structured(cfg);
+        resumed.restore_checkpoint(snap.as_slice()).unwrap();
+        assert_eq!(resumed.step_count(), 7);
+        let tail = resumed.run(5);
+
+        let d_full = full_diags.last().unwrap();
+        let d_res = tail.last().unwrap();
+        assert_eq!(d_full.e_field, d_res.e_field, "field energy bit-exact after restart");
+        assert_eq!(full.ps.col(full.pos), resumed.ps.col(resumed.pos));
+        assert_eq!(full.e.raw(), resumed.e.raw());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_mesh() {
+        let mut a = StructuredCabana::new_structured(CabanaConfig::tiny());
+        a.run(2);
+        let mut snap = Vec::new();
+        a.save_checkpoint(&mut snap).unwrap();
+        let mut other = CabanaConfig::tiny();
+        other.nx *= 2;
+        let mut b = StructuredCabana::new_structured(other);
+        assert!(b.restore_checkpoint(snap.as_slice()).is_err());
+    }
+}

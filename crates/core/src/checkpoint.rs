@@ -1,0 +1,276 @@
+//! Checkpoint/restart — binary snapshots of simulation state.
+//!
+//! Long PIC campaigns checkpoint; the DSL owns the particle store, so
+//! it owns the serialization too. The format is a minimal tagged
+//! little-endian container (no external serializer): a magic header,
+//! then length-prefixed sections. [`crate::particles::ParticleDats`]
+//! and [`crate::dat::Dat`] round-trip losslessly (bit-exact f64).
+
+use crate::dat::Dat;
+use crate::particles::ParticleDats;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"OPPICCKP";
+const VERSION: u32 = 1;
+
+/// Little-endian primitive writers.
+pub struct BinWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> BinWriter<W> {
+    /// Start a checkpoint stream (writes the header).
+    pub fn new(mut w: W) -> io::Result<Self> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        Ok(BinWriter { w })
+    }
+
+    pub fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.w.write_all(&v.to_le_bytes())
+    }
+
+    pub fn u128(&mut self, v: u128) -> io::Result<()> {
+        self.w.write_all(&v.to_le_bytes())
+    }
+
+    pub fn f64_slice(&mut self, v: &[f64]) -> io::Result<()> {
+        self.u64(v.len() as u64)?;
+        for x in v {
+            self.w.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    pub fn i32_slice(&mut self, v: &[i32]) -> io::Result<()> {
+        self.u64(v.len() as u64)?;
+        for x in v {
+            self.w.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    pub fn string(&mut self, s: &str) -> io::Result<()> {
+        self.u64(s.len() as u64)?;
+        self.w.write_all(s.as_bytes())
+    }
+
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Little-endian primitive readers with honest error reporting.
+pub struct BinReader<R: Read> {
+    r: R,
+}
+
+impl<R: Read> BinReader<R> {
+    /// Open a checkpoint stream (validates the header).
+    pub fn new(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an OP-PIC checkpoint"));
+        }
+        let mut v = [0u8; 4];
+        r.read_exact(&mut v)?;
+        let version = u32::from_le_bytes(v);
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported checkpoint version {version}"),
+            ));
+        }
+        Ok(BinReader { r })
+    }
+
+    pub fn u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    pub fn u128(&mut self) -> io::Result<u128> {
+        let mut b = [0u8; 16];
+        self.r.read_exact(&mut b)?;
+        Ok(u128::from_le_bytes(b))
+    }
+
+    pub fn f64_slice(&mut self) -> io::Result<Vec<f64>> {
+        let n = self.u64()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 24));
+        let mut b = [0u8; 8];
+        for _ in 0..n {
+            self.r.read_exact(&mut b)?;
+            out.push(f64::from_le_bytes(b));
+        }
+        Ok(out)
+    }
+
+    pub fn i32_slice(&mut self) -> io::Result<Vec<i32>> {
+        let n = self.u64()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 24));
+        let mut b = [0u8; 4];
+        for _ in 0..n {
+            self.r.read_exact(&mut b)?;
+            out.push(i32::from_le_bytes(b));
+        }
+        Ok(out)
+    }
+
+    pub fn string(&mut self) -> io::Result<String> {
+        let n = self.u64()? as usize;
+        let mut b = vec![0u8; n];
+        self.r.read_exact(&mut b)?;
+        String::from_utf8(b).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl ParticleDats {
+    /// Serialize the full store (schema + data).
+    pub fn write_checkpoint<W: Write>(&self, w: &mut BinWriter<W>) -> io::Result<()> {
+        w.u64(self.n_cols() as u64)?;
+        for id in self.columns() {
+            w.string(self.name(id))?;
+            w.u64(self.dim(id) as u64)?;
+            w.f64_slice(self.col(id))?;
+        }
+        w.i32_slice(self.cells())
+    }
+
+    /// Deserialize a store written by
+    /// [`ParticleDats::write_checkpoint`].
+    pub fn read_checkpoint<R: Read>(r: &mut BinReader<R>) -> io::Result<Self> {
+        let n_cols = r.u64()? as usize;
+        let mut ps = ParticleDats::new();
+        let mut cols: Vec<(crate::particles::ColId, Vec<f64>)> = Vec::with_capacity(n_cols);
+        let mut n_particles = None;
+        for _ in 0..n_cols {
+            let name = r.string()?;
+            let dim = r.u64()? as usize;
+            let data = r.f64_slice()?;
+            if dim == 0 || data.len() % dim != 0 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "ragged column"));
+            }
+            let np = data.len() / dim;
+            match n_particles {
+                None => n_particles = Some(np),
+                Some(p) if p != np => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "inconsistent column lengths",
+                    ));
+                }
+                _ => {}
+            }
+            let id = ps.decl_dat(name, dim);
+            cols.push((id, data));
+        }
+        let cells = r.i32_slice()?;
+        let np = n_particles.unwrap_or(cells.len());
+        if cells.len() != np {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "cell map length mismatch"));
+        }
+        ps.inject_into(&cells);
+        for (id, data) in cols {
+            ps.col_mut(id).copy_from_slice(&data);
+        }
+        Ok(ps)
+    }
+}
+
+impl Dat {
+    /// Serialize (name + dim + data).
+    pub fn write_checkpoint<W: Write>(&self, w: &mut BinWriter<W>) -> io::Result<()> {
+        w.string(self.name())?;
+        w.u64(self.dim() as u64)?;
+        w.f64_slice(self.raw())
+    }
+
+    /// Deserialize a dat written by [`Dat::write_checkpoint`].
+    pub fn read_checkpoint<R: Read>(r: &mut BinReader<R>) -> io::Result<Self> {
+        let name = r.string()?;
+        let dim = r.u64()? as usize;
+        let data = r.f64_slice()?;
+        if dim == 0 || data.len() % dim != 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "ragged dat"));
+        }
+        Ok(Dat::from_vec(name, dim, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dat_round_trip_is_bit_exact() {
+        let d = Dat::from_fn("field", 5, 3, |i, c| (i as f64 + 0.1 * c as f64) * 1e-7);
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf).unwrap();
+        d.write_checkpoint(&mut w).unwrap();
+        w.finish().unwrap();
+        let mut r = BinReader::new(buf.as_slice()).unwrap();
+        let back = Dat::read_checkpoint(&mut r).unwrap();
+        assert_eq!(back.name(), "field");
+        assert_eq!(back.dim(), 3);
+        assert_eq!(back.raw(), d.raw());
+    }
+
+    #[test]
+    fn particle_store_round_trip() {
+        let mut ps = ParticleDats::new();
+        let pos = ps.decl_dat("pos", 3);
+        let q = ps.decl_dat("q", 1);
+        ps.inject(7, 2);
+        for i in 0..7 {
+            ps.el_mut(pos, i)[0] = i as f64 * 0.25;
+            ps.el_mut(q, i)[0] = -(i as f64);
+            ps.cells_mut()[i] = (i * 3) as i32;
+        }
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf).unwrap();
+        ps.write_checkpoint(&mut w).unwrap();
+        w.finish().unwrap();
+        let mut r = BinReader::new(buf.as_slice()).unwrap();
+        let back = ParticleDats::read_checkpoint(&mut r).unwrap();
+        assert_eq!(back.len(), 7);
+        assert_eq!(back.dofs(), 4);
+        assert_eq!(back.cells(), ps.cells());
+        let bpos = back.col_id("pos").unwrap();
+        assert_eq!(back.col(bpos), ps.col(pos));
+        let bq = back.col_id("q").unwrap();
+        assert_eq!(back.col(bq), ps.col(q));
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        assert!(BinReader::new(&b"NOTACKPT0000"[..]).is_err());
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf).unwrap();
+        let d = Dat::zeros("x", 10, 2);
+        d.write_checkpoint(&mut w).unwrap();
+        w.finish().unwrap();
+        let cut = buf.len() / 2;
+        let mut r = BinReader::new(&buf[..cut]).unwrap();
+        assert!(Dat::read_checkpoint(&mut r).is_err());
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf).unwrap();
+        w.u64(42).unwrap();
+        w.u128(1 << 100).unwrap();
+        w.string("hello").unwrap();
+        w.i32_slice(&[-1, 2, 3]).unwrap();
+        w.finish().unwrap();
+        let mut r = BinReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.u128().unwrap(), 1 << 100);
+        assert_eq!(r.string().unwrap(), "hello");
+        assert_eq!(r.i32_slice().unwrap(), vec![-1, 2, 3]);
+    }
+}

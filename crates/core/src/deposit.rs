@@ -1,0 +1,633 @@
+//! Indirect-increment executors — the race-handling strategies of
+//! Section 3.3 of the paper.
+//!
+//! A loop over particles that increments mesh data through the
+//! particle→cell (and possibly cell→node) maps is the key bottleneck of
+//! PIC: many particles hit the same mesh element concurrently. The
+//! paper implements, per platform:
+//!
+//! * **scatter arrays** (CPU/OpenMP, Figure 2(b)) — one private array
+//!   per thread, reduced element-wise at loop end;
+//! * **atomics** (GPU) — hardware f64 atomic adds (CAS-loop here);
+//! * **segmented reduction** (GPU, Figure 3) — store `(key, value)`
+//!   pairs, sort by key, reduce by key, scatter.
+//!
+//! All strategies are exposed through one executor, [`deposit_loop`];
+//! the kernel receives a [`Depositor`] and calls
+//! [`Depositor::add`] for each contribution. Every strategy computes
+//! the same sums (up to floating-point associativity; segmented
+//! reduction is made *deterministic* by totally ordering equal keys by
+//! value bits before reducing).
+
+use crate::parloop::ExecPolicy;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Race-handling strategy for indirect increments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepositMethod {
+    /// Reference single-threaded accumulation.
+    Serial,
+    /// Per-thread private arrays + element-wise reduction (the paper's
+    /// CPU/OpenMP choice).
+    ScatterArrays,
+    /// CAS-loop f64 atomic adds with sequentially consistent success
+    /// ordering (the paper's "safe atomics", AT).
+    Atomics,
+    /// CAS-loop f64 atomic adds with relaxed ordering — the paper's
+    /// "unsafe atomics" (UA) are a weaker-guarantee RMW path on AMD
+    /// hardware; relaxed ordering is the closest well-defined analogue.
+    UnsafeAtomics,
+    /// store(key,value) → sort_by_key → reduce_by_key (the paper's SR,
+    /// Figure 3).
+    SegmentedReduction,
+}
+
+impl DepositMethod {
+    pub const ALL: [DepositMethod; 5] = [
+        DepositMethod::Serial,
+        DepositMethod::ScatterArrays,
+        DepositMethod::Atomics,
+        DepositMethod::UnsafeAtomics,
+        DepositMethod::SegmentedReduction,
+    ];
+
+    /// Short label used by the benchmark tables (matches the paper's
+    /// AT/UA/SR abbreviations).
+    pub fn label(self) -> &'static str {
+        match self {
+            DepositMethod::Serial => "SEQ",
+            DepositMethod::ScatterArrays => "SA",
+            DepositMethod::Atomics => "AT",
+            DepositMethod::UnsafeAtomics => "UA",
+            DepositMethod::SegmentedReduction => "SR",
+        }
+    }
+}
+
+/// Handle through which a kernel emits `target[index] += value`
+/// contributions. The variant is chosen by the executor; kernels are
+/// strategy-agnostic (the separation of concerns the DSL promises).
+pub enum Depositor<'a> {
+    Exclusive(&'a mut [f64]),
+    Local(&'a mut [f64]),
+    Atomic {
+        slots: &'a [AtomicU64],
+        ordering: Ordering,
+    },
+    Pairs(&'a mut Vec<(u32, f64)>),
+}
+
+impl<'a> Depositor<'a> {
+    /// Accumulate `value` into flat index `idx` of the target dat.
+    #[inline]
+    pub fn add(&mut self, idx: usize, value: f64) {
+        match self {
+            Depositor::Exclusive(t) | Depositor::Local(t) => t[idx] += value,
+            Depositor::Atomic { slots, ordering } => {
+                atomic_add_f64(&slots[idx], value, *ordering)
+            }
+            Depositor::Pairs(buf) => buf.push((idx as u32, value)),
+        }
+    }
+}
+
+/// f64 atomic add via compare-exchange on the bit pattern. `ordering`
+/// applies to the successful exchange; failures reload relaxed.
+#[inline]
+fn atomic_add_f64(slot: &AtomicU64, value: f64, ordering: Ordering) {
+    let mut current = slot.load(Ordering::Relaxed);
+    loop {
+        let new = f64::from_bits(current) + value;
+        match slot.compare_exchange_weak(current, new.to_bits(), ordering, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Reinterpret an exclusively borrowed `&mut [f64]` as atomic slots.
+/// Sound: we hold the unique borrow for the whole loop, `f64` and
+/// `AtomicU64` have identical size and alignment, and every bit
+/// pattern is valid for both.
+fn as_atomic_slots(data: &mut [f64]) -> &[AtomicU64] {
+    const _: () = assert!(std::mem::size_of::<f64>() == std::mem::size_of::<AtomicU64>());
+    const _: () = assert!(std::mem::align_of::<f64>() == std::mem::align_of::<AtomicU64>());
+    // The pointer must come from `as_mut_ptr` so the shared atomic view
+    // retains write provenance over the exclusive borrow.
+    unsafe { std::slice::from_raw_parts(data.as_mut_ptr() as *const AtomicU64, data.len()) }
+}
+
+/// Statistics from one deposit loop (fed to the ablation benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DepositStats {
+    /// Number of `(key, value)` pairs staged (segmented reduction only).
+    pub pairs_staged: usize,
+    /// Distinct target indices touched (segmented reduction only).
+    pub segments: usize,
+}
+
+/// Run an indirect-increment loop over `n` iterations, accumulating
+/// into `target` (a flat `len*dim` f64 buffer) with the chosen
+/// strategy. The kernel is invoked once per iteration index.
+///
+/// ```
+/// use oppic_core::{deposit_loop, DepositMethod, ExecPolicy};
+/// // 1000 "particles", each adding 1.0 to one of 4 "nodes":
+/// let mut node_charge = vec![0.0; 4];
+/// deposit_loop(
+///     &ExecPolicy::Par,
+///     DepositMethod::ScatterArrays,
+///     1000,
+///     &mut node_charge,
+///     |i, dep| dep.add(i % 4, 1.0),
+/// );
+/// assert_eq!(node_charge, vec![250.0; 4]);
+/// ```
+pub fn deposit_loop<F>(
+    policy: &ExecPolicy,
+    method: DepositMethod,
+    n: usize,
+    target: &mut [f64],
+    kernel: F,
+) -> DepositStats
+where
+    F: Fn(usize, &mut Depositor) + Sync,
+{
+    match method {
+        DepositMethod::Serial => {
+            let mut dep = Depositor::Exclusive(target);
+            for i in 0..n {
+                kernel(i, &mut dep);
+            }
+            DepositStats::default()
+        }
+        DepositMethod::ScatterArrays => {
+            policy.run(|| scatter_arrays(policy, n, target, &kernel));
+            DepositStats::default()
+        }
+        DepositMethod::Atomics | DepositMethod::UnsafeAtomics => {
+            let ordering = if method == DepositMethod::Atomics {
+                Ordering::SeqCst
+            } else {
+                Ordering::Relaxed
+            };
+            let slots = as_atomic_slots(target);
+            policy.run(|| {
+                if policy.is_parallel() {
+                    (0..n).into_par_iter().for_each(|i| {
+                        let mut dep = Depositor::Atomic { slots, ordering };
+                        kernel(i, &mut dep);
+                    });
+                } else {
+                    let mut dep = Depositor::Atomic { slots, ordering };
+                    for i in 0..n {
+                        kernel(i, &mut dep);
+                    }
+                }
+            });
+            DepositStats::default()
+        }
+        DepositMethod::SegmentedReduction => policy.run(|| segmented_reduction(policy, n, target, &kernel)),
+    }
+}
+
+/// Figure 2(b): per-thread private arrays, then an element-wise
+/// parallel reduction over the target.
+fn scatter_arrays<F>(policy: &ExecPolicy, n: usize, target: &mut [f64], kernel: &F)
+where
+    F: Fn(usize, &mut Depositor) + Sync,
+{
+    let t = policy.threads().max(1);
+    if t == 1 || n == 0 {
+        let mut dep = Depositor::Exclusive(target);
+        for i in 0..n {
+            kernel(i, &mut dep);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(t);
+    let len = target.len();
+    let locals: Vec<Vec<f64>> = (0..t)
+        .into_par_iter()
+        .map(|ti| {
+            let mut local = vec![0.0; len];
+            let lo = ti * chunk;
+            let hi = ((ti + 1) * chunk).min(n);
+            let mut dep = Depositor::Local(&mut local);
+            for i in lo..hi {
+                kernel(i, &mut dep);
+            }
+            local
+        })
+        .collect();
+    // "Finally, the array entries can be reduced to get the total
+    // contribution to that node."
+    target.par_iter_mut().enumerate().for_each(|(j, tj)| {
+        let mut acc = *tj;
+        for l in &locals {
+            acc += l[j];
+        }
+        *tj = acc;
+    });
+}
+
+/// Figure 3: store values and keys → sort by key → reduce by key.
+/// Pairs with equal keys are additionally ordered by value bits so the
+/// reduction order — and therefore the floating-point result — is
+/// deterministic regardless of thread schedule.
+fn segmented_reduction<F>(
+    policy: &ExecPolicy,
+    n: usize,
+    target: &mut [f64],
+    kernel: &F,
+) -> DepositStats
+where
+    F: Fn(usize, &mut Depositor) + Sync,
+{
+    // Step 1: store_values_and_keys.
+    let mut pairs: Vec<(u32, f64)> = if policy.is_parallel() {
+        (0..n)
+            .into_par_iter()
+            .fold(Vec::new, |mut buf, i| {
+                let mut dep = Depositor::Pairs(&mut buf);
+                kernel(i, &mut dep);
+                buf
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+    } else {
+        let mut buf = Vec::new();
+        let mut dep = Depositor::Pairs(&mut buf);
+        for i in 0..n {
+            kernel(i, &mut dep);
+        }
+        buf
+    };
+
+    let staged = pairs.len();
+
+    // Step 2: sort_by_key (key, then value bits for determinism).
+    pairs.par_sort_unstable_by(|a, b| {
+        a.0.cmp(&b.0).then_with(|| total_order_bits(a.1).cmp(&total_order_bits(b.1)))
+    });
+
+    // Step 3: reduce_by_key + scatter.
+    let mut segments = 0usize;
+    let mut k = 0;
+    while k < pairs.len() {
+        let key = pairs[k].0;
+        let mut acc = 0.0;
+        while k < pairs.len() && pairs[k].0 == key {
+            acc += pairs[k].1;
+            k += 1;
+        }
+        target[key as usize] += acc;
+        segments += 1;
+    }
+
+    DepositStats { pairs_staged: staged, segments }
+}
+
+/// Map an `f64` to a totally ordered integer (IEEE-754 total order
+/// trick): flips the sign bit for positives and all bits for negatives.
+#[inline]
+fn total_order_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 0 {
+        b | (1 << 63)
+    } else {
+        !b
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coloring — the paper's third CPU option (Section 3.3): "Coloring is
+// another option on CPUs, but require particle arrays to be kept
+// sorted, introducing an overhead."
+// ---------------------------------------------------------------------
+
+/// Greedy distance-2 coloring of cells over a shared-target relation:
+/// two cells get different colors whenever they touch a common target
+/// (e.g. share a node through the cells→nodes map). Cells of one color
+/// can then deposit concurrently without synchronisation.
+///
+/// Returns `(color per cell, number of colors)`.
+pub fn greedy_color_cells<C: AsRef<[usize]>>(
+    cell_targets: &[C],
+    n_targets: usize,
+) -> (Vec<u32>, usize) {
+    // target -> cells touching it.
+    let mut t2c: Vec<Vec<u32>> = vec![Vec::new(); n_targets];
+    for (c, ts) in cell_targets.iter().enumerate() {
+        for &t in ts.as_ref() {
+            t2c[t].push(c as u32);
+        }
+    }
+    let n_cells = cell_targets.len();
+    let mut color = vec![u32::MAX; n_cells];
+    let mut used: Vec<bool> = Vec::new();
+    let mut max_color = 0u32;
+    for c in 0..n_cells {
+        used.clear();
+        used.resize(max_color as usize + 2, false);
+        for &t in cell_targets[c].as_ref() {
+            for &other in &t2c[t] {
+                let oc = color[other as usize];
+                if oc != u32::MAX {
+                    if oc as usize >= used.len() {
+                        used.resize(oc as usize + 1, false);
+                    }
+                    used[oc as usize] = true;
+                }
+            }
+        }
+        let chosen = used.iter().position(|&u| !u).unwrap_or(used.len()) as u32;
+        color[c] = chosen;
+        max_color = max_color.max(chosen);
+    }
+    (color, max_color as usize + 1)
+}
+
+/// Check that a coloring is valid for a shared-target relation: no two
+/// cells with the same color touch a common target.
+pub fn coloring_is_valid<C: AsRef<[usize]>>(
+    cell_targets: &[C],
+    n_targets: usize,
+    colors: &[u32],
+) -> bool {
+    let mut owner: Vec<std::collections::HashMap<u32, u32>> = vec![Default::default(); n_targets];
+    for (c, ts) in cell_targets.iter().enumerate() {
+        for &t in ts.as_ref() {
+            if let Some(&other) = owner[t].get(&colors[c]) {
+                if other as usize != c {
+                    return false;
+                }
+            }
+            owner[t].insert(colors[c], c as u32);
+        }
+    }
+    true
+}
+
+/// Colored deposit over particles **sorted by cell**: colors execute
+/// sequentially; within a color, cells run in parallel and their
+/// particles deposit without any race handling (the coloring guarantees
+/// disjoint targets). Returns an error when the particle array is not
+/// cell-sorted — the invariant the paper calls the method's overhead.
+///
+/// Contract: the kernel for particle `i` must only emit indices that
+/// belong to the target list of `particle_cells[i]`'s cell under the
+/// relation the coloring was built from (e.g. the cell's nodes) —
+/// that is what makes same-color cells race-free.
+pub fn deposit_loop_colored<F>(
+    policy: &ExecPolicy,
+    target: &mut [f64],
+    particle_cells: &[i32],
+    cell_colors: &[u32],
+    n_colors: usize,
+    kernel: F,
+) -> Result<(), String>
+where
+    F: Fn(usize, &mut Depositor) + Sync,
+{
+    if particle_cells.windows(2).any(|w| w[0] > w[1]) {
+        return Err("coloring deposit requires particles sorted by cell".into());
+    }
+    // Per-cell contiguous particle ranges.
+    let mut ranges: Vec<(usize, usize, usize)> = Vec::new(); // (cell, lo, hi)
+    let mut i = 0;
+    while i < particle_cells.len() {
+        let c = particle_cells[i];
+        let lo = i;
+        while i < particle_cells.len() && particle_cells[i] == c {
+            i += 1;
+        }
+        ranges.push((c as usize, lo, i));
+    }
+
+    // The coloring guarantees same-color cells touch disjoint targets,
+    // so uncontended atomic adds never retry; the atomic view is just
+    // the safe way to hand the buffer to concurrent tasks.
+    let slots = as_atomic_slots(target);
+    for color in 0..n_colors as u32 {
+        let work: Vec<&(usize, usize, usize)> = ranges
+            .iter()
+            .filter(|(c, _, _)| cell_colors[*c] == color)
+            .collect();
+        policy.run(|| {
+            if policy.is_parallel() {
+                work.par_iter().for_each(|&&(_, lo, hi)| {
+                    let mut dep = Depositor::Atomic { slots, ordering: Ordering::Relaxed };
+                    for p in lo..hi {
+                        kernel(p, &mut dep);
+                    }
+                });
+            } else {
+                let mut dep = Depositor::Atomic { slots, ordering: Ordering::Relaxed };
+                for &&(_, lo, hi) in &work {
+                    for p in lo..hi {
+                        kernel(p, &mut dep);
+                    }
+                }
+            }
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic charge-deposit workload: `n` particles, each adding
+    /// to 4 "nodes" chosen by a hash, mimicking the cell→node scatter.
+    fn run_method(method: DepositMethod, policy: &ExecPolicy, n: usize, len: usize) -> Vec<f64> {
+        let mut target = vec![0.0; len];
+        deposit_loop(policy, method, n, &mut target, |i, dep| {
+            for k in 0..4usize {
+                let idx = (i.wrapping_mul(2654435761).wrapping_add(k * 97)) % len;
+                dep.add(idx, 1.0 + (i % 7) as f64 * 0.25);
+            }
+        });
+        target
+    }
+
+    #[test]
+    fn all_methods_agree_with_serial() {
+        let n = 5000;
+        let len = 64; // small target => heavy contention
+        let reference = run_method(DepositMethod::Serial, &ExecPolicy::Seq, n, len);
+        let total: f64 = reference.iter().sum();
+        for method in DepositMethod::ALL {
+            for policy in [ExecPolicy::Seq, ExecPolicy::Par] {
+                let got = run_method(method, &policy, n, len);
+                let got_total: f64 = got.iter().sum();
+                assert!(
+                    (got_total - total).abs() < 1e-9 * total,
+                    "{method:?}/{policy:?} total {got_total} vs {total}"
+                );
+                for (j, (a, b)) in got.iter().zip(&reference).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-9 * b.abs().max(1.0),
+                        "{method:?}/{policy:?} slot {j}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_reduction_is_deterministic() {
+        // Same workload, several runs under full parallelism: the f64
+        // results must be bit-identical thanks to the total ordering of
+        // values within a key segment.
+        let runs: Vec<Vec<f64>> = (0..5)
+            .map(|_| run_method(DepositMethod::SegmentedReduction, &ExecPolicy::Par, 20_000, 16))
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r, &runs[0], "SR must be schedule-independent");
+        }
+    }
+
+    #[test]
+    fn segmented_reduction_stats() {
+        let mut target = vec![0.0; 8];
+        let st = deposit_loop(&ExecPolicy::Seq, DepositMethod::SegmentedReduction, 10, &mut target, |i, d| {
+            d.add(i % 2, 1.0);
+        });
+        assert_eq!(st.pairs_staged, 10);
+        assert_eq!(st.segments, 2);
+        assert_eq!(target[0], 5.0);
+        assert_eq!(target[1], 5.0);
+    }
+
+    #[test]
+    fn deposit_accumulates_onto_existing_values() {
+        for method in DepositMethod::ALL {
+            let mut target = vec![10.0, 20.0];
+            deposit_loop(&ExecPolicy::Par, method, 4, &mut target, |i, d| {
+                d.add(i % 2, 1.0);
+            });
+            assert_eq!(target, vec![12.0, 22.0], "{method:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_contention_single_slot() {
+        // Everybody hits slot 0 — the exact pathology the paper
+        // observed serialising AMD atomics.
+        for method in [DepositMethod::Atomics, DepositMethod::UnsafeAtomics, DepositMethod::SegmentedReduction, DepositMethod::ScatterArrays] {
+            let mut target = vec![0.0];
+            deposit_loop(&ExecPolicy::Par, method, 100_000, &mut target, |_, d| d.add(0, 1.0));
+            assert_eq!(target[0], 100_000.0, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn empty_loop_is_noop() {
+        for method in DepositMethod::ALL {
+            let mut target = vec![1.0, 2.0];
+            deposit_loop(&ExecPolicy::Par, method, 0, &mut target, |_, d| d.add(0, 9.9));
+            assert_eq!(target, vec![1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn total_order_bits_orders_floats() {
+        let xs = [-2.5, -0.0, 0.0, 1.0, 3.5];
+        for w in xs.windows(2) {
+            assert!(total_order_bits(w[0]) <= total_order_bits(w[1]), "{w:?}");
+        }
+    }
+
+    /// A toy "mesh": 6 cells in a row, each touching its two endpoint
+    /// "nodes" (7 nodes); adjacent cells conflict.
+    fn row_mesh() -> Vec<[usize; 2]> {
+        (0..6).map(|c| [c, c + 1]).collect()
+    }
+
+    #[test]
+    fn greedy_coloring_is_valid_and_small() {
+        let mesh = row_mesh();
+        let (colors, n_colors) = greedy_color_cells(&mesh, 7);
+        assert!(coloring_is_valid(&mesh, 7, &colors), "{colors:?}");
+        // A path graph is 2-colorable under the shared-node relation.
+        assert_eq!(n_colors, 2, "{colors:?}");
+        // And the validity checker catches a bad coloring.
+        let bad = vec![0u32; 6];
+        assert!(!coloring_is_valid(&mesh, 7, &bad));
+    }
+
+    #[test]
+    fn colored_deposit_matches_serial() {
+        let mesh = row_mesh();
+        let (colors, n_colors) = greedy_color_cells(&mesh, 7);
+        // 3 particles per cell, sorted by construction.
+        let cells: Vec<i32> = (0..6).flat_map(|c| [c, c, c]).collect();
+        let kernel = |i: usize, dep: &mut Depositor| {
+            let c = (i / 3) as usize;
+            dep.add(mesh[c][0], 1.0);
+            dep.add(mesh[c][1], 0.5);
+        };
+        let mut reference = vec![0.0; 7];
+        deposit_loop(&ExecPolicy::Seq, DepositMethod::Serial, cells.len(), &mut reference, kernel);
+        for policy in [ExecPolicy::Seq, ExecPolicy::Par] {
+            let mut got = vec![0.0; 7];
+            deposit_loop_colored(&policy, &mut got, &cells, &colors, n_colors, kernel).unwrap();
+            assert_eq!(got, reference, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn colored_deposit_rejects_unsorted_particles() {
+        let mesh = row_mesh();
+        let (colors, n_colors) = greedy_color_cells(&mesh, 7);
+        let cells = vec![2i32, 0, 1]; // not sorted
+        let mut buf = vec![0.0; 7];
+        let err = deposit_loop_colored(
+            &ExecPolicy::Seq,
+            &mut buf,
+            &cells,
+            &colors,
+            n_colors,
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(err.contains("sorted"));
+    }
+
+    #[test]
+    fn colored_deposit_heavy_agrees_under_parallelism() {
+        // Denser conflict structure: 50 cells, 4 shared nodes each.
+        let mesh: Vec<[usize; 4]> = (0..50)
+            .map(|c| [c, c + 1, c + 2, c + 3])
+            .collect();
+        let (colors, n_colors) = greedy_color_cells(&mesh, 53);
+        assert!(coloring_is_valid(&mesh, 53, &colors));
+        let cells: Vec<i32> = (0..50).flat_map(|c| std::iter::repeat(c).take(40)).collect();
+        let kernel = |i: usize, dep: &mut Depositor| {
+            let c = i / 40;
+            for k in 0..4 {
+                dep.add(mesh[c][k], 1.0 + k as f64);
+            }
+        };
+        let mut reference = vec![0.0; 53];
+        deposit_loop(&ExecPolicy::Seq, DepositMethod::Serial, cells.len(), &mut reference, kernel);
+        let mut got = vec![0.0; 53];
+        deposit_loop_colored(&ExecPolicy::Par, &mut got, &cells, &colors, n_colors, kernel).unwrap();
+        for (a, b) in got.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_abbreviations() {
+        assert_eq!(DepositMethod::Atomics.label(), "AT");
+        assert_eq!(DepositMethod::UnsafeAtomics.label(), "UA");
+        assert_eq!(DepositMethod::SegmentedReduction.label(), "SR");
+        assert_eq!(DepositMethod::ScatterArrays.label(), "SA");
+    }
+}

@@ -1,0 +1,61 @@
+//! # oppic-core — the OP-PIC DSL
+//!
+//! This crate is the Rust reproduction of the OP-PIC abstraction
+//! (Lantra, Wright & Mudalige, ICPP '24): a loop-level DSL for
+//! unstructured-mesh particle-in-cell codes. The paper's C++ API uses a
+//! clang-based source-to-source translator to specialise each
+//! `opp_par_loop` / `opp_particle_move` per backend; here the same
+//! specialisation is done by Rust generics and monomorphisation (see
+//! DESIGN.md — substitutions).
+//!
+//! The DSL surface maps onto the paper as follows:
+//!
+//! | paper                      | this crate                              |
+//! |----------------------------|-----------------------------------------|
+//! | `opp_decl_set`             | [`decl::SetDecl`] (+ plain sizes)       |
+//! | `opp_decl_particle_set`    | [`particles::ParticleDats`]             |
+//! | `opp_decl_map`             | [`decl::MapDecl`] + app-held tables     |
+//! | `opp_decl_dat`             | [`dat::Dat`] / particle columns         |
+//! | `opp_par_loop` (direct)    | [`parloop`] `par_loop_direct1..4`       |
+//! | `opp_par_loop` (indirect ↑)| [`deposit::deposit_loop`]               |
+//! | `opp_particle_move`        | [`move_engine::move_loop`] (MH/DH)      |
+//! | access modes               | [`access::Access`]                      |
+//! | OpenMP backend             | [`parloop::ExecPolicy`]                 |
+//! | scatter arrays / atomics / | [`deposit::DepositMethod`]              |
+//! | segmented reduction        |                                         |
+//!
+//! Everything race-prone (indirect increments, particle relocation,
+//! hole filling) lives behind these executors, so an application is
+//! written exactly as the paper promises: "a serial implementation
+//! without worrying about data races, synchronizations, or explicit
+//! data copies".
+
+pub mod access;
+pub mod checkpoint;
+pub mod dat;
+pub mod decl;
+#[macro_use]
+pub mod macros;
+pub mod deposit;
+pub mod move_engine;
+pub mod params;
+pub mod parloop;
+pub mod particles;
+pub mod profile;
+
+pub use access::{Access, ArgDecl};
+pub use checkpoint::{BinReader, BinWriter};
+pub use dat::Dat;
+pub use deposit::{
+    coloring_is_valid, deposit_loop, deposit_loop_colored, greedy_color_cells, DepositMethod,
+    Depositor,
+};
+pub use move_engine::{move_loop, move_loop_direct_hop, MoveConfig, MoveResult, MoveStatus};
+pub use parloop::{
+    par_loop_slices1, par_loop_slices2, par_loop_slices2_cells, par_loop_slices3, par_reduce_sum,
+    par_loop_direct1, par_loop_direct2, par_loop_direct3, par_loop_direct4, par_loop_gather,
+    ExecPolicy,
+};
+pub use params::Params;
+pub use particles::{ColId, ParticleDats};
+pub use profile::{KernelClass, Profiler};

@@ -1,0 +1,387 @@
+//! The particle-move executor — `opp_particle_move` (Sections 3.1.3 and
+//! 3.2.2 of the paper).
+//!
+//! The application provides an *elemental move kernel* which, given a
+//! particle and its current candidate cell, does per-cell work and
+//! reports one of three statuses (the paper's preprocessor markers):
+//!
+//! * [`MoveStatus::Done`] — `OPP_PARTICLE_MOVE_DONE`: this is the final
+//!   destination cell;
+//! * [`MoveStatus::NeedRemove`] — `OPP_PARTICLE_NEED_REMOVE`: the
+//!   particle left the domain;
+//! * [`MoveStatus::NeedMove`] — `OPP_PARTICLE_NEED_MOVE`: hop to the
+//!   reported next cell and run the kernel again.
+//!
+//! The engine owns the iteration ("multi-hop", MH), the optional
+//! structured-overlay seeding ("direct-hop", DH), the per-particle cell
+//! updates, and the removal list that the particle store's hole filling
+//! consumes. In distributed runs, `oppic-mpi` wraps this engine and
+//! additionally ships rank-crossing particles.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::parloop::ExecPolicy;
+
+/// Verdict of one elemental move-kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveStatus {
+    /// Final destination cell reached.
+    Done,
+    /// Particle left the domain; remove it.
+    NeedRemove,
+    /// Keep searching from the given next cell.
+    NeedMove(usize),
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MoveConfig {
+    /// Abort threshold for a single particle's hop chain — a kernel
+    /// that cycles (e.g. an inconsistent c2c map) is reported as an
+    /// error instead of hanging the simulation.
+    pub max_hops: u32,
+    /// Record each particle's chain length into
+    /// [`MoveResult::chains`] (used by the GPU divergence analysis;
+    /// costs 4 bytes/particle).
+    pub record_chains: bool,
+}
+
+impl Default for MoveConfig {
+    fn default() -> Self {
+        MoveConfig { max_hops: 10_000, record_chains: false }
+    }
+}
+
+/// Outcome of a move loop.
+#[derive(Debug, Clone, Default)]
+pub struct MoveResult {
+    /// Indices of particles to remove, sorted ascending — feed straight
+    /// into [`crate::particles::ParticleDats::remove_fill`].
+    pub removed: Vec<usize>,
+    /// Total kernel invocations across all particles (≥ n): the
+    /// "hops + finals" count. `total_visits - n_alive` is the extra
+    /// search work a better strategy (DH) eliminates.
+    pub total_visits: u64,
+    /// Longest single hop chain observed.
+    pub max_chain: u32,
+    /// Particles whose chain hit `max_hops` (always also removed; a
+    /// non-zero value indicates a broken kernel/mesh).
+    pub aborted: u64,
+    /// Per-particle chain lengths (empty unless
+    /// [`MoveConfig::record_chains`] was set).
+    pub chains: Vec<u32>,
+}
+
+impl MoveResult {
+    /// Mean kernel visits per particle (1.0 = every particle already in
+    /// its final cell).
+    pub fn mean_visits(&self, n_particles: usize) -> f64 {
+        if n_particles == 0 {
+            0.0
+        } else {
+            self.total_visits as f64 / n_particles as f64
+        }
+    }
+}
+
+/// Multi-hop move: each particle starts from its current cell
+/// (`cells[i]`) and follows the kernel's `NeedMove` chain.
+///
+/// ```
+/// use oppic_core::{move_loop, ExecPolicy, MoveConfig, MoveStatus};
+/// // Walk two particles along a 1-D row of cells to their targets.
+/// let targets = [4usize, 1];
+/// let mut cells = vec![0i32, 3];
+/// let r = move_loop(&ExecPolicy::Seq, MoveConfig::default(), &mut cells, |i, c| {
+///     match targets[i] {
+///         t if c == t => MoveStatus::Done,
+///         t if c < t => MoveStatus::NeedMove(c + 1),
+///         _ => MoveStatus::NeedMove(c - 1),
+///     }
+/// });
+/// assert_eq!(cells, vec![4, 1]);
+/// assert!(r.removed.is_empty());
+/// ```
+///
+/// `kernel(i, cell)` must be safe to call concurrently for distinct
+/// `i`; it typically reads the particle's position and per-cell
+/// geometry and (for electromagnetic codes) deposits current for every
+/// visited cell via a [`crate::deposit::Depositor`]-backed accumulator.
+pub fn move_loop<K>(
+    policy: &ExecPolicy,
+    cfg: MoveConfig,
+    cells: &mut [i32],
+    kernel: K,
+) -> MoveResult
+where
+    K: Fn(usize, usize) -> MoveStatus + Sync,
+{
+    run_move(policy, cfg, cells, |_i, cells_i| *cells_i as usize, kernel)
+        .expect("seed from current cell is infallible")
+}
+
+/// Direct-hop move: like [`move_loop`] but each particle's search
+/// starts from `seed(i)` — typically the structured overlay's
+/// `locate(new_position)` (Figure 7(b)) — instead of walking from its
+/// old cell.
+pub fn move_loop_direct_hop<K, S>(
+    policy: &ExecPolicy,
+    cfg: MoveConfig,
+    cells: &mut [i32],
+    seed: S,
+    kernel: K,
+) -> MoveResult
+where
+    K: Fn(usize, usize) -> MoveStatus + Sync,
+    S: Fn(usize) -> usize + Sync,
+{
+    run_move(policy, cfg, cells, |i, _| seed(i), kernel)
+        .expect("seeded move is infallible")
+}
+
+fn run_move<K, S>(
+    policy: &ExecPolicy,
+    cfg: MoveConfig,
+    cells: &mut [i32],
+    seed: S,
+    kernel: K,
+) -> Result<MoveResult, String>
+where
+    K: Fn(usize, usize) -> MoveStatus + Sync,
+    S: Fn(usize, &i32) -> usize + Sync,
+{
+    let total_visits = AtomicU64::new(0);
+    let max_chain = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    use std::sync::atomic::AtomicU32;
+    let chain_log: Vec<AtomicU32> = if cfg.record_chains {
+        (0..cells.len()).map(|_| AtomicU32::new(0)).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Per-particle hop chain; returns Some(final_cell) or None (remove).
+    let chase = |i: usize, start: usize| -> Option<usize> {
+        let mut cell = start;
+        let mut chain = 0u32;
+        let finish = |chain: u32| {
+            total_visits.fetch_add(chain as u64, Ordering::Relaxed);
+            max_chain.fetch_max(chain as u64, Ordering::Relaxed);
+            if let Some(slot) = chain_log.get(i) {
+                slot.store(chain, Ordering::Relaxed);
+            }
+        };
+        loop {
+            chain += 1;
+            let status = kernel(i, cell);
+            match status {
+                MoveStatus::Done => {
+                    finish(chain);
+                    return Some(cell);
+                }
+                MoveStatus::NeedRemove => {
+                    finish(chain);
+                    return None;
+                }
+                MoveStatus::NeedMove(next) => {
+                    if chain >= cfg.max_hops {
+                        aborted.fetch_add(1, Ordering::Relaxed);
+                        finish(chain);
+                        return None;
+                    }
+                    cell = next;
+                }
+            }
+        }
+    };
+
+    let removed: Vec<usize> = match policy {
+        ExecPolicy::Seq => {
+            let mut removed = Vec::new();
+            for (i, c) in cells.iter_mut().enumerate() {
+                let start = seed(i, c);
+                match chase(i, start) {
+                    Some(final_cell) => *c = final_cell as i32,
+                    None => removed.push(i),
+                }
+            }
+            removed
+        }
+        _ => policy.run(|| {
+            let mut removed: Vec<usize> = cells
+                .par_iter_mut()
+                .enumerate()
+                .fold(Vec::new, |mut acc, (i, c)| {
+                    let start = seed(i, c);
+                    match chase(i, start) {
+                        Some(final_cell) => *c = final_cell as i32,
+                        None => acc.push(i),
+                    }
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+            removed.par_sort_unstable();
+            removed
+        }),
+    };
+
+    Ok(MoveResult {
+        removed,
+        total_visits: total_visits.into_inner(),
+        max_chain: max_chain.into_inner() as u32,
+        aborted: aborted.into_inner(),
+        chains: chain_log.into_iter().map(AtomicU32::into_inner).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-D "mesh" of `n` cells in a row; kernel walks a particle
+    /// towards its target cell one hop at a time.
+    fn walk_kernel(targets: &[usize]) -> impl Fn(usize, usize) -> MoveStatus + Sync + '_ {
+        move |i, cell| {
+            let t = targets[i];
+            if cell == t {
+                MoveStatus::Done
+            } else if cell < t {
+                MoveStatus::NeedMove(cell + 1)
+            } else {
+                MoveStatus::NeedMove(cell - 1)
+            }
+        }
+    }
+
+    #[test]
+    fn multihop_reaches_targets() {
+        for pol in [ExecPolicy::Seq, ExecPolicy::Par] {
+            let targets = vec![5usize, 0, 3, 9, 2];
+            let mut cells = vec![0i32, 0, 3, 1, 7];
+            let r = move_loop(&pol, MoveConfig::default(), &mut cells, walk_kernel(&targets));
+            assert!(r.removed.is_empty());
+            assert_eq!(cells, vec![5, 0, 3, 9, 2]);
+            // visits: |0-5|+1 + 1 + 1 + |1-9|+1 + |7-2|+1 = 6+1+1+9+6 = 23
+            assert_eq!(r.total_visits, 23);
+            assert_eq!(r.max_chain, 9);
+            assert_eq!(r.aborted, 0);
+            assert!((r.mean_visits(5) - 4.6).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn removal_collects_sorted_indices() {
+        for pol in [ExecPolicy::Seq, ExecPolicy::Par] {
+            let mut cells: Vec<i32> = (0..100).collect();
+            // Remove every particle whose index is divisible by 7.
+            let r = move_loop(&pol, MoveConfig::default(), &mut cells, |i, _| {
+                if i % 7 == 0 {
+                    MoveStatus::NeedRemove
+                } else {
+                    MoveStatus::Done
+                }
+            });
+            let expect: Vec<usize> = (0..100).filter(|i| i % 7 == 0).collect();
+            assert_eq!(r.removed, expect);
+        }
+    }
+
+    #[test]
+    fn direct_hop_uses_seed_and_visits_less() {
+        let targets: Vec<usize> = (0..64).map(|i| (i * 13) % 50).collect();
+        let mut cells_mh = vec![0i32; 64];
+        let r_mh = move_loop(
+            &ExecPolicy::Seq,
+            MoveConfig::default(),
+            &mut cells_mh,
+            walk_kernel(&targets),
+        );
+
+        let mut cells_dh = vec![0i32; 64];
+        // Perfect overlay: seed == target (a fine DH approximation).
+        let r_dh = move_loop_direct_hop(
+            &ExecPolicy::Seq,
+            MoveConfig::default(),
+            &mut cells_dh,
+            |i| targets[i],
+            walk_kernel(&targets),
+        );
+        assert_eq!(cells_mh, cells_dh);
+        assert_eq!(r_dh.total_visits, 64, "perfect seed = one visit each");
+        assert!(r_dh.total_visits < r_mh.total_visits);
+    }
+
+    #[test]
+    fn imperfect_seed_falls_back_to_multihop() {
+        let targets = vec![10usize; 8];
+        let mut cells = vec![0i32; 8];
+        // Seed lands 2 cells short, engine walks the rest.
+        let r = move_loop_direct_hop(
+            &ExecPolicy::Par,
+            MoveConfig::default(),
+            &mut cells,
+            |_| 8usize,
+            walk_kernel(&targets),
+        );
+        assert!(r.removed.is_empty());
+        assert!(cells.iter().all(|&c| c == 10));
+        assert_eq!(r.max_chain, 3); // 8 -> 9 -> 10(done)
+    }
+
+    #[test]
+    fn cycling_kernel_is_aborted_not_hung() {
+        let mut cells = vec![0i32, 0];
+        let r = move_loop(
+            &ExecPolicy::Seq,
+            MoveConfig { max_hops: 50, ..Default::default() },
+            &mut cells,
+            |_i, cell| MoveStatus::NeedMove(1 - cell), // ping-pong forever
+        );
+        assert_eq!(r.aborted, 2);
+        assert_eq!(r.removed, vec![0, 1]);
+        assert_eq!(r.max_chain, 50);
+    }
+
+    #[test]
+    fn empty_particle_set() {
+        let mut cells: Vec<i32> = vec![];
+        let r = move_loop(&ExecPolicy::Par, MoveConfig::default(), &mut cells, |_, _| {
+            MoveStatus::Done
+        });
+        assert!(r.removed.is_empty());
+        assert_eq!(r.total_visits, 0);
+        assert_eq!(r.mean_visits(0), 0.0);
+    }
+
+    #[test]
+    fn chain_recording() {
+        let targets = vec![3usize, 0, 5];
+        let mut cells = vec![0i32, 0, 0];
+        let cfg = MoveConfig { record_chains: true, ..Default::default() };
+        for pol in [ExecPolicy::Seq, ExecPolicy::Par] {
+            let mut c = cells.clone();
+            let r = move_loop(&pol, cfg, &mut c, walk_kernel(&targets));
+            assert_eq!(r.chains, vec![4, 1, 6], "{pol:?}");
+        }
+        // Off by default.
+        let r = move_loop(&ExecPolicy::Seq, MoveConfig::default(), &mut cells, walk_kernel(&targets));
+        assert!(r.chains.is_empty());
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let targets: Vec<usize> = (0..500).map(|i| (i * 31 + 7) % 200).collect();
+        let mut cells_a: Vec<i32> = (0..500).map(|i| (i % 200) as i32).collect();
+        let mut cells_b = cells_a.clone();
+        let ra = move_loop(&ExecPolicy::Seq, MoveConfig::default(), &mut cells_a, walk_kernel(&targets));
+        let rb = move_loop(&ExecPolicy::Par, MoveConfig::default(), &mut cells_b, walk_kernel(&targets));
+        assert_eq!(cells_a, cells_b);
+        assert_eq!(ra.total_visits, rb.total_visits);
+        assert_eq!(ra.removed, rb.removed);
+        assert_eq!(ra.max_chain, rb.max_chain);
+    }
+}

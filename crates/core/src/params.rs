@@ -1,0 +1,149 @@
+//! Run-time parameter files — the paper artifact drives each app with
+//! `<app_binary> <config_file>`; this module parses that config format:
+//! `key = value` lines, `#` comments, whitespace-insensitive.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Parsed parameter set with typed, defaulted getters.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    values: HashMap<String, String>,
+}
+
+impl Params {
+    /// Parse from text. Later duplicates override earlier ones.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((k, v)) = line.split_once('=') else {
+                return Err(format!("line {}: expected 'key = value', got {raw:?}", lineno + 1));
+            };
+            let key = k.trim();
+            if key.is_empty() {
+                return Err(format!("line {}: empty key", lineno + 1));
+            }
+            values.insert(key.to_string(), v.trim().to_string());
+        }
+        Ok(Params { values })
+    }
+
+    /// Load from a file path.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, String> {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.as_ref().display()))?;
+        Self::parse(&text)
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    /// Raw string value.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("{key} = {v:?}: {e}")),
+        }
+    }
+
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("{key} = {v:?}: {e}")),
+        }
+    }
+
+    pub fn get_bool(&self, key: &str, default: bool) -> Result<bool, String> {
+        match self.values.get(key).map(String::as_str) {
+            None => Ok(default),
+            Some("true") | Some("1") | Some("yes") => Ok(true),
+            Some("false") | Some("0") | Some("no") => Ok(false),
+            Some(v) => Err(format!("{key} = {v:?}: expected a boolean")),
+        }
+    }
+
+    /// Keys that were set (for echo/validation).
+    pub fn keys(&self) -> Vec<&str> {
+        let mut k: Vec<&str> = self.values.keys().map(String::as_str).collect();
+        k.sort_unstable();
+        k
+    }
+
+    /// Reject unknown keys — catches config typos early, like the
+    /// artifact's apps do.
+    pub fn check_known(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.values.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown parameter '{k}' (known: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let p = Params::parse("nx = 10\n# comment\n dt=0.5  # trailing\n\nname = duct run\n").unwrap();
+        assert_eq!(p.get_usize("nx", 0).unwrap(), 10);
+        assert_eq!(p.get_f64("dt", 0.0).unwrap(), 0.5);
+        assert_eq!(p.get_str("name", ""), "duct run");
+        assert!(p.contains("nx"));
+        assert!(!p.contains("ny"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = Params::parse("").unwrap();
+        assert_eq!(p.get_usize("nx", 7).unwrap(), 7);
+        assert_eq!(p.get_f64("dt", 1.5).unwrap(), 1.5);
+        assert!(p.get_bool("flag", true).unwrap());
+    }
+
+    #[test]
+    fn bool_forms() {
+        let p = Params::parse("a = true\nb = 0\nc = yes\n").unwrap();
+        assert!(p.get_bool("a", false).unwrap());
+        assert!(!p.get_bool("b", true).unwrap());
+        assert!(p.get_bool("c", false).unwrap());
+        let bad = Params::parse("d = maybe").unwrap();
+        assert!(bad.get_bool("d", false).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Params::parse("just a line").is_err());
+        assert!(Params::parse("= 3").is_err());
+        let p = Params::parse("nx = ten").unwrap();
+        assert!(p.get_usize("nx", 0).is_err());
+    }
+
+    #[test]
+    fn later_keys_override() {
+        let p = Params::parse("nx = 1\nnx = 2\n").unwrap();
+        assert_eq!(p.get_usize("nx", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn unknown_key_detection() {
+        let p = Params::parse("nx = 1\ntypo = 2\n").unwrap();
+        assert!(p.check_known(&["nx", "ny"]).is_err());
+        assert!(p.check_known(&["nx", "typo"]).is_ok());
+        assert_eq!(p.keys(), vec!["nx", "typo"]);
+    }
+}

@@ -1,0 +1,502 @@
+//! Direct parallel-loop executors — `opp_par_loop` over a set where
+//! every *written* argument is declared on the iteration set itself.
+//!
+//! These loops are the embarrassingly parallel case: element `i` owns
+//! slice `[i*dim, (i+1)*dim)` of each written dat, so the executors
+//! hand each iteration disjoint `&mut [f64]` windows via rayon's
+//! `par_chunks_mut` zips. Read-only data (direct or gathered through
+//! maps) is captured by the kernel closure — `&Dat` is `Sync`, so this
+//! is race-free by construction, with no `unsafe` anywhere.
+//!
+//! This is precisely what the paper's generated OpenMP backend does
+//! with `#pragma omp parallel for` over the set, and what the
+//! sequential backend does with a plain loop.
+
+use crate::dat::Dat;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Execution policy: the "backend" selector.
+///
+/// * [`ExecPolicy::Seq`] — the paper's `seq` backend (a plain loop).
+/// * [`ExecPolicy::Par`] — the OpenMP-analogue backend on the global
+///   rayon pool.
+/// * [`ExecPolicy::pool`] — same, on a dedicated pool with a fixed
+///   thread count (used by the scaling benches).
+#[derive(Clone, Default)]
+pub enum ExecPolicy {
+    Seq,
+    #[default]
+    Par,
+    Pool(Arc<rayon::ThreadPool>),
+}
+
+impl std::fmt::Debug for ExecPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecPolicy::Seq => write!(f, "ExecPolicy::Seq"),
+            ExecPolicy::Par => write!(f, "ExecPolicy::Par"),
+            ExecPolicy::Pool(p) => write!(f, "ExecPolicy::Pool({} threads)", p.current_num_threads()),
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// A dedicated pool with exactly `n` threads.
+    pub fn pool(n: usize) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("failed to build rayon pool");
+        ExecPolicy::Pool(Arc::new(pool))
+    }
+
+    /// Is any thread-level parallelism in play?
+    pub fn is_parallel(&self) -> bool {
+        !matches!(self, ExecPolicy::Seq)
+    }
+
+    /// Number of worker threads this policy runs on.
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecPolicy::Seq => 1,
+            ExecPolicy::Par => rayon::current_num_threads(),
+            ExecPolicy::Pool(p) => p.current_num_threads(),
+        }
+    }
+
+    /// Run `f` in this policy's execution context (inside the dedicated
+    /// pool if there is one), so that nested rayon calls use the right
+    /// worker set.
+    #[inline]
+    pub fn run<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        match self {
+            ExecPolicy::Pool(p) => p.install(f),
+            _ => f(),
+        }
+    }
+}
+
+/// Loop over `n` elements writing one dat.
+///
+/// `kernel(i, w0)` receives the element index and the element's
+/// mutable window of `w0`.
+pub fn par_loop_direct1<F>(policy: &ExecPolicy, w0: &mut Dat, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let d0 = w0.dim();
+    match policy {
+        ExecPolicy::Seq => {
+            for (i, c0) in w0.raw_mut().chunks_mut(d0).enumerate() {
+                f(i, c0);
+            }
+        }
+        _ => policy.run(|| {
+            w0.raw_mut()
+                .par_chunks_mut(d0)
+                .enumerate()
+                .for_each(|(i, c0)| f(i, c0));
+        }),
+    }
+}
+
+/// Loop over `n` elements writing two dats (they must be declared on
+/// the same set — checked by length).
+pub fn par_loop_direct2<F>(policy: &ExecPolicy, w0: &mut Dat, w1: &mut Dat, f: F)
+where
+    F: Fn(usize, &mut [f64], &mut [f64]) + Sync,
+{
+    assert_eq!(w0.len(), w1.len(), "direct loop dats must share the iteration set");
+    let (d0, d1) = (w0.dim(), w1.dim());
+    match policy {
+        ExecPolicy::Seq => {
+            for (i, (c0, c1)) in w0
+                .raw_mut()
+                .chunks_mut(d0)
+                .zip(w1.raw_mut().chunks_mut(d1))
+                .enumerate()
+            {
+                f(i, c0, c1);
+            }
+        }
+        _ => policy.run(|| {
+            w0.raw_mut()
+                .par_chunks_mut(d0)
+                .zip(w1.raw_mut().par_chunks_mut(d1))
+                .enumerate()
+                .for_each(|(i, (c0, c1))| f(i, c0, c1));
+        }),
+    }
+}
+
+/// Loop over `n` elements writing three dats.
+pub fn par_loop_direct3<F>(policy: &ExecPolicy, w0: &mut Dat, w1: &mut Dat, w2: &mut Dat, f: F)
+where
+    F: Fn(usize, &mut [f64], &mut [f64], &mut [f64]) + Sync,
+{
+    assert_eq!(w0.len(), w1.len(), "direct loop dats must share the iteration set");
+    assert_eq!(w0.len(), w2.len(), "direct loop dats must share the iteration set");
+    let (d0, d1, d2) = (w0.dim(), w1.dim(), w2.dim());
+    match policy {
+        ExecPolicy::Seq => {
+            for (i, ((c0, c1), c2)) in w0
+                .raw_mut()
+                .chunks_mut(d0)
+                .zip(w1.raw_mut().chunks_mut(d1))
+                .zip(w2.raw_mut().chunks_mut(d2))
+                .enumerate()
+            {
+                f(i, c0, c1, c2);
+            }
+        }
+        _ => policy.run(|| {
+            w0.raw_mut()
+                .par_chunks_mut(d0)
+                .zip(w1.raw_mut().par_chunks_mut(d1))
+                .zip(w2.raw_mut().par_chunks_mut(d2))
+                .enumerate()
+                .for_each(|(i, ((c0, c1), c2))| f(i, c0, c1, c2));
+        }),
+    }
+}
+
+/// Loop over `n` elements writing four dats.
+pub fn par_loop_direct4<F>(
+    policy: &ExecPolicy,
+    w0: &mut Dat,
+    w1: &mut Dat,
+    w2: &mut Dat,
+    w3: &mut Dat,
+    f: F,
+) where
+    F: Fn(usize, &mut [f64], &mut [f64], &mut [f64], &mut [f64]) + Sync,
+{
+    assert_eq!(w0.len(), w1.len(), "direct loop dats must share the iteration set");
+    assert_eq!(w0.len(), w2.len(), "direct loop dats must share the iteration set");
+    assert_eq!(w0.len(), w3.len(), "direct loop dats must share the iteration set");
+    let (d0, d1, d2, d3) = (w0.dim(), w1.dim(), w2.dim(), w3.dim());
+    match policy {
+        ExecPolicy::Seq => {
+            for (i, (((c0, c1), c2), c3)) in w0
+                .raw_mut()
+                .chunks_mut(d0)
+                .zip(w1.raw_mut().chunks_mut(d1))
+                .zip(w2.raw_mut().chunks_mut(d2))
+                .zip(w3.raw_mut().chunks_mut(d3))
+                .enumerate()
+            {
+                f(i, c0, c1, c2, c3);
+            }
+        }
+        _ => policy.run(|| {
+            w0.raw_mut()
+                .par_chunks_mut(d0)
+                .zip(w1.raw_mut().par_chunks_mut(d1))
+                .zip(w2.raw_mut().par_chunks_mut(d2))
+                .zip(w3.raw_mut().par_chunks_mut(d3))
+                .enumerate()
+                .for_each(|(i, (((c0, c1), c2), c3))| f(i, c0, c1, c2, c3));
+        }),
+    }
+}
+
+/// Slice-based variant of [`par_loop_direct1`]: iterate a flat
+/// `len*dim` buffer (particle columns are stored this way inside
+/// [`crate::particles::ParticleDats`]).
+pub fn par_loop_slices1<F>(policy: &ExecPolicy, dim0: usize, s0: &mut [f64], f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    match policy {
+        ExecPolicy::Seq => {
+            for (i, c0) in s0.chunks_mut(dim0).enumerate() {
+                f(i, c0);
+            }
+        }
+        _ => policy.run(|| {
+            s0.par_chunks_mut(dim0).enumerate().for_each(|(i, c0)| f(i, c0));
+        }),
+    }
+}
+
+/// Slice-based two-column loop (e.g. the push kernel writing position
+/// and velocity columns of the particle store).
+pub fn par_loop_slices2<F>(
+    policy: &ExecPolicy,
+    (dim0, s0): (usize, &mut [f64]),
+    (dim1, s1): (usize, &mut [f64]),
+    f: F,
+) where
+    F: Fn(usize, &mut [f64], &mut [f64]) + Sync,
+{
+    assert_eq!(s0.len() / dim0, s1.len() / dim1, "slice loops must share the iteration set");
+    match policy {
+        ExecPolicy::Seq => {
+            for (i, (c0, c1)) in s0.chunks_mut(dim0).zip(s1.chunks_mut(dim1)).enumerate() {
+                f(i, c0, c1);
+            }
+        }
+        _ => policy.run(|| {
+            s0.par_chunks_mut(dim0)
+                .zip(s1.par_chunks_mut(dim1))
+                .enumerate()
+                .for_each(|(i, (c0, c1))| f(i, c0, c1));
+        }),
+    }
+}
+
+/// Slice-based three-column loop.
+pub fn par_loop_slices3<F>(
+    policy: &ExecPolicy,
+    (dim0, s0): (usize, &mut [f64]),
+    (dim1, s1): (usize, &mut [f64]),
+    (dim2, s2): (usize, &mut [f64]),
+    f: F,
+) where
+    F: Fn(usize, &mut [f64], &mut [f64], &mut [f64]) + Sync,
+{
+    assert_eq!(s0.len() / dim0, s1.len() / dim1, "slice loops must share the iteration set");
+    assert_eq!(s0.len() / dim0, s2.len() / dim2, "slice loops must share the iteration set");
+    match policy {
+        ExecPolicy::Seq => {
+            for (i, ((c0, c1), c2)) in s0
+                .chunks_mut(dim0)
+                .zip(s1.chunks_mut(dim1))
+                .zip(s2.chunks_mut(dim2))
+                .enumerate()
+            {
+                f(i, c0, c1, c2);
+            }
+        }
+        _ => policy.run(|| {
+            s0.par_chunks_mut(dim0)
+                .zip(s1.par_chunks_mut(dim1))
+                .zip(s2.par_chunks_mut(dim2))
+                .enumerate()
+                .for_each(|(i, ((c0, c1), c2))| f(i, c0, c1, c2));
+        }),
+    }
+}
+
+/// Slice-based two-column loop that additionally hands each iteration
+/// its mutable cell-map entry — the shape of a fused move+deposit
+/// kernel (updates pos, vel and p2c together).
+pub fn par_loop_slices2_cells<F>(
+    policy: &ExecPolicy,
+    (dim0, s0): (usize, &mut [f64]),
+    (dim1, s1): (usize, &mut [f64]),
+    cells: &mut [i32],
+    f: F,
+) where
+    F: Fn(usize, &mut [f64], &mut [f64], &mut i32) + Sync,
+{
+    assert_eq!(s0.len() / dim0, s1.len() / dim1, "slice loops must share the iteration set");
+    assert_eq!(s0.len() / dim0, cells.len(), "slice loops must share the iteration set");
+    match policy {
+        ExecPolicy::Seq => {
+            for (i, ((c0, c1), cl)) in s0
+                .chunks_mut(dim0)
+                .zip(s1.chunks_mut(dim1))
+                .zip(cells.iter_mut())
+                .enumerate()
+            {
+                f(i, c0, c1, cl);
+            }
+        }
+        _ => policy.run(|| {
+            s0.par_chunks_mut(dim0)
+                .zip(s1.par_chunks_mut(dim1))
+                .zip(cells.par_iter_mut())
+                .enumerate()
+                .for_each(|(i, ((c0, c1), cl))| f(i, c0, c1, cl));
+        }),
+    }
+}
+
+/// Gather loop: writes one dat on the iteration set, reading anything
+/// else through the kernel closure (e.g. indirect reads via maps —
+/// `compute_electric_field` in Figure 5 gathers node potentials through
+/// the cells→nodes map). Semantically identical to [`par_loop_direct1`];
+/// the separate name keeps call sites self-describing.
+pub fn par_loop_gather<F>(policy: &ExecPolicy, w0: &mut Dat, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    par_loop_direct1(policy, w0, f);
+}
+
+/// Parallel reduction over a read-only dat: sum of `g(i, element)`.
+/// Used for diagnostics (field energy, total charge) which the paper's
+/// apps compute every step.
+pub fn par_reduce_sum<G>(policy: &ExecPolicy, d: &Dat, g: G) -> f64
+where
+    G: Fn(usize, &[f64]) -> f64 + Sync,
+{
+    let dim = d.dim();
+    match policy {
+        ExecPolicy::Seq => d
+            .raw()
+            .chunks(dim)
+            .enumerate()
+            .map(|(i, c)| g(i, c))
+            .sum(),
+        _ => policy.run(|| {
+            d.raw()
+                .par_chunks(dim)
+                .enumerate()
+                .map(|(i, c)| g(i, c))
+                .sum()
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policies() -> Vec<ExecPolicy> {
+        vec![ExecPolicy::Seq, ExecPolicy::Par, ExecPolicy::pool(3)]
+    }
+
+    #[test]
+    fn direct1_all_policies_agree() {
+        for pol in policies() {
+            let mut d = Dat::zeros("x", 100, 2);
+            par_loop_direct1(&pol, &mut d, |i, x| {
+                x[0] = i as f64;
+                x[1] = 2.0 * i as f64;
+            });
+            for i in 0..100 {
+                assert_eq!(d.el(i), &[i as f64, 2.0 * i as f64], "{pol:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct2_zips_consistently() {
+        for pol in policies() {
+            let mut a = Dat::from_fn("a", 64, 1, |i, _| i as f64);
+            let mut b = Dat::zeros("b", 64, 3);
+            par_loop_direct2(&pol, &mut a, &mut b, |i, av, bv| {
+                av[0] *= 2.0;
+                bv[2] = i as f64 + av[0];
+            });
+            for i in 0..64 {
+                assert_eq!(a.get(i), 2.0 * i as f64);
+                assert_eq!(b.el(i)[2], 3.0 * i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn direct3_and_4() {
+        for pol in policies() {
+            let mut a = Dat::zeros("a", 10, 1);
+            let mut b = Dat::zeros("b", 10, 1);
+            let mut c = Dat::zeros("c", 10, 1);
+            let mut d = Dat::zeros("d", 10, 1);
+            par_loop_direct3(&pol, &mut a, &mut b, &mut c, |i, x, y, z| {
+                x[0] = i as f64;
+                y[0] = i as f64 * 2.0;
+                z[0] = x[0] + y[0];
+            });
+            assert_eq!(c.get(9), 27.0);
+            par_loop_direct4(&pol, &mut a, &mut b, &mut c, &mut d, |_i, x, y, z, w| {
+                w[0] = x[0] + y[0] + z[0];
+            });
+            assert_eq!(d.get(9), 9.0 + 18.0 + 27.0);
+        }
+    }
+
+    #[test]
+    fn gather_reads_through_map() {
+        // cells gather from nodes via c2n, as in Figure 5.
+        let node_potential = Dat::from_fn("np", 6, 1, |i, _| i as f64);
+        let c2n: Vec<[usize; 2]> = vec![[0, 1], [2, 3], [4, 5]];
+        for pol in policies() {
+            let mut ef = Dat::zeros("ef", 3, 1);
+            par_loop_gather(&pol, &mut ef, |c, e| {
+                let nd = c2n[c];
+                e[0] = node_potential.get(nd[0]) + node_potential.get(nd[1]);
+            });
+            assert_eq!(ef.get(0), 1.0);
+            assert_eq!(ef.get(2), 9.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share the iteration set")]
+    fn mismatched_sets_rejected() {
+        let mut a = Dat::zeros("a", 10, 1);
+        let mut b = Dat::zeros("b", 11, 1);
+        par_loop_direct2(&ExecPolicy::Seq, &mut a, &mut b, |_, _, _| {});
+    }
+
+    #[test]
+    fn reduce_sum_matches_serial() {
+        let d = Dat::from_fn("x", 1000, 2, |i, c| (i + c) as f64);
+        let serial = par_reduce_sum(&ExecPolicy::Seq, &d, |_, c| c[0] * c[1]);
+        for pol in policies() {
+            let got = par_reduce_sum(&pol, &d, |_, c| c[0] * c[1]);
+            assert!((got - serial).abs() < 1e-6 * serial.abs().max(1.0), "{pol:?}");
+        }
+    }
+
+    #[test]
+    fn policy_introspection() {
+        assert_eq!(ExecPolicy::Seq.threads(), 1);
+        assert!(!ExecPolicy::Seq.is_parallel());
+        let p = ExecPolicy::pool(2);
+        assert_eq!(p.threads(), 2);
+        assert!(p.is_parallel());
+        assert!(format!("{p:?}").contains("2 threads"));
+    }
+
+    #[test]
+    fn pool_policy_runs_inside_its_pool() {
+        let p = ExecPolicy::pool(2);
+        let threads_seen = p.run(rayon::current_num_threads);
+        assert_eq!(threads_seen, 2);
+    }
+
+    #[test]
+    fn slice_loops_match_dat_loops() {
+        for pol in policies() {
+            let mut a = vec![0.0; 30]; // 10 elements, dim 3
+            let mut b = vec![0.0; 10];
+            par_loop_slices2(&pol, (3, &mut a), (1, &mut b), |i, av, bv| {
+                av[1] = i as f64;
+                bv[0] = 2.0 * i as f64;
+            });
+            assert_eq!(a[3 * 4 + 1], 4.0);
+            assert_eq!(b[7], 14.0);
+
+            let mut c = vec![1.0; 10];
+            par_loop_slices1(&pol, 1, &mut c, |i, cv| cv[0] += i as f64);
+            assert_eq!(c[9], 10.0);
+
+            let mut d = vec![0.0; 20];
+            par_loop_slices3(&pol, (3, &mut a), (1, &mut b), (2, &mut d), |_i, av, bv, dv| {
+                dv[0] = av[1] + bv[0];
+            });
+            assert_eq!(d[2 * 5], 5.0 + 10.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share the iteration set")]
+    fn slice_loop_shape_mismatch_rejected() {
+        let mut a = vec![0.0; 9];
+        let mut b = vec![0.0; 4];
+        par_loop_slices2(&ExecPolicy::Seq, (3, &mut a), (1, &mut b), |_, _, _| {});
+    }
+
+    #[test]
+    fn empty_set_is_a_noop() {
+        for pol in policies() {
+            let mut d = Dat::zeros("x", 0, 3);
+            par_loop_direct1(&pol, &mut d, |_, _| panic!("kernel must not run"));
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! The particle store — `opp_decl_particle_set` plus the dynamic
+//! particle→cell map and the bookkeeping the paper's backend owns:
+//! injection (`OPP_ITERATE_INJECTED`), removal with **hole filling**
+//! (Section 3.2.2: "a hole filling routine runs asynchronously during
+//! communication, shifting data from the end of the `opp_dat`s to fill
+//! the holes"), sorting by cell, and periodic shuffling.
+//!
+//! Particle data is stored as a structure of arrays: one flat `f64`
+//! column per declared dat (`pos`, `vel`, `charge`, …) plus the `i32`
+//! cell index column (the `p2cell` map of Figure 4, line 15). All
+//! columns move together under relocation, which is why the store owns
+//! them rather than the application.
+
+
+/// Handle to a particle column, returned by
+/// [`ParticleDats::decl_dat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColId(usize);
+
+/// A set of particles with named f64 columns and a cell-index column.
+///
+/// ```
+/// use oppic_core::ParticleDats;
+/// let mut ps = ParticleDats::new();
+/// let pos = ps.decl_dat("pos", 3);
+/// ps.inject(10, 0);                 // 10 particles in cell 0
+/// ps.el_mut(pos, 3)[0] = 2.5;
+/// ps.remove_fill(&[0, 1]);          // hole-filled removal
+/// assert_eq!(ps.len(), 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParticleDats {
+    n: usize,
+    names: Vec<String>,
+    dims: Vec<usize>,
+    cols: Vec<Vec<f64>>,
+    /// The dynamic particle→cell map (`p2cell_i`). Always in
+    /// `0..n_cells` for live particles.
+    cell: Vec<i32>,
+    /// Start of the most recent injection batch (for
+    /// `OPP_ITERATE_INJECTED` loops).
+    injected_from: usize,
+}
+
+impl ParticleDats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a new particle dat of dimension `dim`. Existing
+    /// particles get zero-filled values.
+    pub fn decl_dat(&mut self, name: impl Into<String>, dim: usize) -> ColId {
+        assert!(dim > 0, "particle dat dimension must be positive");
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "particle dat '{name}' declared twice"
+        );
+        self.names.push(name);
+        self.dims.push(dim);
+        self.cols.push(vec![0.0; self.n * dim]);
+        ColId(self.cols.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Handles to every declared column, in declaration order.
+    pub fn columns(&self) -> Vec<ColId> {
+        (0..self.cols.len()).map(ColId).collect()
+    }
+
+    pub fn dim(&self, id: ColId) -> usize {
+        self.dims[id.0]
+    }
+
+    pub fn name(&self, id: ColId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Column by name (test/diagnostic convenience).
+    pub fn col_id(&self, name: &str) -> Option<ColId> {
+        self.names.iter().position(|n| n == name).map(ColId)
+    }
+
+    /// Immutable flat view of a column.
+    #[inline]
+    pub fn col(&self, id: ColId) -> &[f64] {
+        &self.cols[id.0]
+    }
+
+    /// Mutable flat view of a column.
+    #[inline]
+    pub fn col_mut(&mut self, id: ColId) -> &mut [f64] {
+        &mut self.cols[id.0]
+    }
+
+    /// Two distinct columns mutably at once (push loops write pos+vel).
+    pub fn cols_mut2(&mut self, a: ColId, b: ColId) -> (&mut [f64], &mut [f64]) {
+        let [ca, cb] = self
+            .cols
+            .get_disjoint_mut([a.0, b.0])
+            .expect("cols_mut2 requires distinct in-range columns");
+        (ca, cb)
+    }
+
+    /// Three distinct columns mutably at once.
+    pub fn cols_mut3(
+        &mut self,
+        a: ColId,
+        b: ColId,
+        c: ColId,
+    ) -> (&mut [f64], &mut [f64], &mut [f64]) {
+        let [ca, cb, cc] = self
+            .cols
+            .get_disjoint_mut([a.0, b.0, c.0])
+            .expect("cols_mut3 requires distinct in-range columns");
+        (ca, cb, cc)
+    }
+
+    /// Element `i` of column `id`.
+    #[inline]
+    pub fn el(&self, id: ColId, i: usize) -> &[f64] {
+        let d = self.dims[id.0];
+        &self.cols[id.0][i * d..(i + 1) * d]
+    }
+
+    #[inline]
+    pub fn el_mut(&mut self, id: ColId, i: usize) -> &mut [f64] {
+        let d = self.dims[id.0];
+        &mut self.cols[id.0][i * d..(i + 1) * d]
+    }
+
+    /// The particle→cell map.
+    #[inline]
+    pub fn cells(&self) -> &[i32] {
+        &self.cell
+    }
+
+    #[inline]
+    pub fn cells_mut(&mut self) -> &mut [i32] {
+        &mut self.cell
+    }
+
+    /// Mutable cell map together with an immutable column — the move
+    /// kernel's typical working set (reads positions, updates cells).
+    pub fn cells_mut_with_col(&mut self, id: ColId) -> (&mut [i32], &[f64]) {
+        (&mut self.cell, &self.cols[id.0])
+    }
+
+    /// Two distinct mutable columns plus the (read-only) cell map — the
+    /// push kernel's working set (writes pos+vel, gathers the field
+    /// through the particle→cell map).
+    pub fn cols_mut2_with_cells(
+        &mut self,
+        a: ColId,
+        b: ColId,
+    ) -> (&mut [f64], &mut [f64], &[i32]) {
+        let [ca, cb] = self
+            .cols
+            .get_disjoint_mut([a.0, b.0])
+            .expect("cols_mut2_with_cells requires distinct in-range columns");
+        (ca, cb, &self.cell)
+    }
+
+    /// Two distinct mutable columns plus the *mutable* cell map — the
+    /// fused move+deposit kernel's working set (updates pos, vel and
+    /// the particle→cell map in one pass, as CabanaPIC's
+    /// `Move_Deposit` does).
+    pub fn cols_mut2_with_cells_mut(
+        &mut self,
+        a: ColId,
+        b: ColId,
+    ) -> (&mut [f64], &mut [f64], &mut [i32]) {
+        let [ca, cb] = self
+            .cols
+            .get_disjoint_mut([a.0, b.0])
+            .expect("cols_mut2_with_cells_mut requires distinct in-range columns");
+        (ca, cb, &mut self.cell)
+    }
+
+    /// Inject `count` new particles, all starting in `cell` (callers
+    /// then initialise their dats over the returned range — the
+    /// `OPP_ITERATE_INJECTED` pattern).
+    pub fn inject(&mut self, count: usize, cell: i32) -> std::ops::Range<usize> {
+        let from = self.n;
+        self.n += count;
+        for (col, &dim) in self.cols.iter_mut().zip(&self.dims) {
+            col.resize(self.n * dim, 0.0);
+        }
+        self.cell.resize(self.n, cell);
+        self.injected_from = from;
+        from..self.n
+    }
+
+    /// Inject particles with per-particle cells.
+    pub fn inject_into(&mut self, cells: &[i32]) -> std::ops::Range<usize> {
+        let from = self.n;
+        self.n += cells.len();
+        for (col, &dim) in self.cols.iter_mut().zip(&self.dims) {
+            col.resize(self.n * dim, 0.0);
+        }
+        self.cell.extend_from_slice(cells);
+        self.injected_from = from;
+        from..self.n
+    }
+
+    /// The most recent injection batch (`OPP_ITERATE_INJECTED`).
+    pub fn injected(&self) -> std::ops::Range<usize> {
+        self.injected_from..self.n
+    }
+
+    /// Remove the particles at `holes` (sorted ascending, unique) by
+    /// filling each hole with a surviving particle taken from the end —
+    /// the paper's hole-filling routine. O(len(holes) · dofs).
+    pub fn remove_fill(&mut self, holes: &[usize]) {
+        if holes.is_empty() {
+            return;
+        }
+        debug_assert!(holes.windows(2).all(|w| w[0] < w[1]), "holes must be sorted unique");
+        debug_assert!(*holes.last().expect("nonempty") < self.n, "hole out of range");
+        let keep = self.n - holes.len();
+
+        // Tail holes (>= keep) vanish with the truncation; only holes in
+        // the surviving prefix must be filled, and only with tail
+        // elements that are not themselves holes.
+        let mut tail_holes = holes.iter().rev().copied().peekable();
+        let mut src = self.n;
+        for &h in holes {
+            if h >= keep {
+                break;
+            }
+            // Find the highest-index surviving tail particle.
+            src -= 1;
+            while tail_holes.peek() == Some(&src) {
+                tail_holes.next();
+                src -= 1;
+            }
+            debug_assert!(src >= keep);
+            for (col, &dim) in self.cols.iter_mut().zip(&self.dims) {
+                // Move element src -> h within one flat buffer.
+                let (dst_range, src_range) = (h * dim..(h + 1) * dim, src * dim..(src + 1) * dim);
+                let (lo, hi) = col.split_at_mut(src_range.start);
+                lo[dst_range].copy_from_slice(&hi[..dim]);
+            }
+            self.cell[h] = self.cell[src];
+        }
+
+        self.n = keep;
+        for (col, &dim) in self.cols.iter_mut().zip(&self.dims) {
+            col.truncate(keep * dim);
+        }
+        self.cell.truncate(keep);
+        self.injected_from = self.injected_from.min(keep);
+    }
+
+    /// Apply a permutation: element `i` of the result is element
+    /// `perm[i]` of the current state. `perm` must be a bijection.
+    pub fn apply_permutation(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.n, "permutation length mismatch");
+        for (col, &dim) in self.cols.iter_mut().zip(&self.dims) {
+            let mut next = vec![0.0; col.len()];
+            for (i, &p) in perm.iter().enumerate() {
+                next[i * dim..(i + 1) * dim].copy_from_slice(&col[p * dim..(p + 1) * dim]);
+            }
+            *col = next;
+        }
+        let mut next_cell = vec![0i32; self.n];
+        for (i, &p) in perm.iter().enumerate() {
+            next_cell[i] = self.cell[p];
+        }
+        self.cell = next_cell;
+    }
+
+    /// Sort particles by cell index (counting sort — the auxiliary
+    /// particle-sort API the paper mentions improves locality).
+    pub fn sort_by_cell(&mut self, n_cells: usize) {
+        let mut counts = vec![0usize; n_cells + 1];
+        for &c in &self.cell {
+            debug_assert!(c >= 0 && (c as usize) < n_cells, "cell index out of range");
+            counts[c as usize + 1] += 1;
+        }
+        for k in 0..n_cells {
+            counts[k + 1] += counts[k];
+        }
+        let mut perm = vec![0usize; self.n];
+        for i in 0..self.n {
+            let c = self.cell[i] as usize;
+            perm[counts[c]] = i;
+            counts[c] += 1;
+        }
+        self.apply_permutation(&perm);
+    }
+
+    /// Deterministic pseudo-random shuffle (the paper's "periodic
+    /// shuffling with hole-filling has proven most effective on GPUs").
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move |bound: usize| {
+            // SplitMix64 step + rejection-free bounded sample.
+            state ^= state >> 30;
+            state = state.wrapping_mul(0xBF58476D1CE4E5B9);
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x94D049BB133111EB);
+            state ^= state >> 31;
+            (state % bound as u64) as usize
+        };
+        let mut perm: Vec<usize> = (0..self.n).collect();
+        for i in (1..self.n).rev() {
+            perm.swap(i, next(i + 1));
+        }
+        self.apply_permutation(&perm);
+    }
+
+    /// Total bytes held by all columns (utilisation accounting).
+    pub fn bytes(&self) -> usize {
+        self.cols.iter().map(|c| c.len() * 8).sum::<usize>() + self.cell.len() * 4
+    }
+
+    /// Extract one particle's full payload (all columns, in declaration
+    /// order) — used by the MPI pack/ship path.
+    pub fn pack_one(&self, i: usize, out: &mut Vec<f64>) {
+        for (col, &dim) in self.cols.iter().zip(&self.dims) {
+            out.extend_from_slice(&col[i * dim..(i + 1) * dim]);
+        }
+    }
+
+    /// Append one particle from a packed payload (inverse of
+    /// [`ParticleDats::pack_one`]); returns its index.
+    pub fn unpack_one(&mut self, payload: &[f64], cell: i32) -> usize {
+        assert_eq!(payload.len(), self.dofs(), "payload size mismatch");
+        let mut off = 0;
+        for (col, &dim) in self.cols.iter_mut().zip(&self.dims) {
+            col.extend_from_slice(&payload[off..off + dim]);
+            off += dim;
+        }
+        self.cell.push(cell);
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Degrees of freedom per particle (sum of column dims) — 7 for
+    /// both of the paper's apps.
+    pub fn dofs(&self) -> usize {
+        self.dims.iter().sum()
+    }
+
+    /// Copy the dat *schema* (names/dims, no data) — ranks in the
+    /// distributed runtime clone this to agree on the wire layout.
+    pub fn clone_schema(&self) -> ParticleDats {
+        ParticleDats {
+            n: 0,
+            names: self.names.clone(),
+            dims: self.dims.clone(),
+            cols: self.dims.iter().map(|_| Vec::new()).collect(),
+            cell: Vec::new(),
+            injected_from: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn store_with(n: usize) -> (ParticleDats, ColId, ColId) {
+        let mut ps = ParticleDats::new();
+        let pos = ps.decl_dat("pos", 3);
+        let q = ps.decl_dat("charge", 1);
+        let r = ps.inject(n, 0);
+        assert_eq!(r, 0..n);
+        for i in 0..n {
+            let e = ps.el_mut(pos, i);
+            e[0] = i as f64;
+            e[1] = i as f64 + 0.5;
+            e[2] = -(i as f64);
+            ps.el_mut(q, i)[0] = 100.0 + i as f64;
+            ps.cells_mut()[i] = (i % 5) as i32;
+        }
+        (ps, pos, q)
+    }
+
+    #[test]
+    fn declaration_and_injection() {
+        let (ps, pos, q) = store_with(10);
+        assert_eq!(ps.len(), 10);
+        assert_eq!(ps.dofs(), 4);
+        assert_eq!(ps.dim(pos), 3);
+        assert_eq!(ps.name(q), "charge");
+        assert_eq!(ps.col_id("pos"), Some(pos));
+        assert_eq!(ps.col_id("nope"), None);
+        assert_eq!(ps.el(pos, 3), &[3.0, 3.5, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_dat_rejected() {
+        let mut ps = ParticleDats::new();
+        ps.decl_dat("pos", 3);
+        ps.decl_dat("pos", 1);
+    }
+
+    #[test]
+    fn late_dat_declaration_zero_fills() {
+        let (mut ps, _, _) = store_with(4);
+        let w = ps.decl_dat("weight", 2);
+        assert_eq!(ps.col(w).len(), 8);
+        assert!(ps.col(w).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn injected_range_tracks_latest_batch() {
+        let (mut ps, _, _) = store_with(5);
+        let r = ps.inject_into(&[7, 8, 9]);
+        assert_eq!(r, 5..8);
+        assert_eq!(ps.injected(), 5..8);
+        assert_eq!(ps.cells()[5..8], [7, 8, 9]);
+    }
+
+    #[test]
+    fn hole_filling_preserves_survivors() {
+        let (mut ps, pos, q) = store_with(10);
+        // Remove particles 1, 4, 8.
+        let holes = vec![1, 4, 8];
+        let expect_survivors: HashSet<i64> = (0..10)
+            .filter(|i| !holes.contains(i))
+            .map(|i| i as i64)
+            .collect();
+        ps.remove_fill(&holes);
+        assert_eq!(ps.len(), 7);
+        let got: HashSet<i64> = (0..7).map(|i| ps.el(pos, i)[0] as i64).collect();
+        assert_eq!(got, expect_survivors);
+        // Column coherence: charge must still match pos identity.
+        for i in 0..7 {
+            let id = ps.el(pos, i)[0];
+            assert_eq!(ps.el(q, i)[0], 100.0 + id);
+            assert_eq!(ps.el(pos, i)[1], id + 0.5);
+            assert_eq!(ps.cells()[i], (id as i32) % 5);
+        }
+    }
+
+    #[test]
+    fn hole_filling_edge_cases() {
+        // All particles removed.
+        let (mut ps, _, _) = store_with(4);
+        ps.remove_fill(&[0, 1, 2, 3]);
+        assert!(ps.is_empty());
+
+        // Remove only the last.
+        let (mut ps, pos, _) = store_with(4);
+        ps.remove_fill(&[3]);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.el(pos, 2)[0], 2.0);
+
+        // Remove only the first (tail moves in).
+        let (mut ps, pos, _) = store_with(4);
+        ps.remove_fill(&[0]);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.el(pos, 0)[0], 3.0);
+
+        // Contiguous tail block including interior hole.
+        let (mut ps, pos, _) = store_with(6);
+        ps.remove_fill(&[2, 4, 5]);
+        assert_eq!(ps.len(), 3);
+        let got: HashSet<i64> = (0..3).map(|i| ps.el(pos, i)[0] as i64).collect();
+        assert_eq!(got, HashSet::from([0, 1, 3]));
+
+        // Empty holes: no-op.
+        let (mut ps, _, _) = store_with(3);
+        ps.remove_fill(&[]);
+        assert_eq!(ps.len(), 3);
+    }
+
+    #[test]
+    fn sort_by_cell_groups_and_preserves() {
+        let (mut ps, pos, q) = store_with(23);
+        ps.sort_by_cell(5);
+        // Cells must be non-decreasing.
+        assert!(ps.cells().windows(2).all(|w| w[0] <= w[1]));
+        // Identity payloads intact.
+        for i in 0..23 {
+            let id = ps.el(pos, i)[0];
+            assert_eq!(ps.el(q, i)[0], 100.0 + id);
+            assert_eq!(ps.cells()[i], (id as i32) % 5);
+        }
+        // Counting sort is stable: within a cell, original order holds.
+        for w in 0..22 {
+            if ps.cells()[w] == ps.cells()[w + 1] {
+                assert!(ps.el(pos, w)[0] < ps.el(pos, w + 1)[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let (mut a, pos, _) = store_with(50);
+        let (mut b, _, _) = store_with(50);
+        a.shuffle(42);
+        b.shuffle(42);
+        assert_eq!(a.col(pos), b.col(pos), "same seed, same order");
+        let got: HashSet<i64> = (0..50).map(|i| a.el(pos, i)[0] as i64).collect();
+        assert_eq!(got.len(), 50);
+        let (mut c, _, _) = store_with(50);
+        c.shuffle(43);
+        assert_ne!(a.col(pos), c.col(pos), "different seed, different order");
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let (ps, _, _) = store_with(5);
+        let mut payload = Vec::new();
+        ps.pack_one(3, &mut payload);
+        assert_eq!(payload.len(), ps.dofs());
+
+        let mut other = ps.clone_schema();
+        assert_eq!(other.len(), 0);
+        assert_eq!(other.dofs(), ps.dofs());
+        let idx = other.unpack_one(&payload, 7);
+        assert_eq!(idx, 0);
+        assert_eq!(other.el(other.col_id("pos").unwrap(), 0), ps.el(ps.col_id("pos").unwrap(), 3));
+        assert_eq!(other.cells()[0], 7);
+    }
+
+    #[test]
+    fn disjoint_column_access() {
+        let (mut ps, pos, q) = store_with(3);
+        let (p, c) = ps.cols_mut2(pos, q);
+        p[0] = 9.0;
+        c[0] = -1.0;
+        assert_eq!(ps.el(pos, 0)[0], 9.0);
+        assert_eq!(ps.el(q, 0)[0], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn overlapping_column_access_rejected() {
+        let (mut ps, pos, _) = store_with(3);
+        let _ = ps.cols_mut2(pos, pos);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let (ps, _, _) = store_with(10);
+        // pos 3*8 + charge 1*8 per particle + 4 bytes cell.
+        assert_eq!(ps.bytes(), 10 * (32 + 4));
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-kernel instrumentation — the "OP-PIC code instrumentation" the
+//! paper uses to time solver routines and estimate FLOP/s for the
+//! roofline study (Section 4.1.2).
+//!
+//! Applications wrap each DSL loop in [`Profiler::time`] (or record
+//! numbers directly). The profiler accumulates wall time, invocation
+//! counts, and optional byte/FLOP tallies per kernel name; the
+//! benchmark harness turns the result into the paper's runtime
+//! breakdowns (Figure 9) and roofline points (Figures 10–11).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Broad classification of a kernel, used to group the breakdown plots
+/// the way the paper does (field solve vs particle work vs comm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    FieldSolve,
+    WeightFields,
+    Move,
+    Deposit,
+    Inject,
+    Comm,
+    Other,
+}
+
+/// Accumulated statistics for one kernel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    pub calls: u64,
+    pub seconds: f64,
+    pub bytes: u64,
+    pub flops: u64,
+    pub class: Option<KernelClass>,
+}
+
+impl KernelStats {
+    /// Arithmetic intensity in FLOP/byte (None with no byte count).
+    pub fn arithmetic_intensity(&self) -> Option<f64> {
+        (self.bytes > 0).then(|| self.flops as f64 / self.bytes as f64)
+    }
+
+    /// Achieved GFLOP/s (None without timing or flops).
+    pub fn gflops(&self) -> Option<f64> {
+        (self.seconds > 0.0 && self.flops > 0)
+            .then(|| self.flops as f64 / self.seconds / 1e9)
+    }
+
+    /// Achieved GB/s.
+    pub fn gbytes_per_s(&self) -> Option<f64> {
+        (self.seconds > 0.0 && self.bytes > 0)
+            .then(|| self.bytes as f64 / self.seconds / 1e9)
+    }
+}
+
+/// Thread-safe kernel profiler.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    inner: Mutex<HashMap<String, KernelStats>>,
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure under a kernel name.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.record(name, t0.elapsed());
+        r
+    }
+
+    /// Record a duration for `name`.
+    pub fn record(&self, name: &str, d: Duration) {
+        let mut map = self.inner.lock();
+        let e = map.entry(name.to_string()).or_default();
+        e.calls += 1;
+        e.seconds += d.as_secs_f64();
+    }
+
+    /// Attach data-movement / FLOP counts (accumulating).
+    pub fn add_traffic(&self, name: &str, bytes: u64, flops: u64) {
+        let mut map = self.inner.lock();
+        let e = map.entry(name.to_string()).or_default();
+        e.bytes += bytes;
+        e.flops += flops;
+    }
+
+    /// Tag a kernel with its class (idempotent).
+    pub fn classify(&self, name: &str, class: KernelClass) {
+        let mut map = self.inner.lock();
+        map.entry(name.to_string()).or_default().class = Some(class);
+    }
+
+    /// Snapshot of one kernel's stats.
+    pub fn get(&self, name: &str) -> Option<KernelStats> {
+        self.inner.lock().get(name).cloned()
+    }
+
+    /// Snapshot of everything, sorted by descending time.
+    pub fn snapshot(&self) -> Vec<(String, KernelStats)> {
+        let map = self.inner.lock();
+        let mut v: Vec<(String, KernelStats)> =
+            map.iter().map(|(k, s)| (k.clone(), s.clone())).collect();
+        v.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).unwrap());
+        v
+    }
+
+    /// Total recorded seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.inner.lock().values().map(|s| s.seconds).sum()
+    }
+
+    /// Clear all statistics (between benchmark repetitions).
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Render the paper-style runtime breakdown table.
+    pub fn breakdown_table(&self) -> String {
+        let snap = self.snapshot();
+        let total = self.total_seconds().max(1e-30);
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<28} {:>8} {:>12} {:>7} {:>12} {:>12}\n",
+            "kernel", "calls", "seconds", "%", "GB/s", "GFLOP/s"
+        ));
+        for (name, st) in &snap {
+            s.push_str(&format!(
+                "{:<28} {:>8} {:>12.4} {:>6.1}% {:>12} {:>12}\n",
+                name,
+                st.calls,
+                st.seconds,
+                100.0 * st.seconds / total,
+                st.gbytes_per_s().map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+                st.gflops().map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+            ));
+        }
+        s.push_str(&format!("{:<28} {:>8} {:>12.4}\n", "TOTAL", "", total));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_and_record() {
+        let p = Profiler::new();
+        let out = p.time("Move", || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        let st = p.get("Move").unwrap();
+        assert_eq!(st.calls, 1);
+        assert!(st.seconds >= 0.004, "{}", st.seconds);
+        p.record("Move", Duration::from_millis(1));
+        assert_eq!(p.get("Move").unwrap().calls, 2);
+    }
+
+    #[test]
+    fn traffic_and_derived_metrics() {
+        let p = Profiler::new();
+        p.record("DepositCharge", Duration::from_secs_f64(0.5));
+        p.add_traffic("DepositCharge", 1_000_000_000, 250_000_000);
+        let st = p.get("DepositCharge").unwrap();
+        assert!((st.arithmetic_intensity().unwrap() - 0.25).abs() < 1e-12);
+        assert!((st.gbytes_per_s().unwrap() - 2.0).abs() < 1e-9);
+        assert!((st.gflops().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_counters_yield_none() {
+        let p = Profiler::new();
+        p.record("k", Duration::from_millis(1));
+        let st = p.get("k").unwrap();
+        assert!(st.arithmetic_intensity().is_none());
+        assert!(st.gflops().is_none());
+        assert!(st.gbytes_per_s().is_none());
+    }
+
+    #[test]
+    fn snapshot_sorted_by_time() {
+        let p = Profiler::new();
+        p.record("small", Duration::from_millis(1));
+        p.record("big", Duration::from_millis(100));
+        p.record("mid", Duration::from_millis(10));
+        let names: Vec<String> = p.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["big", "mid", "small"]);
+    }
+
+    #[test]
+    fn classification() {
+        let p = Profiler::new();
+        p.record("Move", Duration::from_millis(1));
+        p.classify("Move", KernelClass::Move);
+        assert_eq!(p.get("Move").unwrap().class, Some(KernelClass::Move));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let p = Profiler::new();
+        p.record("k", Duration::from_millis(1));
+        p.reset();
+        assert!(p.get("k").is_none());
+        assert_eq!(p.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_renders() {
+        let p = Profiler::new();
+        p.record("Move", Duration::from_millis(30));
+        p.add_traffic("Move", 1 << 30, 1 << 20);
+        p.record("AdvanceE", Duration::from_millis(10));
+        let table = p.breakdown_table();
+        assert!(table.contains("Move"));
+        assert!(table.contains("AdvanceE"));
+        assert!(table.contains("TOTAL"));
+    }
+
+    #[test]
+    fn profiler_is_thread_safe() {
+        let p = std::sync::Arc::new(Profiler::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        p.record("k", Duration::from_nanos(100));
+                        p.add_traffic("k", 8, 1);
+                    }
+                });
+            }
+        });
+        let st = p.get("k").unwrap();
+        assert_eq!(st.calls, 800);
+        assert_eq!(st.bytes, 6400);
+        assert_eq!(st.flops, 800);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests on the DSL core data structures.
+
+use oppic_core::{
+    coloring_is_valid, deposit_loop, deposit_loop_colored, greedy_color_cells, move_loop,
+    DepositMethod, Depositor, ExecPolicy, MoveConfig, MoveStatus, ParticleDats,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// apply_permutation is exactly a permutation of all columns.
+    #[test]
+    fn permutation_preserves_multiset(
+        n in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut ps = ParticleDats::new();
+        let tag = ps.decl_dat("tag", 2);
+        ps.inject(n, 0);
+        for i in 0..n {
+            ps.el_mut(tag, i)[0] = i as f64;
+            ps.el_mut(tag, i)[1] = (i * i) as f64;
+            ps.cells_mut()[i] = (i % 7) as i32;
+        }
+        // Fisher-Yates permutation from the seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        ps.apply_permutation(&perm);
+        let got: HashSet<u64> = (0..n).map(|i| ps.el(tag, i)[0] as u64).collect();
+        prop_assert_eq!(got.len(), n);
+        // Column coherence after the permutation.
+        for i in 0..n {
+            let t = ps.el(tag, i);
+            prop_assert_eq!(t[1], t[0] * t[0]);
+            prop_assert_eq!(ps.cells()[i], (t[0] as i32) % 7);
+        }
+    }
+
+    /// sort_by_cell sorts and is stable over the original order.
+    #[test]
+    fn sort_by_cell_properties(
+        cells in prop::collection::vec(0i32..20, 1..200),
+    ) {
+        let n = cells.len();
+        let mut ps = ParticleDats::new();
+        let tag = ps.decl_dat("tag", 1);
+        ps.inject_into(&cells);
+        for i in 0..n {
+            ps.el_mut(tag, i)[0] = i as f64;
+        }
+        ps.sort_by_cell(20);
+        prop_assert!(ps.cells().windows(2).all(|w| w[0] <= w[1]));
+        for w in 0..n.saturating_sub(1) {
+            if ps.cells()[w] == ps.cells()[w + 1] {
+                prop_assert!(ps.el(tag, w)[0] < ps.el(tag, w + 1)[0], "stability");
+            }
+        }
+    }
+
+    /// Segmented reduction is deterministic: two parallel executions of
+    /// the same random workload produce bitwise-equal buffers.
+    #[test]
+    fn segmented_reduction_deterministic(
+        n in 1usize..3000,
+        len in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let kernel = |i: usize, dep: &mut Depositor| {
+            let h = (i as u64 + 1).wrapping_mul(seed | 1);
+            dep.add((h % len as u64) as usize, (h % 1000) as f64 * 1e-3);
+        };
+        let run = || {
+            let mut buf = vec![0.0; len];
+            deposit_loop(&ExecPolicy::Par, DepositMethod::SegmentedReduction, n, &mut buf, kernel);
+            buf
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Greedy coloring is always valid and the colored deposit equals
+    /// the serial deposit, for random cell→target meshes.
+    #[test]
+    fn coloring_correct_on_random_meshes(
+        n_cells in 1usize..40,
+        n_targets in 4usize..30,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut rnd = move |m: usize| {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+            (state % m as u64) as usize
+        };
+        let mesh: Vec<Vec<usize>> = (0..n_cells)
+            .map(|_| {
+                let mut t: Vec<usize> = (0..3).map(|_| rnd(n_targets)).collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        let (colors, n_colors) = greedy_color_cells(&mesh, n_targets);
+        prop_assert!(coloring_is_valid(&mesh, n_targets, &colors));
+        prop_assert!(n_colors <= n_cells);
+
+        // Sorted particles, 2 per cell.
+        let cells: Vec<i32> = (0..n_cells as i32).flat_map(|c| [c, c]).collect();
+        let kernel = |i: usize, dep: &mut Depositor| {
+            for &t in &mesh[i / 2] {
+                dep.add(t, 1.0);
+            }
+        };
+        let mut reference = vec![0.0; n_targets];
+        deposit_loop(&ExecPolicy::Seq, DepositMethod::Serial, cells.len(), &mut reference, kernel);
+        let mut got = vec![0.0; n_targets];
+        deposit_loop_colored(&ExecPolicy::Par, &mut got, &cells, &colors, n_colors, kernel).unwrap();
+        prop_assert_eq!(got, reference);
+    }
+
+    /// The move engine always terminates and ends where the kernel's
+    /// target function says, for arbitrary start/target assignments on
+    /// a ring topology (NeedMove can wrap).
+    #[test]
+    fn move_engine_terminates_on_rings(
+        n_cells in 1usize..50,
+        pairs in prop::collection::vec((0usize..50, 0usize..50), 1..100),
+    ) {
+        let targets: Vec<usize> = pairs.iter().map(|&(_, t)| t % n_cells).collect();
+        let mut cells: Vec<i32> = pairs.iter().map(|&(s, _)| (s % n_cells) as i32).collect();
+        let r = move_loop(&ExecPolicy::Par, MoveConfig::default(), &mut cells, |i, c| {
+            if c == targets[i] {
+                MoveStatus::Done
+            } else {
+                MoveStatus::NeedMove((c + 1) % n_cells) // ring walk
+            }
+        });
+        prop_assert!(r.removed.is_empty());
+        prop_assert_eq!(r.aborted, 0);
+        for (i, &c) in cells.iter().enumerate() {
+            prop_assert_eq!(c as usize, targets[i]);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # oppic-device — a SIMT device model
+//!
+//! The paper's CUDA/HIP backends run on real GPUs; GPU code generation
+//! from Rust is not mature enough for a faithful port (see DESIGN.md),
+//! so this crate implements the documented substitution: an executable
+//! **SIMT device model** that runs kernels on the host while accounting
+//! for the GPU-specific effects the paper's evaluation hinges on:
+//!
+//! * **warp-level divergence** (Section 4.1.1: "the GPU suffers from
+//!   kernel divergence ... effectively serializing the execution of
+//!   threads within the warp") — kernels report a branch-path
+//!   signature per lane; a warp's cost is multiplied by the number of
+//!   distinct paths among its lanes;
+//! * **atomic serialization** (Section 3.3: "when large numbers of
+//!   particles write to a single memory location, atomics causes
+//!   serialization") — device buffers count per-warp address collisions
+//!   and charge a per-device penalty, with separate safe-atomic (AT),
+//!   unsafe-atomic (UA) and segmented-reduction (SR) cost models;
+//! * **occupancy / utilisation** (Table 1) — the device tracks busy vs
+//!   idle (communication/synchronisation) time so multi-device runs
+//!   reproduce the paper's utilisation drop.
+//!
+//! Numeric results are exact (the adds really happen, via the same
+//! CAS-loop as `oppic-core`); only *time* is modeled.
+
+pub mod buffer;
+pub mod exec;
+pub mod spec;
+
+pub use buffer::DeviceBuffer;
+pub use exec::{analyze_warps, Device, LaunchReport};
+pub use spec::{AtomicFlavor, DeviceSpec};

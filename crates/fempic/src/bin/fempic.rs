@@ -1,0 +1,122 @@
+//! Mini-FEM-PIC application binary — the artifact's
+//! `bin/fempic <config_file>` workflow.
+//!
+//! Config keys (all optional; `fempic --print-defaults` lists them):
+//! mesh (`nx ny nz lx ly lz`), physics (`charge mass inlet_velocity
+//! wall_potential epsilon0 dt thermal_fraction`), run control (`steps
+//! inject_per_step seed`), backend (`parallel deposit move coloring
+//! integrator overlay_res`).
+
+use oppic_core::{DepositMethod, ExecPolicy, Params};
+use oppic_fempic::{FemPic, FemPicConfig, Integrator, MoveStrategy};
+
+const KNOWN: &[&str] = &[
+    "nx", "ny", "nz", "lx", "ly", "lz", "charge", "mass", "inlet_velocity", "wall_potential",
+    "epsilon0", "dt", "thermal_fraction", "steps", "inject_per_step", "seed", "parallel",
+    "deposit", "move", "coloring", "integrator", "overlay_res", "report_every",
+    "neutral_density", "cross_section",
+];
+
+fn config_from(params: &Params) -> Result<(FemPicConfig, usize, usize), String> {
+    params.check_known(KNOWN)?;
+    let d = FemPicConfig::default();
+    let overlay_res = params.get_usize("overlay_res", 32)?;
+    let cfg = FemPicConfig {
+        nx: params.get_usize("nx", d.nx)?,
+        ny: params.get_usize("ny", d.ny)?,
+        nz: params.get_usize("nz", d.nz)?,
+        lx: params.get_f64("lx", d.lx)?,
+        ly: params.get_f64("ly", d.ly)?,
+        lz: params.get_f64("lz", d.lz)?,
+        inject_per_step: params.get_usize("inject_per_step", d.inject_per_step)?,
+        charge: params.get_f64("charge", d.charge)?,
+        mass: params.get_f64("mass", d.mass)?,
+        inlet_velocity: params.get_f64("inlet_velocity", d.inlet_velocity)?,
+        thermal_fraction: params.get_f64("thermal_fraction", d.thermal_fraction)?,
+        wall_potential: params.get_f64("wall_potential", d.wall_potential)?,
+        epsilon0: params.get_f64("epsilon0", d.epsilon0)?,
+        dt: params.get_f64("dt", d.dt)?,
+        policy: if params.get_bool("parallel", true)? {
+            ExecPolicy::Par
+        } else {
+            ExecPolicy::Seq
+        },
+        deposit: match params.get_str("deposit", "sa").as_str() {
+            "seq" => DepositMethod::Serial,
+            "sa" => DepositMethod::ScatterArrays,
+            "at" => DepositMethod::Atomics,
+            "ua" => DepositMethod::UnsafeAtomics,
+            "sr" => DepositMethod::SegmentedReduction,
+            other => return Err(format!("deposit = {other:?}: use seq/sa/at/ua/sr")),
+        },
+        move_strategy: match params.get_str("move", "mh").as_str() {
+            "mh" => MoveStrategy::MultiHop,
+            "dh" => MoveStrategy::DirectHop { overlay_res },
+            other => return Err(format!("move = {other:?}: use mh/dh")),
+        },
+        seed: params.get_usize("seed", 0x0FF1CE)? as u64,
+        record_move_chains: false,
+        coloring: params.get_bool("coloring", false)?,
+        integrator: match params.get_str("integrator", "leapfrog").as_str() {
+            "leapfrog" => Integrator::Leapfrog,
+            "verlet" => Integrator::VelocityVerlet,
+            other => return Err(format!("integrator = {other:?}: use leapfrog/verlet")),
+        },
+        collisions: {
+            let nd = params.get_f64("neutral_density", 0.0)?;
+            (nd > 0.0).then(|| oppic_fempic::CollisionModel {
+                neutral_density: nd,
+                cross_section: params.get_f64("cross_section", 1.0).unwrap_or(1.0),
+            })
+        },
+    };
+    let steps = params.get_usize("steps", 100)?;
+    let report_every = params.get_usize("report_every", 10)?.max(1);
+    Ok((cfg, steps, report_every))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let params = match args.get(1).map(String::as_str) {
+        Some("--print-defaults") => {
+            println!("# Mini-FEM-PIC configuration keys and defaults");
+            for k in KNOWN {
+                println!("# {k}");
+            }
+            return;
+        }
+        Some(path) => Params::load(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        None => Params::default(),
+    };
+    let (cfg, steps, report_every) = config_from(&params).unwrap_or_else(|e| {
+        eprintln!("config error: {e}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "Mini-FEM-PIC: {} cells, {} nodes-worth duct, {} steps",
+        cfg.n_cells(),
+        (cfg.nx + 1) * (cfg.ny + 1) * (cfg.nz + 1),
+        steps
+    );
+    let mut sim = FemPic::new(cfg);
+    let t0 = std::time::Instant::now();
+    for s in 1..=steps {
+        let d = sim.step();
+        if s % report_every == 0 || s == steps {
+            println!(
+                "step {:>5}: particles {:>9}  removed {:>6}  charge {:>12.5}  CG iters {:>4}",
+                d.step, d.n_particles, d.removed, d.total_charge, d.cg_iterations
+            );
+        }
+    }
+    println!("\nMainLoop TotalTime = {:.4} s", t0.elapsed().as_secs_f64());
+    print!("{}", sim.profiler.breakdown_table());
+    if let Err(e) = sim.check_invariants() {
+        eprintln!("INVARIANT VIOLATION: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Small dense helpers: 4×4 element blocks for FEM assembly and a
+//! pivoted Gaussian elimination used as the oracle in tests.
+
+/// Row-major dense matrix view helpers over a flat `Vec<f64>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    pub n_rows: usize,
+    pub n_cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        DenseMatrix { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+    }
+
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        DenseMatrix { n_rows, n_cols, data }
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n_cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n_cols + c] = v;
+    }
+
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n_cols + c] += v;
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols);
+        (0..self.n_rows)
+            .map(|r| (0..self.n_cols).map(|c| self.get(r, c) * x[c]).sum())
+            .collect()
+    }
+
+    /// Solve `A x = b` by Gaussian elimination with partial pivoting.
+    /// Returns `None` when the matrix is (numerically) singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.n_rows, self.n_cols);
+        assert_eq!(b.len(), self.n_rows);
+        let n = self.n_rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Pivot.
+            let piv = (col..n)
+                .max_by(|&i, &j| {
+                    a[i * n + col].abs().partial_cmp(&a[j * n + col].abs()).unwrap()
+                })
+                .unwrap();
+            if a[piv * n + col].abs() < 1e-300 {
+                return None;
+            }
+            if piv != col {
+                for k in 0..n {
+                    a.swap(col * n + k, piv * n + k);
+                }
+                x.swap(col, piv);
+            }
+            let d = a[col * n + col];
+            for row in (col + 1)..n {
+                let f = a[row * n + col] / d;
+                if f == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row * n + k] -= f * a[col * n + k];
+                }
+                x[row] -= f * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for k in (col + 1)..n {
+                s -= a[col * n + k] * x[k];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Some(x)
+    }
+}
+
+/// The 4×4 P1 element stiffness block for a tetrahedron:
+/// `K[i][j] = volume * grad(phi_i) . grad(phi_j)`.
+/// `grads` are the four basis gradients, `volume` the tet volume.
+pub fn p1_stiffness(grads: &[[f64; 3]; 4], volume: f64) -> [[f64; 4]; 4] {
+    let mut k = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            let dot = grads[i][0] * grads[j][0]
+                + grads[i][1] * grads[j][1]
+                + grads[i][2] * grads[j][2];
+            k[i][j] = volume * dot;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_basics() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn solve_2x2() {
+        let m = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = m.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let m = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = m.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(m.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn stiffness_rows_sum_to_zero() {
+        // Gradients of a partition of unity sum to zero, so every
+        // stiffness row/column must sum to zero.
+        let grads = [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [-1.0, -1.0, -1.0],
+        ];
+        let k = p1_stiffness(&grads, 0.5);
+        for i in 0..4 {
+            let row: f64 = k[i].iter().sum();
+            let col: f64 = (0..4).map(|j| k[j][i]).sum();
+            assert!(row.abs() < 1e-14);
+            assert!(col.abs() < 1e-14);
+            // Diagonal must be positive.
+            assert!(k[i][i] > 0.0);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # oppic-linalg — sparse linear algebra substrate
+//!
+//! Mini-FEM-PIC in the paper assembles a finite-element system
+//! (`ComputeJMatrix`, `ComputeF1Vector`) and hands it to a **PETSc KSP**
+//! solver. This crate is the PETSc substitute documented in DESIGN.md:
+//!
+//! * [`csr`] — a compressed-sparse-row matrix with a two-phase
+//!   (triplet insert → freeze) builder, parallel SpMV, and Dirichlet
+//!   row/column elimination.
+//! * [`cg`] — Jacobi-preconditioned Conjugate Gradient, the method KSP
+//!   runs for the symmetric-positive-definite Poisson systems FEM-PIC
+//!   produces.
+//! * [`dense`] — small dense helpers used by tests and by element
+//!   assembly (4×4 element stiffness blocks).
+
+pub mod cg;
+pub mod csr;
+pub mod dense;
+
+pub use cg::{cg_solve, CgConfig, CgOutcome};
+pub use csr::{CsrBuilder, CsrMatrix};

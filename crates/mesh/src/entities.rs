@@ -1,0 +1,195 @@
+//! Derived mesh entities: unique faces and edges with their maps.
+//!
+//! Mini-FEM-PIC's duct mesh "is based on tetrahedral mesh cells, nodes,
+//! and faces"; electromagnetic FEM-PIC stores field DOFs on edges
+//! (Nédélec elements, Eq. 5 of the paper) and faces (Raviart–Thomas,
+//! Eq. 6). This module enumerates those sets once from the cells→nodes
+//! map and provides the `opp_decl_map`-shaped connectivity an
+//! application declares over them:
+//!
+//! * [`FaceSet`] — unique triangular faces: `f2n` (3), `c2f` (4),
+//!   `f2c` (2, −1 on the boundary), boundary flags;
+//! * [`EdgeSet`] — unique edges: `e2n` (2), `c2e` (6).
+
+use crate::connectivity::tet_faces;
+use std::collections::HashMap;
+
+/// The unique faces of a tetrahedral mesh.
+#[derive(Debug, Clone)]
+pub struct FaceSet {
+    /// Face → nodes (sorted within each face), arity 3.
+    pub f2n: Vec<[usize; 3]>,
+    /// Cell → faces, arity 4; `c2f[c][k]` is the face opposite local
+    /// vertex `k` (matching [`crate::connectivity::tet_faces`] order).
+    pub c2f: Vec<[usize; 4]>,
+    /// Face → cells, arity 2; second entry −1 on the boundary.
+    pub f2c: Vec<[i32; 2]>,
+}
+
+impl FaceSet {
+    /// Enumerate the unique faces of `c2n`.
+    pub fn build(c2n: &[[usize; 4]]) -> Self {
+        let mut index: HashMap<[usize; 3], usize> = HashMap::with_capacity(c2n.len() * 2);
+        let mut f2n: Vec<[usize; 3]> = Vec::new();
+        let mut f2c: Vec<[i32; 2]> = Vec::new();
+        let mut c2f = vec![[usize::MAX; 4]; c2n.len()];
+        for (c, nd) in c2n.iter().enumerate() {
+            for (k, fnodes) in tet_faces(nd).into_iter().enumerate() {
+                let mut key = fnodes;
+                key.sort_unstable();
+                let f = *index.entry(key).or_insert_with(|| {
+                    f2n.push(key);
+                    f2c.push([-1, -1]);
+                    f2n.len() - 1
+                });
+                c2f[c][k] = f;
+                if f2c[f][0] == -1 {
+                    f2c[f][0] = c as i32;
+                } else {
+                    debug_assert_eq!(f2c[f][1], -1, "non-manifold face");
+                    f2c[f][1] = c as i32;
+                }
+            }
+        }
+        FaceSet { f2n, c2f, f2c }
+    }
+
+    pub fn n_faces(&self) -> usize {
+        self.f2n.len()
+    }
+
+    /// Is `f` a boundary face (one incident cell)?
+    pub fn is_boundary(&self, f: usize) -> bool {
+        self.f2c[f][1] == -1
+    }
+
+    pub fn n_boundary(&self) -> usize {
+        (0..self.n_faces()).filter(|&f| self.is_boundary(f)).count()
+    }
+
+    /// The cell on the other side of face `f` from cell `c` (−1 at the
+    /// boundary) — an alternative route to the c2c adjacency.
+    pub fn neighbor_via(&self, f: usize, c: usize) -> i32 {
+        let [a, b] = self.f2c[f];
+        if a == c as i32 {
+            b
+        } else {
+            debug_assert_eq!(b, c as i32);
+            a
+        }
+    }
+}
+
+/// The unique edges of a tetrahedral mesh.
+#[derive(Debug, Clone)]
+pub struct EdgeSet {
+    /// Edge → nodes (sorted), arity 2.
+    pub e2n: Vec<[usize; 2]>,
+    /// Cell → edges, arity 6, in the local pair order
+    /// `(0,1) (0,2) (0,3) (1,2) (1,3) (2,3)`.
+    pub c2e: Vec<[usize; 6]>,
+}
+
+/// Local vertex pairs of a tet's six edges.
+pub const TET_EDGES: [[usize; 2]; 6] = [[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]];
+
+impl EdgeSet {
+    pub fn build(c2n: &[[usize; 4]]) -> Self {
+        let mut index: HashMap<[usize; 2], usize> = HashMap::with_capacity(c2n.len() * 4);
+        let mut e2n: Vec<[usize; 2]> = Vec::new();
+        let mut c2e = vec![[usize::MAX; 6]; c2n.len()];
+        for (c, nd) in c2n.iter().enumerate() {
+            for (k, [a, b]) in TET_EDGES.into_iter().enumerate() {
+                let mut key = [nd[a], nd[b]];
+                key.sort_unstable();
+                let e = *index.entry(key).or_insert_with(|| {
+                    e2n.push(key);
+                    e2n.len() - 1
+                });
+                c2e[c][k] = e;
+            }
+        }
+        EdgeSet { e2n, c2e }
+    }
+
+    pub fn n_edges(&self) -> usize {
+        self.e2n.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tet::TetMesh;
+
+    #[test]
+    fn single_tet_entities() {
+        let c2n = vec![[0usize, 1, 2, 3]];
+        let faces = FaceSet::build(&c2n);
+        assert_eq!(faces.n_faces(), 4);
+        assert_eq!(faces.n_boundary(), 4);
+        let edges = EdgeSet::build(&c2n);
+        assert_eq!(edges.n_edges(), 6);
+        // Every c2f/c2e entry filled.
+        assert!(faces.c2f[0].iter().all(|&f| f != usize::MAX));
+        assert!(edges.c2e[0].iter().all(|&e| e != usize::MAX));
+    }
+
+    #[test]
+    fn two_tets_share_one_face_and_three_edges() {
+        let c2n = vec![[0usize, 1, 2, 3], [4, 1, 3, 2]];
+        let faces = FaceSet::build(&c2n);
+        assert_eq!(faces.n_faces(), 7); // 4 + 4 − 1 shared
+        assert_eq!(faces.n_boundary(), 6);
+        let shared = (0..faces.n_faces()).find(|&f| !faces.is_boundary(f)).unwrap();
+        assert_eq!(faces.f2n[shared], [1, 2, 3]);
+        assert_eq!(faces.neighbor_via(shared, 0), 1);
+        assert_eq!(faces.neighbor_via(shared, 1), 0);
+
+        let edges = EdgeSet::build(&c2n);
+        assert_eq!(edges.n_edges(), 9); // 6 + 6 − 3 shared
+    }
+
+    #[test]
+    fn duct_euler_consistency() {
+        // On a duct mesh, faces counted per cell (4 each) double-count
+        // interior faces: F = (4C + B) / 2 where B = boundary faces.
+        let m = TetMesh::duct(3, 2, 2, 1.0, 1.0, 1.0);
+        let faces = FaceSet::build(&m.c2n);
+        let b = faces.n_boundary();
+        assert_eq!(faces.n_faces(), (4 * m.n_cells() + b) / 2);
+        assert_eq!(b, m.boundary.len(), "matches the generator's boundary list");
+        // Euler characteristic of a solid box triangulation:
+        // V - E + F - C = 1.
+        let edges = EdgeSet::build(&m.c2n);
+        let euler = m.n_nodes() as i64 - edges.n_edges() as i64 + faces.n_faces() as i64
+            - m.n_cells() as i64;
+        assert_eq!(euler, 1);
+    }
+
+    #[test]
+    fn face_route_matches_c2c() {
+        // neighbor_via over c2f reproduces exactly the generator's c2c.
+        let m = TetMesh::duct(2, 2, 2, 1.0, 1.0, 1.0);
+        let faces = FaceSet::build(&m.c2n);
+        for c in 0..m.n_cells() {
+            for k in 0..4 {
+                let via_faces = faces.neighbor_via(faces.c2f[c][k], c);
+                assert_eq!(via_faces, m.c2c[c][k], "cell {c} face {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_nodes_belong_to_their_cells() {
+        let m = TetMesh::duct(2, 2, 2, 1.0, 1.0, 1.0);
+        let edges = EdgeSet::build(&m.c2n);
+        for c in 0..m.n_cells() {
+            for (k, &e) in edges.c2e[c].iter().enumerate() {
+                let [a, b] = edges.e2n[e];
+                let nd = m.c2n[c];
+                assert!(nd.contains(&a) && nd.contains(&b), "cell {c} edge {k}");
+            }
+        }
+    }
+}

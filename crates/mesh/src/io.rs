@@ -1,0 +1,227 @@
+//! ASCII mesh I/O — a small plain-text format standing in for the
+//! paper artifact's HDF5 / `.dat` mesh files.
+//!
+//! Format (whitespace separated):
+//! ```text
+//! oppic-tet-mesh 1
+//! nodes <n_nodes>
+//! <x> <y> <z>            # n_nodes lines
+//! cells <n_cells>
+//! <n0> <n1> <n2> <n3>    # n_cells lines
+//! dims <nx> <ny> <nz>
+//! lengths <lx> <ly> <lz>
+//! ```
+
+use crate::geometry::Vec3;
+use crate::tet::TetMesh;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from the ASCII mesh reader.
+#[derive(Debug)]
+pub enum MeshIoError {
+    Io(io::Error),
+    Parse(String),
+}
+
+impl std::fmt::Display for MeshIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshIoError::Io(e) => write!(f, "I/O error: {e}"),
+            MeshIoError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MeshIoError {}
+
+impl From<io::Error> for MeshIoError {
+    fn from(e: io::Error) -> Self {
+        MeshIoError::Io(e)
+    }
+}
+
+fn perr(msg: impl Into<String>) -> MeshIoError {
+    MeshIoError::Parse(msg.into())
+}
+
+/// Serialize a [`TetMesh`] to the ASCII format.
+pub fn write_tet_mesh<W: Write>(mesh: &TetMesh, mut w: W) -> Result<(), MeshIoError> {
+    let mut s = String::new();
+    writeln!(s, "oppic-tet-mesh 1").unwrap();
+    writeln!(s, "nodes {}", mesh.n_nodes()).unwrap();
+    for p in &mesh.node_pos {
+        writeln!(s, "{:.17} {:.17} {:.17}", p.x, p.y, p.z).unwrap();
+    }
+    writeln!(s, "cells {}", mesh.n_cells()).unwrap();
+    for c in &mesh.c2n {
+        writeln!(s, "{} {} {} {}", c[0], c[1], c[2], c[3]).unwrap();
+    }
+    writeln!(s, "dims {} {} {}", mesh.dims[0], mesh.dims[1], mesh.dims[2]).unwrap();
+    writeln!(
+        s,
+        "lengths {:.17} {:.17} {:.17}",
+        mesh.lengths[0], mesh.lengths[1], mesh.lengths[2]
+    )
+    .unwrap();
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Read a [`TetMesh`] from the ASCII format. Connectivity and geometry
+/// (c2c, boundary classification, volumes, shape derivatives) are
+/// rebuilt from the node/cell data, exactly as the paper's backend does
+/// after loading a mesh file.
+pub fn read_tet_mesh<R: Read>(r: R) -> Result<TetMesh, MeshIoError> {
+    let reader = BufReader::new(r);
+    let mut tokens: Vec<String> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("");
+        tokens.extend(body.split_whitespace().map(str::to_owned));
+    }
+    let mut it = tokens.into_iter();
+    let mut next = |what: &str| -> Result<String, MeshIoError> {
+        it.next().ok_or_else(|| perr(format!("unexpected EOF, wanted {what}")))
+    };
+
+    if next("magic")? != "oppic-tet-mesh" {
+        return Err(perr("bad magic; expected 'oppic-tet-mesh'"));
+    }
+    let version: u32 = next("version")?.parse().map_err(|e| perr(format!("version: {e}")))?;
+    if version != 1 {
+        return Err(perr(format!("unsupported version {version}")));
+    }
+
+    if next("'nodes'")? != "nodes" {
+        return Err(perr("expected 'nodes'"));
+    }
+    let n_nodes: usize = next("node count")?.parse().map_err(|e| perr(format!("node count: {e}")))?;
+    let mut node_pos = Vec::with_capacity(n_nodes);
+    for i in 0..n_nodes {
+        let mut coord = [0.0f64; 3];
+        for c in &mut coord {
+            *c = next("coordinate")?
+                .parse()
+                .map_err(|e| perr(format!("node {i} coordinate: {e}")))?;
+        }
+        node_pos.push(Vec3::new(coord[0], coord[1], coord[2]));
+    }
+
+    if next("'cells'")? != "cells" {
+        return Err(perr("expected 'cells'"));
+    }
+    let n_cells: usize = next("cell count")?.parse().map_err(|e| perr(format!("cell count: {e}")))?;
+    let mut c2n = Vec::with_capacity(n_cells);
+    for i in 0..n_cells {
+        let mut nd = [0usize; 4];
+        for n in &mut nd {
+            *n = next("node id")?.parse().map_err(|e| perr(format!("cell {i} node: {e}")))?;
+            if *n >= n_nodes {
+                return Err(perr(format!("cell {i} references node {n} >= {n_nodes}", n = *n)));
+            }
+        }
+        c2n.push(nd);
+    }
+
+    if next("'dims'")? != "dims" {
+        return Err(perr("expected 'dims'"));
+    }
+    let mut dims = [0usize; 3];
+    for d in &mut dims {
+        *d = next("dim")?.parse().map_err(|e| perr(format!("dims: {e}")))?;
+    }
+    if next("'lengths'")? != "lengths" {
+        return Err(perr("expected 'lengths'"));
+    }
+    let mut lengths = [0.0f64; 3];
+    for l in &mut lengths {
+        *l = next("length")?.parse().map_err(|e| perr(format!("lengths: {e}")))?;
+    }
+
+    Ok(TetMesh::from_cells(node_pos, c2n, dims, lengths))
+}
+
+/// Convenience: write to a file path.
+pub fn save_tet_mesh<P: AsRef<Path>>(mesh: &TetMesh, path: P) -> Result<(), MeshIoError> {
+    let f = std::fs::File::create(path)?;
+    write_tet_mesh(mesh, io::BufWriter::new(f))
+}
+
+/// Convenience: read from a file path.
+pub fn load_tet_mesh<P: AsRef<Path>>(path: P) -> Result<TetMesh, MeshIoError> {
+    let f = std::fs::File::open(path)?;
+    read_tet_mesh(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_mesh() {
+        let mesh = TetMesh::duct(3, 2, 4, 1.5, 1.0, 2.0);
+        let mut buf = Vec::new();
+        write_tet_mesh(&mesh, &mut buf).unwrap();
+        let back = read_tet_mesh(buf.as_slice()).unwrap();
+        assert_eq!(back.n_cells(), mesh.n_cells());
+        assert_eq!(back.n_nodes(), mesh.n_nodes());
+        assert_eq!(back.c2n, mesh.c2n);
+        assert_eq!(back.c2c, mesh.c2c);
+        assert_eq!(back.dims, mesh.dims);
+        for (a, b) in back.node_pos.iter().zip(&mesh.node_pos) {
+            assert_eq!(a, b, "17-sig-digit round trip must be exact");
+        }
+        for (a, b) in back.volume.iter().zip(&mesh.volume) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_tet_mesh("not-a-mesh 1".as_bytes()).unwrap_err();
+        assert!(matches!(err, MeshIoError::Parse(_)));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let err = read_tet_mesh("oppic-tet-mesh 2 nodes 0 cells 0".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        let text = "oppic-tet-mesh 1\nnodes 3\n0 0 0\n1 0 0\n0 1 0\ncells 1\n0 1 2 9\ndims 1 1 1\nlengths 1 1 1\n";
+        let err = read_tet_mesh(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("references node"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mesh = TetMesh::duct(2, 2, 2, 1.0, 1.0, 1.0);
+        let mut buf = Vec::new();
+        write_tet_mesh(&mesh, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_tet_mesh(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let text = "oppic-tet-mesh 1 # magic\nnodes 4 # four nodes\n0 0 0\n1 0 0\n0 1 0\n0 0 1\ncells 1\n0 1 2 3\ndims 1 1 1\nlengths 1 1 1\n";
+        let m = read_tet_mesh(text.as_bytes()).unwrap();
+        assert_eq!(m.n_cells(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("oppic_mesh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("duct.txt");
+        let mesh = TetMesh::duct(2, 2, 2, 1.0, 1.0, 1.0);
+        save_tet_mesh(&mesh, &path).unwrap();
+        let back = load_tet_mesh(&path).unwrap();
+        assert_eq!(back.c2n, mesh.c2n);
+        std::fs::remove_file(&path).ok();
+    }
+}

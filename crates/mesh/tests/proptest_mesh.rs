@@ -1,0 +1,98 @@
+//! Property-based tests on the mesh substrate.
+
+use oppic_mesh::geometry::{barycentric, bary_inside, p1_gradients, sample_tet, tet_signed_volume};
+use oppic_mesh::{HexMesh, StructuredOverlay, TetMesh, Vec3};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Duct volumes always sum to the box volume, for any resolution
+    /// and extent.
+    #[test]
+    fn duct_volume_exact(
+        nx in 1usize..5, ny in 1usize..5, nz in 1usize..5,
+        lx in 0.1f64..4.0, ly in 0.1f64..4.0, lz in 0.1f64..4.0,
+    ) {
+        let m = TetMesh::duct(nx, ny, nz, lx, ly, lz);
+        let total: f64 = m.volume.iter().sum();
+        let expect = lx * ly * lz;
+        prop_assert!((total - expect).abs() < 1e-9 * expect);
+        prop_assert!(m.validate().is_empty());
+    }
+
+    /// P1 gradients reproduce linear fields exactly on every cell of a
+    /// random duct: grad(a·x + b·y + c·z) recovered from nodal values.
+    #[test]
+    fn p1_gradients_reproduce_linear_fields(
+        a in -3.0f64..3.0, b in -3.0f64..3.0, c in -3.0f64..3.0,
+    ) {
+        let m = TetMesh::duct(2, 2, 2, 1.0, 1.3, 0.7);
+        for cell in 0..m.n_cells() {
+            let verts = m.cell_vertices(cell);
+            let g = p1_gradients(&verts);
+            let mut grad = Vec3::ZERO;
+            for k in 0..4 {
+                let phi = a * verts[k].x + b * verts[k].y + c * verts[k].z;
+                grad = grad + g[k].scale(phi);
+            }
+            prop_assert!((grad.x - a).abs() < 1e-9);
+            prop_assert!((grad.y - b).abs() < 1e-9);
+            prop_assert!((grad.z - c).abs() < 1e-9);
+        }
+    }
+
+    /// sample_tet always lands inside, and barycentric() confirms it,
+    /// for random valid tets.
+    #[test]
+    fn sampling_and_containment_agree(
+        r in prop::array::uniform4(0.0f64..1.0),
+        jitter in prop::array::uniform3(-0.4f64..0.4),
+    ) {
+        let v = [
+            Vec3::new(0.0 + jitter[0], 0.0, 0.0),
+            Vec3::new(1.0, 0.0 + jitter[1], 0.0),
+            Vec3::new(0.0, 1.0, 0.0 + jitter[2]),
+            Vec3::new(0.2, 0.3, 1.0),
+        ];
+        prop_assume!(tet_signed_volume(v[0], v[1], v[2], v[3]).abs() > 1e-3);
+        let p = sample_tet(&v, r);
+        let l = barycentric(p, &v);
+        prop_assert!(bary_inside(&l, 1e-9), "{l:?}");
+    }
+
+    /// HexMesh periodic maps are mutually inverse and locate() agrees
+    /// with cell bounds for interior points.
+    #[test]
+    fn hex_mesh_maps_consistent(
+        nx in 1usize..6, ny in 1usize..6, nz in 1usize..6,
+        fx in 0.01f64..0.99, fy in 0.01f64..0.99, fz in 0.01f64..0.99,
+    ) {
+        let m = HexMesh::periodic_box(nx, ny, nz, 0.5, 0.25, 0.75);
+        prop_assert!(m.validate().is_empty());
+        let [lx, ly, lz] = m.lengths();
+        let p = Vec3::new(fx * lx, fy * ly, fz * lz);
+        let c = m.locate(p);
+        let lo = m.cell_origin(c);
+        prop_assert!(p.x >= lo.x - 1e-12 && p.x <= lo.x + m.dx + 1e-12);
+        prop_assert!(p.y >= lo.y - 1e-12 && p.y <= lo.y + m.dy + 1e-12);
+        prop_assert!(p.z >= lo.z - 1e-12 && p.z <= lo.z + m.dz + 1e-12);
+    }
+
+    /// Overlay locate always returns a cell whose inflated bounding
+    /// box contains interior query points.
+    #[test]
+    fn overlay_seed_is_nearby(
+        px in 0.01f64..0.99, py in 0.01f64..0.99, pz in 0.01f64..0.99,
+    ) {
+        let mesh = TetMesh::duct(3, 3, 3, 1.0, 1.0, 1.0);
+        let ov = StructuredOverlay::build(&mesh, [9, 9, 9]);
+        let p = Vec3::new(px, py, pz);
+        let c = ov.locate(p);
+        prop_assert!(c < mesh.n_cells());
+        // The seed is within one voxel of the point.
+        let verts = mesh.cell_vertices(c);
+        let centroid = (verts[0] + verts[1] + verts[2] + verts[3]).scale(0.25);
+        prop_assert!((centroid - p).norm() < 0.75, "seed too far: {centroid:?} vs {p:?}");
+    }
+}

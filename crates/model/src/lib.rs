@@ -1,0 +1,27 @@
+//! # oppic-model — machine models for the evaluation harness
+//!
+//! The paper's evaluation runs on four clusters (Table 2) at scales —
+//! 16k cores, 1024 GPUs — that a reproduction cannot rent. Following
+//! the substitution policy in DESIGN.md, this crate captures those
+//! systems as explicit performance models, calibrated by the *measured*
+//! per-kernel byte/FLOP counts from the instrumented DSL runs:
+//!
+//! * [`system`] — the Table 2 systems (Avon, ARCHER2, Bede, LUMI-G):
+//!   node compute/bandwidth, interconnect bandwidth and latency, power;
+//! * [`roofline`] — the Empirical-Roofline-Tool substitute: attainable
+//!   performance curves and kernel placement (Figures 10–11);
+//! * [`scaling`] — the weak-scaling projection
+//!   (compute + halo + synchronisation terms, Figures 13–14);
+//! * [`power`] — the power-equivalence study (Figure 15): how many
+//!   nodes of each system fit a 12 kW envelope and what speed-ups
+//!   follow.
+
+pub mod power;
+pub mod roofline;
+pub mod scaling;
+pub mod system;
+
+pub use power::{power_equivalent_nodes, PowerStudy};
+pub use roofline::{Boundedness, RooflineChart, RooflinePoint};
+pub use scaling::{weak_scaling_curve, ScalingPoint, WorkloadModel};
+pub use system::SystemSpec;

@@ -1,0 +1,131 @@
+//! Power-equivalence study — Figure 15.
+//!
+//! "Using the node and GPU power consumption of the systems we estimate
+//! that 18 ARCHER2 nodes, 8 Bede nodes (consisting of 32 V100 GPUs)
+//! and 5 LUMI-G nodes (consisting of 20 MI250X GPUs) consume roughly
+//! 12 kW of power." The study then runs a fixed global problem on each
+//! fleet and compares runtimes.
+
+use crate::scaling::{weak_scaling_curve, WorkloadModel};
+use crate::system::SystemSpec;
+
+/// How many whole nodes (and execution units) of `system` fit in a
+/// power envelope.
+pub fn power_equivalent_nodes(system: &SystemSpec, watts: f64) -> (usize, usize) {
+    let nodes = (watts / system.node_power_w).floor() as usize;
+    (nodes, nodes * system.units_per_node)
+}
+
+/// One system's entry in the power study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerStudyEntry {
+    pub system: String,
+    pub nodes: usize,
+    pub units: usize,
+    pub runtime_s: f64,
+    /// Speed-up relative to the reference system (ARCHER2 in the
+    /// paper).
+    pub speedup: f64,
+}
+
+/// The full study: fixed global problem, each system runs it on its
+/// power-equivalent fleet.
+#[derive(Debug, Clone)]
+pub struct PowerStudy {
+    pub watts: f64,
+    pub entries: Vec<PowerStudyEntry>,
+}
+
+impl PowerStudy {
+    /// Run the study. `workloads` pairs each system with its measured
+    /// per-unit workload model *for the fixed global problem divided
+    /// over that system's fleet* (i.e. `compute_s_per_step` already
+    /// reflects global_work / units). The first system is the speed-up
+    /// reference.
+    pub fn run(watts: f64, workloads: &[(SystemSpec, WorkloadModel)]) -> PowerStudy {
+        assert!(!workloads.is_empty());
+        let mut entries: Vec<PowerStudyEntry> = workloads
+            .iter()
+            .map(|(sys, w)| {
+                let (nodes, units) = power_equivalent_nodes(sys, watts);
+                assert!(units > 0, "{} gets zero units in {watts} W", sys.name);
+                let pt = weak_scaling_curve(sys, w, &[units])[0];
+                PowerStudyEntry {
+                    system: sys.name.to_string(),
+                    nodes,
+                    units,
+                    runtime_s: pt.total_s,
+                    speedup: 0.0,
+                }
+            })
+            .collect();
+        let reference = entries[0].runtime_s;
+        for e in &mut entries {
+            e.speedup = reference / e.runtime_s;
+        }
+        PowerStudy { watts, entries }
+    }
+
+    pub fn table(&self) -> String {
+        let mut s = format!("Power-equivalent study at {:.1} kW\n", self.watts / 1000.0);
+        s.push_str(&format!(
+            "{:<10} {:>6} {:>6} {:>12} {:>9}\n",
+            "system", "nodes", "units", "runtime (s)", "speedup"
+        ));
+        for e in &self.entries {
+            s.push_str(&format!(
+                "{:<10} {:>6} {:>6} {:>12.3} {:>8.2}x\n",
+                e.system, e.nodes, e.units, e.runtime_s, e.speedup
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_sizing_matches_paper() {
+        let (nodes, units) = power_equivalent_nodes(&SystemSpec::archer2(), 12_000.0);
+        assert_eq!((nodes, units), (18, 18));
+        let (nodes, units) = power_equivalent_nodes(&SystemSpec::bede(), 12_000.0);
+        assert_eq!((nodes, units), (8, 32));
+        let (nodes, units) = power_equivalent_nodes(&SystemSpec::lumi_g(), 12_000.0);
+        assert_eq!((nodes, units), (5, 40));
+    }
+
+    #[test]
+    fn study_computes_speedups_vs_first_entry() {
+        // Synthetic: bandwidth-bound kernel, work split over each fleet.
+        let global_bytes_per_step = 5e12;
+        let workloads: Vec<(SystemSpec, WorkloadModel)> = SystemSpec::table2()
+            .into_iter()
+            .filter(|s| s.name != "Avon")
+            .map(|sys| {
+                let (_, units) = power_equivalent_nodes(&sys, 12_000.0);
+                let per_unit_bytes = global_bytes_per_step / units as f64;
+                let w = WorkloadModel {
+                    compute_s_per_step: sys.unit_roofline_time(per_unit_bytes, 0.0),
+                    halo_bytes_per_step: 1e6,
+                    msgs_per_step: 8.0,
+                    migration_bytes_per_step: 1e5,
+                    imbalance: 0.05,
+                    steps: 250,
+                };
+                (sys, w)
+            })
+            .collect();
+        let study = PowerStudy::run(12_000.0, &workloads);
+        assert_eq!(study.entries[0].speedup, 1.0);
+        // GPUs beat the CPU fleet under an equal power envelope — the
+        // paper's headline 1.4x–3.5x band.
+        for e in &study.entries[1..] {
+            assert!(e.speedup > 1.0, "{e:?}");
+            assert!(e.speedup < 10.0, "{e:?}");
+        }
+        let t = study.table();
+        assert!(t.contains("ARCHER2") && t.contains("speedup"));
+    }
+}

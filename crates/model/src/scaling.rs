@@ -1,0 +1,169 @@
+//! Weak-scaling projection — Figures 13 and 14.
+//!
+//! The paper weak-scales both apps to 128 CPU nodes / 1024 GPUs with a
+//! constant per-unit workload. The reproduction measures the real
+//! per-unit compute time and per-step communication volume at small
+//! rank counts (in-process ranks), then projects to paper scale with a
+//! standard weak-scaling model:
+//!
+//! ```text
+//! T(R) = T_compute                          (constant per unit)
+//!      + halo_bytes / net_bw + msgs·lat     (neighbour exchanges)
+//!      + migration_bytes / net_bw           (particle flux)
+//!      + α·log2(R)·lat                      (synchronising collectives)
+//!      + imbalance(R)·T_compute             (load imbalance growth)
+//! ```
+//!
+//! All terms except `T_compute` are per-step; the model reports the
+//! main-loop total for a configured iteration count.
+
+use crate::system::SystemSpec;
+
+/// Per-unit workload description, measured by the instrumented runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadModel {
+    /// Measured compute seconds per step per unit (at R=1).
+    pub compute_s_per_step: f64,
+    /// Halo bytes exchanged per step per unit (both directions).
+    pub halo_bytes_per_step: f64,
+    /// Point-to-point messages per step per unit.
+    pub msgs_per_step: f64,
+    /// Particle-migration bytes per step per unit.
+    pub migration_bytes_per_step: f64,
+    /// Fractional load imbalance at scale (the paper: "scaling is also
+    /// affected by load-balancing of particles"); applied as
+    /// `imbalance · (1 − 1/R)` growth.
+    pub imbalance: f64,
+    /// Main-loop iterations.
+    pub steps: usize,
+}
+
+/// One point of a weak-scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    pub units: usize,
+    /// Projected main-loop seconds.
+    pub total_s: f64,
+    /// Parallel efficiency vs one unit.
+    pub efficiency: f64,
+}
+
+/// Project the weak-scaling curve of `workload` on `system` for each
+/// unit count in `unit_counts`.
+pub fn weak_scaling_curve(
+    system: &SystemSpec,
+    workload: &WorkloadModel,
+    unit_counts: &[usize],
+) -> Vec<ScalingPoint> {
+    let t1 = step_time(system, workload, 1);
+    unit_counts
+        .iter()
+        .map(|&units| {
+            let ts = step_time(system, workload, units);
+            ScalingPoint {
+                units,
+                total_s: ts * workload.steps as f64,
+                efficiency: t1 / ts,
+            }
+        })
+        .collect()
+}
+
+fn step_time(system: &SystemSpec, w: &WorkloadModel, units: usize) -> f64 {
+    let r = units as f64;
+    let compute = w.compute_s_per_step;
+    // Neighbour comm only exists with >1 unit.
+    let comm = if units > 1 {
+        system.net_time(w.halo_bytes_per_step + w.migration_bytes_per_step, w.msgs_per_step)
+    } else {
+        0.0
+    };
+    let sync = if units > 1 {
+        // Tree collectives: one barrier/allreduce tier per log2 level.
+        r.log2().ceil() * system.net_latency_s * 4.0
+    } else {
+        0.0
+    };
+    let imbalance = w.imbalance * (1.0 - 1.0 / r) * compute;
+    compute + comm + sync + imbalance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_workload() -> WorkloadModel {
+        WorkloadModel {
+            compute_s_per_step: 0.1,
+            halo_bytes_per_step: 50e6,
+            msgs_per_step: 8.0,
+            migration_bytes_per_step: 10e6,
+            imbalance: 0.05,
+            steps: 250,
+        }
+    }
+
+    #[test]
+    fn single_unit_has_no_comm() {
+        let sys = SystemSpec::archer2();
+        let w = toy_workload();
+        let curve = weak_scaling_curve(&sys, &w, &[1]);
+        assert!((curve[0].total_s - 0.1 * 250.0).abs() < 1e-9);
+        assert_eq!(curve[0].efficiency, 1.0);
+    }
+
+    #[test]
+    fn weak_scaling_is_flat_ish_and_monotone() {
+        let sys = SystemSpec::archer2();
+        let w = toy_workload();
+        let units: Vec<usize> = (0..8).map(|k| 1 << k).collect();
+        let curve = weak_scaling_curve(&sys, &w, &units);
+        // Monotone non-decreasing runtime.
+        for pair in curve.windows(2) {
+            assert!(pair[1].total_s >= pair[0].total_s);
+        }
+        // "Good weak scaling": ≥70% efficiency at 128 units for this
+        // comm-light workload.
+        let last = curve.last().unwrap();
+        assert_eq!(last.units, 128);
+        assert!(last.efficiency > 0.7, "eff={}", last.efficiency);
+        assert!(last.efficiency <= 1.0);
+    }
+
+    #[test]
+    fn comm_heavy_workload_scales_worse() {
+        let sys = SystemSpec::bede();
+        let light = toy_workload();
+        let mut heavy = toy_workload();
+        heavy.halo_bytes_per_step *= 50.0;
+        let el = weak_scaling_curve(&sys, &light, &[64])[0].efficiency;
+        let eh = weak_scaling_curve(&sys, &heavy, &[64])[0].efficiency;
+        assert!(eh < el);
+    }
+
+    #[test]
+    fn faster_interconnect_scales_better() {
+        let w = toy_workload();
+        let slingshot = weak_scaling_curve(&SystemSpec::archer2(), &w, &[128])[0];
+        // Same workload on a hypothetical 10x slower network.
+        let mut slow = SystemSpec::archer2();
+        slow.net_bw_gbs /= 10.0;
+        let slow_pt = weak_scaling_curve(&slow, &w, &[128])[0];
+        assert!(slingshot.efficiency > slow_pt.efficiency);
+    }
+
+    #[test]
+    fn imbalance_term_grows_with_ranks() {
+        let sys = SystemSpec::archer2();
+        let mut w = toy_workload();
+        w.halo_bytes_per_step = 0.0;
+        w.migration_bytes_per_step = 0.0;
+        w.msgs_per_step = 0.0;
+        w.imbalance = 0.2;
+        let c = weak_scaling_curve(&sys, &w, &[1, 2, 1024]);
+        // R→∞ limit adds the full 20%.
+        assert!(c[2].total_s > c[1].total_s);
+        let limit = 0.1 * 250.0 * 1.2;
+        assert!((c[2].total_s - limit).abs() / limit < 0.01);
+    }
+}

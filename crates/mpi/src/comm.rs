@@ -1,0 +1,371 @@
+//! The in-process communicator.
+//!
+//! [`world_run`] spawns `n` rank threads, wires a full mesh of
+//! channels between them, and hands each a [`RankCtx`] with the MPI
+//! primitives the OP-PIC backend uses: `send`/`recv`, `barrier`,
+//! `allreduce`, `alltoallv`, `gather`, and an RMA-style window
+//! ([`RankCtx::window_put`] / [`RankCtx::window_fetch`]) mirroring the
+//! "MPI-RMA-based global move approach" of Section 3.2.2.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+
+/// A typed message payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    U64(Vec<u64>),
+}
+
+impl Message {
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            Message::F64(v) => v,
+            other => panic!("expected F64 message, got {other:?}"),
+        }
+    }
+
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Message::F64(v) => v,
+            other => panic!("expected F64 message, got {other:?}"),
+        }
+    }
+
+    pub fn as_i32(&self) -> &[i32] {
+        match self {
+            Message::I32(v) => v,
+            other => panic!("expected I32 message, got {other:?}"),
+        }
+    }
+
+    pub fn into_i32(self) -> Vec<i32> {
+        match self {
+            Message::I32(v) => v,
+            other => panic!("expected I32 message, got {other:?}"),
+        }
+    }
+
+    pub fn as_u64(&self) -> &[u64] {
+        match self {
+            Message::U64(v) => v,
+            other => panic!("expected U64 message, got {other:?}"),
+        }
+    }
+
+    /// Payload size in bytes — comm-volume accounting for the scaling
+    /// model.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Message::F64(v) => v.len() * 8,
+            Message::I32(v) => v.len() * 4,
+            Message::U64(v) => v.len() * 8,
+        }
+    }
+}
+
+/// Per-rank context handed to the rank body by [`world_run`].
+pub struct RankCtx {
+    pub rank: usize,
+    pub n_ranks: usize,
+    to: Vec<Sender<Message>>,
+    from: Vec<Receiver<Message>>,
+    barrier: Arc<Barrier>,
+    window: Arc<Vec<Mutex<Vec<f64>>>>,
+    /// Bytes sent by this rank (comm-volume accounting).
+    sent_bytes: u64,
+}
+
+impl RankCtx {
+    /// Point-to-point send to `dst` (buffered, non-blocking).
+    pub fn send(&mut self, dst: usize, msg: Message) {
+        self.sent_bytes += msg.bytes() as u64;
+        self.to[dst].send(msg).expect("receiver hung up — rank body panicked?");
+    }
+
+    /// Blocking receive of the next message from `src`.
+    pub fn recv(&self, src: usize) -> Message {
+        self.from[src].recv().expect("sender hung up — rank body panicked?")
+    }
+
+    /// Synchronise all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Total payload bytes this rank has sent.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// Sum-allreduce a scalar.
+    pub fn allreduce_sum(&mut self, x: f64) -> f64 {
+        self.allreduce_vec_sum(&[x])[0]
+    }
+
+    /// Element-wise sum-allreduce of a vector (gather to rank 0,
+    /// reduce, broadcast — the textbook implementation).
+    pub fn allreduce_vec_sum(&mut self, x: &[f64]) -> Vec<f64> {
+        if self.n_ranks == 1 {
+            return x.to_vec();
+        }
+        if self.rank == 0 {
+            let mut acc = x.to_vec();
+            for src in 1..self.n_ranks {
+                let m = self.recv(src).into_f64();
+                assert_eq!(m.len(), acc.len(), "allreduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(&m) {
+                    *a += b;
+                }
+            }
+            for dst in 1..self.n_ranks {
+                self.send(dst, Message::F64(acc.clone()));
+            }
+            acc
+        } else {
+            self.send(0, Message::F64(x.to_vec()));
+            self.recv(0).into_f64()
+        }
+    }
+
+    /// Max-allreduce a scalar.
+    pub fn allreduce_max(&mut self, x: f64) -> f64 {
+        if self.n_ranks == 1 {
+            return x;
+        }
+        if self.rank == 0 {
+            let mut acc = x;
+            for src in 1..self.n_ranks {
+                acc = acc.max(self.recv(src).into_f64()[0]);
+            }
+            for dst in 1..self.n_ranks {
+                self.send(dst, Message::F64(vec![acc]));
+            }
+            acc
+        } else {
+            self.send(0, Message::F64(vec![x]));
+            self.recv(0).into_f64()[0]
+        }
+    }
+
+    /// Gather per-rank f64 vectors on rank 0 (others get `None`).
+    pub fn gather_f64(&mut self, x: &[f64]) -> Option<Vec<Vec<f64>>> {
+        if self.rank == 0 {
+            let mut out = vec![x.to_vec()];
+            for src in 1..self.n_ranks {
+                out.push(self.recv(src).into_f64());
+            }
+            Some(out)
+        } else {
+            self.send(0, Message::F64(x.to_vec()));
+            None
+        }
+    }
+
+    /// All-to-all variable exchange: `sends[dst]` goes to rank `dst`;
+    /// returns `recvs[src]`. Every rank must call this collectively.
+    pub fn alltoallv(&mut self, sends: Vec<Message>) -> Vec<Message> {
+        assert_eq!(sends.len(), self.n_ranks, "alltoallv needs one buffer per rank");
+        // Self-message short-circuits through the channel too (keeps
+        // ordering semantics uniform).
+        for (dst, m) in sends.into_iter().enumerate() {
+            self.send(dst, m);
+        }
+        (0..self.n_ranks).map(|src| self.recv(src)).collect()
+    }
+
+    /// RMA put: overwrite `target_rank`'s window segment.
+    /// (`MPI_Win_lock` + `MPI_Put` semantics; passive target.)
+    pub fn window_put(&self, target_rank: usize, data: &[f64]) {
+        let mut w = self.window[target_rank].lock();
+        w.clear();
+        w.extend_from_slice(data);
+    }
+
+    /// RMA atomic append — the global-move pattern: any rank can push
+    /// particles into any other rank's window without that rank
+    /// participating (what the paper uses "to overcome the challenge of
+    /// identifying the ranks that are trying to communicate").
+    pub fn window_append(&self, target_rank: usize, data: &[f64]) {
+        self.window[target_rank].lock().extend_from_slice(data);
+    }
+
+    /// RMA fetch-and-clear of this rank's own window (after a barrier
+    /// that closes the exposure epoch).
+    pub fn window_fetch(&self) -> Vec<f64> {
+        std::mem::take(&mut *self.window[self.rank].lock())
+    }
+}
+
+/// Spawn `n_ranks` rank threads running `body`; returns each rank's
+/// result, in rank order. Panics in any rank propagate.
+pub fn world_run<R, F>(n_ranks: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    assert!(n_ranks > 0, "world needs at least one rank");
+    // channels[src][dst]
+    let mut senders: Vec<Vec<Option<Sender<Message>>>> = Vec::with_capacity(n_ranks);
+    let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
+        (0..n_ranks).map(|_| (0..n_ranks).map(|_| None).collect()).collect();
+    for src in 0..n_ranks {
+        let mut row = Vec::with_capacity(n_ranks);
+        for dst in 0..n_ranks {
+            let (tx, rx) = unbounded();
+            row.push(Some(tx));
+            receivers[dst][src] = Some(rx);
+        }
+        senders.push(row);
+    }
+    let barrier = Arc::new(Barrier::new(n_ranks));
+    let window: Arc<Vec<Mutex<Vec<f64>>>> =
+        Arc::new((0..n_ranks).map(|_| Mutex::new(Vec::new())).collect());
+
+    let mut ctxs: Vec<RankCtx> = senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(rank, (to_row, from_row))| RankCtx {
+            rank,
+            n_ranks,
+            to: to_row.into_iter().map(|s| s.expect("sender wired")).collect(),
+            from: from_row.into_iter().map(|r| r.expect("receiver wired")).collect(),
+            barrier: barrier.clone(),
+            window: window.clone(),
+            sent_bytes: 0,
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ctxs
+            .iter_mut()
+            .map(|ctx| {
+                let body = &body;
+                s.spawn(move || body(ctx))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_ring() {
+        let results = world_run(4, |ctx| {
+            let next = (ctx.rank + 1) % ctx.n_ranks;
+            let prev = (ctx.rank + ctx.n_ranks - 1) % ctx.n_ranks;
+            ctx.send(next, Message::I32(vec![ctx.rank as i32]));
+            ctx.recv(prev).into_i32()[0]
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let sums = world_run(5, |ctx| ctx.allreduce_sum(ctx.rank as f64));
+        assert!(sums.iter().all(|&s| s == 10.0));
+        let maxs = world_run(5, |ctx| ctx.allreduce_max((ctx.rank as f64) * 1.5));
+        assert!(maxs.iter().all(|&m| m == 6.0));
+    }
+
+    #[test]
+    fn allreduce_vec() {
+        let out = world_run(3, |ctx| {
+            ctx.allreduce_vec_sum(&[ctx.rank as f64, 1.0])
+        });
+        for v in out {
+            assert_eq!(v, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let out = world_run(1, |ctx| {
+            assert_eq!(ctx.allreduce_sum(4.0), 4.0);
+            assert_eq!(ctx.allreduce_max(-2.0), -2.0);
+            ctx.allreduce_vec_sum(&[7.0])
+        });
+        assert_eq!(out[0], vec![7.0]);
+    }
+
+    #[test]
+    fn gather_on_root() {
+        let out = world_run(3, |ctx| ctx.gather_f64(&[ctx.rank as f64]));
+        assert_eq!(out[0].as_ref().unwrap().len(), 3);
+        assert_eq!(out[0].as_ref().unwrap()[2], vec![2.0]);
+        assert!(out[1].is_none() && out[2].is_none());
+    }
+
+    #[test]
+    fn alltoallv_exchanges_everything() {
+        let out = world_run(3, |ctx| {
+            let sends: Vec<Message> = (0..3)
+                .map(|dst| Message::I32(vec![(ctx.rank * 10 + dst) as i32]))
+                .collect();
+            let recvs = ctx.alltoallv(sends);
+            recvs.iter().map(|m| m.as_i32()[0]).collect::<Vec<_>>()
+        });
+        // Rank r receives src*10 + r from each src.
+        assert_eq!(out[0], vec![0, 10, 20]);
+        assert_eq!(out[1], vec![1, 11, 21]);
+        assert_eq!(out[2], vec![2, 12, 22]);
+    }
+
+    #[test]
+    fn rma_global_move_pattern() {
+        // Every rank appends into rank (r+1)%n's window; after a
+        // barrier each fetches its own window.
+        let out = world_run(4, |ctx| {
+            let dst = (ctx.rank + 1) % ctx.n_ranks;
+            ctx.window_append(dst, &[ctx.rank as f64, 0.5]);
+            ctx.barrier();
+            let got = ctx.window_fetch();
+            ctx.barrier();
+            got
+        });
+        assert_eq!(out[0], vec![3.0, 0.5]);
+        assert_eq!(out[2], vec![1.0, 0.5]);
+        // Windows are drained after fetch.
+        let again = world_run(1, |ctx| ctx.window_fetch());
+        assert!(again[0].is_empty());
+    }
+
+    #[test]
+    fn sent_bytes_accounting() {
+        let out = world_run(2, |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, Message::F64(vec![0.0; 10]));
+                ctx.send(1, Message::I32(vec![0; 3]));
+            } else {
+                ctx.recv(0);
+                ctx.recv(0);
+            }
+            ctx.sent_bytes()
+        });
+        assert_eq!(out[0], 80 + 12);
+        assert_eq!(out[1], 0);
+    }
+
+    #[test]
+    fn message_accessors_and_bytes() {
+        assert_eq!(Message::F64(vec![1.0]).bytes(), 8);
+        assert_eq!(Message::I32(vec![1, 2]).bytes(), 8);
+        assert_eq!(Message::U64(vec![1]).bytes(), 8);
+        assert_eq!(Message::U64(vec![9]).as_u64(), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64")]
+    fn wrong_message_type_panics() {
+        let _ = Message::I32(vec![1]).into_f64();
+    }
+}

@@ -1,0 +1,257 @@
+//! Particle migration — the distributed side of `opp_particle_move`
+//! (Section 3.2.2 and Figure 7).
+//!
+//! After a local move pass, some particles have landed in cells owned
+//! by other ranks. [`migrate_particles`] packs each leaver's full
+//! payload (all particle dats) into one buffer per destination rank
+//! ("reducing the number of MPI messages"), ships them with an
+//! alltoallv, hole-fills the source store, and unpacks arrivals "to
+//! the end of the respective `opp_dat`s".
+//!
+//! [`global_move_rma`] is the direct-hop variant: destination ranks are
+//! discovered through the structured overlay's rank-map, and payloads
+//! are pushed straight into the target rank's RMA window — no
+//! neighbour discovery handshake, exactly the paper's "MPI-RMA-based
+//! global move approach".
+
+use crate::comm::{Message, RankCtx};
+use oppic_core::particles::ParticleDats;
+
+/// Outcome of one migration round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationStats {
+    pub sent: usize,
+    pub received: usize,
+    /// Payload f64s shipped (×8 = bytes).
+    pub shipped_values: usize,
+}
+
+/// Migrate particles between ranks through matched alltoallv buffers.
+///
+/// `leavers` lists `(particle index, destination rank, destination
+/// local cell)` for every particle that must leave this rank; indices
+/// must be unique. Collective: every rank must call this.
+pub fn migrate_particles(
+    ctx: &mut RankCtx,
+    ps: &mut ParticleDats,
+    leavers: &[(usize, u32, i32)],
+) -> MigrationStats {
+    let dofs = ps.dofs();
+    let n_ranks = ctx.n_ranks;
+
+    // Pack one buffer per destination: [cell0, dofs0..., cell1, ...].
+    let mut buffers: Vec<Vec<f64>> = vec![Vec::new(); n_ranks];
+    for &(idx, dst, cell) in leavers {
+        debug_assert_ne!(dst as usize, ctx.rank, "leaver staying home");
+        let buf = &mut buffers[dst as usize];
+        buf.push(cell as f64);
+        ps.pack_one(idx, buf);
+    }
+    let shipped_values: usize = buffers.iter().map(Vec::len).sum();
+
+    // Ship.
+    let recvs = ctx.alltoallv(buffers.into_iter().map(Message::F64).collect());
+
+    // Hole-fill the source store (indices sorted ascending).
+    let mut holes: Vec<usize> = leavers.iter().map(|&(i, _, _)| i).collect();
+    holes.sort_unstable();
+    debug_assert!(holes.windows(2).all(|w| w[0] < w[1]), "duplicate leaver index");
+    ps.remove_fill(&holes);
+
+    // Unpack arrivals at the end of the dats.
+    let mut received = 0usize;
+    let stride = dofs + 1;
+    for m in recvs {
+        let payload = m.into_f64();
+        assert_eq!(payload.len() % stride, 0, "ragged migration payload");
+        for chunk in payload.chunks_exact(stride) {
+            let cell = chunk[0] as i32;
+            ps.unpack_one(&chunk[1..], cell);
+            received += 1;
+        }
+    }
+
+    MigrationStats { sent: leavers.len(), received, shipped_values }
+}
+
+/// Direct-hop global move over the RMA window: push each leaver's
+/// payload into the *destination rank's* window, barrier, then drain
+/// our own window. No per-pair handshake is needed — any rank can be a
+/// target without knowing its senders in advance.
+pub fn global_move_rma(
+    ctx: &mut RankCtx,
+    ps: &mut ParticleDats,
+    leavers: &[(usize, u32, i32)],
+) -> MigrationStats {
+    let dofs = ps.dofs();
+    let stride = dofs + 1;
+
+    let mut shipped_values = 0usize;
+    let mut buf = Vec::with_capacity(stride);
+    for &(idx, dst, cell) in leavers {
+        buf.clear();
+        buf.push(cell as f64);
+        ps.pack_one(idx, &mut buf);
+        ctx.window_append(dst as usize, &buf);
+        shipped_values += buf.len();
+    }
+
+    // Close the exposure epoch.
+    ctx.barrier();
+
+    let mut holes: Vec<usize> = leavers.iter().map(|&(i, _, _)| i).collect();
+    holes.sort_unstable();
+    ps.remove_fill(&holes);
+
+    let payload = ctx.window_fetch();
+    assert_eq!(payload.len() % stride, 0, "ragged RMA payload");
+    let mut received = 0usize;
+    for chunk in payload.chunks_exact(stride) {
+        ps.unpack_one(&chunk[1..], chunk[0] as i32);
+        received += 1;
+    }
+    // Second barrier so nobody starts the next epoch while a slow rank
+    // is still draining.
+    ctx.barrier();
+
+    MigrationStats { sent: leavers.len(), received, shipped_values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::world_run;
+
+    /// Build a rank-local store with `n` particles; column "tag"
+    /// encodes (rank, index) so payload integrity is checkable.
+    fn local_store(rank: usize, n: usize) -> ParticleDats {
+        let mut ps = ParticleDats::new();
+        let tag = ps.decl_dat("tag", 2);
+        ps.inject(n, 0);
+        for i in 0..n {
+            let e = ps.el_mut(tag, i);
+            e[0] = rank as f64;
+            e[1] = i as f64;
+            ps.cells_mut()[i] = i as i32;
+        }
+        ps
+    }
+
+    #[test]
+    fn migration_round_trip_preserves_everything() {
+        let n_ranks = 3;
+        let per_rank = 10;
+        let out = world_run(n_ranks, |ctx| {
+            let mut ps = local_store(ctx.rank, per_rank);
+            // Send particles with odd index to the next rank.
+            let dst = ((ctx.rank + 1) % n_ranks) as u32;
+            let leavers: Vec<(usize, u32, i32)> = (0..per_rank)
+                .filter(|i| i % 2 == 1)
+                .map(|i| (i, dst, 100 + i as i32))
+                .collect();
+            let stats = migrate_particles(ctx, &mut ps, &leavers);
+            (ps, stats)
+        });
+
+        let total: usize = out.iter().map(|(ps, _)| ps.len()).sum();
+        assert_eq!(total, n_ranks * per_rank, "global particle count conserved");
+        for (r, (ps, stats)) in out.iter().enumerate() {
+            assert_eq!(stats.sent, 5);
+            assert_eq!(stats.received, 5);
+            assert_eq!(stats.shipped_values, 5 * 3);
+            let tag = ps.col_id("tag").unwrap();
+            let prev = (r + n_ranks - 1) % n_ranks;
+            let mut natives = 0;
+            let mut immigrants = 0;
+            for i in 0..ps.len() {
+                let e = ps.el(tag, i);
+                if e[0] as usize == r {
+                    natives += 1;
+                    assert_eq!(e[1] as usize % 2, 0, "odd natives must have left");
+                } else {
+                    immigrants += 1;
+                    assert_eq!(e[0] as usize, prev, "immigrants come from prev rank");
+                    assert_eq!(e[1] as usize % 2, 1);
+                    // Destination cell assignment applied.
+                    assert_eq!(ps.cells()[i], 100 + e[1] as i32);
+                }
+            }
+            assert_eq!(natives, 5);
+            assert_eq!(immigrants, 5);
+        }
+    }
+
+    #[test]
+    fn migration_with_no_leavers_is_stable() {
+        let out = world_run(2, |ctx| {
+            let mut ps = local_store(ctx.rank, 4);
+            let stats = migrate_particles(ctx, &mut ps, &[]);
+            (ps.len(), stats)
+        });
+        for (len, stats) in out {
+            assert_eq!(len, 4);
+            assert_eq!(stats, MigrationStats::default());
+        }
+    }
+
+    #[test]
+    fn all_particles_leave_one_rank() {
+        let out = world_run(2, |ctx| {
+            let mut ps = local_store(ctx.rank, 3);
+            let leavers: Vec<(usize, u32, i32)> = if ctx.rank == 0 {
+                (0..3).map(|i| (i, 1u32, 0)).collect()
+            } else {
+                vec![]
+            };
+            migrate_particles(ctx, &mut ps, &leavers);
+            ps.len()
+        });
+        assert_eq!(out, vec![0, 6]);
+    }
+
+    #[test]
+    fn rma_global_move_matches_alltoall_semantics() {
+        let n_ranks = 4;
+        let out = world_run(n_ranks, |ctx| {
+            let mut ps = local_store(ctx.rank, 8);
+            // Scatter: particle i goes to rank i % n (skipping self).
+            let leavers: Vec<(usize, u32, i32)> = (0..8)
+                .filter(|i| i % n_ranks != ctx.rank)
+                .map(|i| (i, (i % n_ranks) as u32, i as i32))
+                .collect();
+            let stats = global_move_rma(ctx, &mut ps, &leavers);
+            (ps, stats)
+        });
+        let total: usize = out.iter().map(|(ps, _)| ps.len()).sum();
+        assert_eq!(total, n_ranks * 8);
+        for (r, (ps, stats)) in out.iter().enumerate() {
+            assert_eq!(stats.sent, 6, "rank {r} sends 6 of its 8");
+            assert_eq!(stats.received, 6, "each rank receives 2 from each of 3 others");
+            let tag = ps.col_id("tag").unwrap();
+            for i in 0..ps.len() {
+                let e = ps.el(tag, i);
+                if e[0] as usize != *&r {
+                    // Immigrant: must belong here by the scatter rule.
+                    assert_eq!(e[1] as usize % n_ranks, *&r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rma_epochs_do_not_leak_between_rounds() {
+        let out = world_run(2, |ctx| {
+            let mut ps = local_store(ctx.rank, 2);
+            let dst = (1 - ctx.rank) as u32;
+            // Round 1: rank 0 sends particle 0.
+            let leavers: Vec<_> =
+                if ctx.rank == 0 { vec![(0usize, dst, 5i32)] } else { vec![] };
+            global_move_rma(ctx, &mut ps, &leavers);
+            // Round 2: nobody sends; windows must be empty.
+            let stats = global_move_rma(ctx, &mut ps, &[]);
+            (ps.len(), stats.received)
+        });
+        assert_eq!(out[0], (1, 0));
+        assert_eq!(out[1], (3, 0));
+    }
+}

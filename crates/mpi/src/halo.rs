@@ -1,0 +1,396 @@
+//! Halo construction and exchange — the owner-compute machinery of
+//! Section 3.2.1.
+//!
+//! Given a partition (cell → rank) and the cell adjacency, each rank
+//! gets a [`RankMesh`]: its owned cells, a one-layer ghost halo, a
+//! local renumbering (owned first, ghosts after), a localised c2c map,
+//! and a matching send/receive plan. Two exchange executors run on top:
+//!
+//! * [`HaloExchangePlan::forward`] — owners push fresh values into
+//!   neighbour ghosts (a read halo; what the field loops need);
+//! * [`HaloExchangePlan::reverse_add`] — ghost-side increments travel
+//!   back and accumulate into the owner ("the increments are first
+//!   written to rank 1's halos and then ... communicated to rank 2,
+//!   which can then update the rank 2 owned N6"), after which the
+//!   ghost copies are zeroed.
+
+use crate::comm::{Message, RankCtx};
+use std::collections::HashMap;
+
+/// Matched send/recv lists for one rank. Senders and receivers order
+/// their element lists by global id, so payloads line up without
+/// further coordination.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HaloExchangePlan {
+    /// `(neighbour rank, local element ids to send)` — owned elements
+    /// the neighbour ghosts.
+    pub send: Vec<(u32, Vec<usize>)>,
+    /// `(neighbour rank, local element ids to fill)` — our ghosts owned
+    /// by the neighbour.
+    pub recv: Vec<(u32, Vec<usize>)>,
+}
+
+impl HaloExchangePlan {
+    /// Owners → ghosts: push owned values to neighbours, fill ghost
+    /// slots from received payloads. `data` is a flat `len*dim` buffer
+    /// in local numbering. Collective: all ranks must call it.
+    pub fn forward(&self, ctx: &mut RankCtx, data: &mut [f64], dim: usize) {
+        for (dst, cells) in &self.send {
+            let mut payload = Vec::with_capacity(cells.len() * dim);
+            for &c in cells {
+                payload.extend_from_slice(&data[c * dim..(c + 1) * dim]);
+            }
+            ctx.send(*dst as usize, Message::F64(payload));
+        }
+        for (src, cells) in &self.recv {
+            let payload = ctx.recv(*src as usize).into_f64();
+            assert_eq!(payload.len(), cells.len() * dim, "halo payload shape mismatch");
+            for (k, &c) in cells.iter().enumerate() {
+                data[c * dim..(c + 1) * dim].copy_from_slice(&payload[k * dim..(k + 1) * dim]);
+            }
+        }
+    }
+
+    /// Ghosts → owners: send ghost-side accumulations back, add into
+    /// the owner's values, zero the ghost slots. Collective.
+    pub fn reverse_add(&self, ctx: &mut RankCtx, data: &mut [f64], dim: usize) {
+        // Note the reversed roles: we *send* our ghost values (recv
+        // plan) and *receive* into our owned elements (send plan).
+        for (src, cells) in &self.recv {
+            let mut payload = Vec::with_capacity(cells.len() * dim);
+            for &c in cells {
+                payload.extend_from_slice(&data[c * dim..(c + 1) * dim]);
+                data[c * dim..(c + 1) * dim].fill(0.0);
+            }
+            ctx.send(*src as usize, Message::F64(payload));
+        }
+        for (dst, cells) in &self.send {
+            let payload = ctx.recv(*dst as usize).into_f64();
+            assert_eq!(payload.len(), cells.len() * dim, "halo payload shape mismatch");
+            for (k, &c) in cells.iter().enumerate() {
+                for d in 0..dim {
+                    data[c * dim + d] += payload[k * dim + d];
+                }
+            }
+        }
+    }
+
+    /// Total elements sent per exchange (comm-volume accounting).
+    pub fn send_volume(&self) -> usize {
+        self.send.iter().map(|(_, v)| v.len()).sum()
+    }
+}
+
+/// One rank's local view of the partitioned mesh.
+#[derive(Debug, Clone)]
+pub struct RankMesh {
+    pub rank: u32,
+    /// Global ids of owned cells, ascending; local id = index.
+    pub owned: Vec<usize>,
+    /// Global ids of ghost cells, ascending; local id = n_owned + index.
+    pub ghosts: Vec<usize>,
+    /// Global → local for owned and ghost cells.
+    pub global_to_local: HashMap<usize, usize>,
+    /// Localised adjacency (same arity as the input): owned cells only;
+    /// neighbours may be owned, ghost, or `-1` (domain boundary or
+    /// beyond the one-layer halo).
+    pub local_c2c: Vec<Vec<i32>>,
+    /// Cell-halo exchange plan.
+    pub plan: HaloExchangePlan,
+}
+
+impl RankMesh {
+    pub fn n_owned(&self) -> usize {
+        self.owned.len()
+    }
+
+    pub fn n_local(&self) -> usize {
+        self.owned.len() + self.ghosts.len()
+    }
+
+    /// Local id of a global cell (owned or ghost).
+    pub fn local_of(&self, global: usize) -> Option<usize> {
+        self.global_to_local.get(&global).copied()
+    }
+
+    /// Scatter a global per-cell dat into this rank's local layout
+    /// (owned + ghosts), for initialisation.
+    pub fn localize_dat(&self, global_data: &[f64], dim: usize) -> Vec<f64> {
+        let mut local = vec![0.0; self.n_local() * dim];
+        for (l, &g) in self.owned.iter().chain(self.ghosts.iter()).enumerate() {
+            local[l * dim..(l + 1) * dim].copy_from_slice(&global_data[g * dim..(g + 1) * dim]);
+        }
+        local
+    }
+}
+
+/// Build every rank's [`RankMesh`] from a global adjacency and a
+/// partition vector — the "OP-PIC will automatically partition the
+/// remaining opp_sets ... and create halo regions" step.
+pub fn build_rank_meshes(
+    c2c: &[impl AsRef<[i32]>],
+    cell_rank: &[u32],
+    n_ranks: usize,
+) -> Vec<RankMesh> {
+    assert_eq!(c2c.len(), cell_rank.len());
+    let mut meshes = Vec::with_capacity(n_ranks);
+    for r in 0..n_ranks as u32 {
+        let owned: Vec<usize> = (0..c2c.len()).filter(|&c| cell_rank[c] == r).collect();
+
+        // One-layer halo: neighbours of owned cells owned elsewhere.
+        let mut ghost_set: Vec<usize> = owned
+            .iter()
+            .flat_map(|&c| c2c[c].as_ref().iter().copied())
+            .filter(|&nb| nb >= 0 && cell_rank[nb as usize] != r)
+            .map(|nb| nb as usize)
+            .collect();
+        ghost_set.sort_unstable();
+        ghost_set.dedup();
+
+        let mut global_to_local = HashMap::with_capacity(owned.len() + ghost_set.len());
+        for (l, &g) in owned.iter().enumerate() {
+            global_to_local.insert(g, l);
+        }
+        for (k, &g) in ghost_set.iter().enumerate() {
+            global_to_local.insert(g, owned.len() + k);
+        }
+
+        // Localised adjacency for owned cells.
+        let local_c2c: Vec<Vec<i32>> = owned
+            .iter()
+            .map(|&c| {
+                c2c[c]
+                    .as_ref()
+                    .iter()
+                    .map(|&nb| {
+                        if nb < 0 {
+                            -1
+                        } else {
+                            global_to_local
+                                .get(&(nb as usize))
+                                .map(|&l| l as i32)
+                                .unwrap_or(-1)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Receive plan: ghosts grouped by owner rank, ascending global
+        // id within a group.
+        let mut recv: HashMap<u32, Vec<usize>> = HashMap::new();
+        for &g in &ghost_set {
+            recv.entry(cell_rank[g])
+                .or_default()
+                .push(global_to_local[&g]);
+        }
+        let mut recv: Vec<(u32, Vec<usize>)> = recv.into_iter().collect();
+        recv.sort_by_key(|(src, _)| *src);
+
+        meshes.push(RankMesh {
+            rank: r,
+            owned,
+            ghosts: ghost_set,
+            global_to_local,
+            local_c2c,
+            plan: HaloExchangePlan { send: Vec::new(), recv },
+        });
+    }
+
+    // Send plans mirror the neighbours' receive plans: rank a sends to
+    // rank b exactly b's ghosts owned by a, in ascending global order.
+    for r in 0..n_ranks {
+        let mut sends: Vec<(u32, Vec<usize>)> = Vec::new();
+        for other in 0..n_ranks {
+            if other == r {
+                continue;
+            }
+            let wanted: Vec<usize> = meshes[other]
+                .ghosts
+                .iter()
+                .copied()
+                .filter(|&g| cell_rank[g] == r as u32)
+                .collect();
+            if !wanted.is_empty() {
+                let local: Vec<usize> =
+                    wanted.iter().map(|g| meshes[r].global_to_local[g]).collect();
+                sends.push((other as u32, local));
+            }
+        }
+        sends.sort_by_key(|(dst, _)| *dst);
+        meshes[r].plan.send = sends;
+    }
+
+    meshes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::world_run;
+    use crate::partition::directional_partition;
+    use oppic_mesh::TetMesh;
+
+    fn setup(n_ranks: usize) -> (TetMesh, Vec<u32>, Vec<RankMesh>) {
+        let m = TetMesh::duct(4, 2, 2, 4.0, 1.0, 1.0);
+        let cen: Vec<_> = (0..m.n_cells()).map(|c| m.cell_centroid(c)).collect();
+        let rank = directional_partition(&cen, 0, n_ranks);
+        let c2c: Vec<Vec<i32>> = m.c2c.iter().map(|a| a.to_vec()).collect();
+        let meshes = build_rank_meshes(&c2c, &rank, n_ranks);
+        (m, rank, meshes)
+    }
+
+    #[test]
+    fn owned_cells_cover_disjointly() {
+        let (m, _, meshes) = setup(3);
+        let mut seen = vec![false; m.n_cells()];
+        for rm in &meshes {
+            for &g in &rm.owned {
+                assert!(!seen[g], "cell {g} owned twice");
+                seen[g] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ghosts_are_exactly_the_cross_rank_neighbours() {
+        let (m, rank, meshes) = setup(2);
+        for rm in &meshes {
+            for &g in &rm.ghosts {
+                assert_ne!(rank[g], rm.rank, "ghost must be foreign-owned");
+                // Each ghost is adjacent to at least one owned cell.
+                let touches = rm
+                    .owned
+                    .iter()
+                    .any(|&c| m.c2c[c].contains(&(g as i32)));
+                assert!(touches, "ghost {g} not adjacent to rank {}", rm.rank);
+            }
+        }
+    }
+
+    #[test]
+    fn local_c2c_is_consistent() {
+        let (m, _, meshes) = setup(2);
+        for rm in &meshes {
+            for (l, nbs) in rm.local_c2c.iter().enumerate() {
+                let g = rm.owned[l];
+                for (k, &nb_local) in nbs.iter().enumerate() {
+                    let nb_global = m.c2c[g][k];
+                    if nb_local >= 0 {
+                        let expect = rm
+                            .owned
+                            .iter()
+                            .chain(rm.ghosts.iter())
+                            .nth(nb_local as usize)
+                            .copied()
+                            .unwrap();
+                        assert_eq!(expect as i32, nb_global);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_symmetric() {
+        let (_, _, meshes) = setup(3);
+        for rm in &meshes {
+            for (dst, cells) in &rm.plan.send {
+                let other = &meshes[*dst as usize];
+                let back = other
+                    .plan
+                    .recv
+                    .iter()
+                    .find(|(src, _)| *src == rm.rank)
+                    .expect("matching recv plan");
+                assert_eq!(cells.len(), back.1.len(), "plan sizes must match");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_exchange_fills_ghosts_with_owner_values() {
+        let n_ranks = 3;
+        let (m, _, meshes) = setup(n_ranks);
+        // dat value = global cell id (dim 2: id and id*10).
+        let global: Vec<f64> = (0..m.n_cells()).flat_map(|c| [c as f64, c as f64 * 10.0]).collect();
+        let oks = world_run(n_ranks, |ctx| {
+            let rm = &meshes[ctx.rank];
+            let mut local = rm.localize_dat(&global, 2);
+            // Wipe ghosts to prove the exchange fills them.
+            for l in rm.n_owned()..rm.n_local() {
+                local[l * 2] = -1.0;
+                local[l * 2 + 1] = -1.0;
+            }
+            rm.plan.forward(ctx, &mut local, 2);
+            for (k, &g) in rm.ghosts.iter().enumerate() {
+                let l = rm.n_owned() + k;
+                assert_eq!(local[l * 2], g as f64);
+                assert_eq!(local[l * 2 + 1], g as f64 * 10.0);
+            }
+            true
+        });
+        assert!(oks.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn reverse_add_accumulates_into_owner_and_clears_ghosts() {
+        let n_ranks = 2;
+        let (m, rank, meshes) = setup(n_ranks);
+        // Each rank writes +1 into each of its ghost cells; owners must
+        // end with (number of ranks ghosting that cell).
+        let finals = world_run(n_ranks, |ctx| {
+            let rm = &meshes[ctx.rank];
+            let mut local = vec![0.0; rm.n_local()];
+            for l in rm.n_owned()..rm.n_local() {
+                local[l] = 1.0;
+            }
+            rm.plan.reverse_add(ctx, &mut local, 1);
+            // Ghost slots zeroed.
+            for l in rm.n_owned()..rm.n_local() {
+                assert_eq!(local[l], 0.0);
+            }
+            local[..rm.n_owned()].to_vec()
+        });
+        // Reassemble and compare against the ghost multiplicity.
+        let mut got = vec![0.0; m.n_cells()];
+        for (r, vals) in finals.iter().enumerate() {
+            for (l, &v) in vals.iter().enumerate() {
+                got[meshes[r].owned[l]] = v;
+            }
+        }
+        for c in 0..m.n_cells() {
+            let multiplicity = meshes
+                .iter()
+                .filter(|rm| rm.rank != rank[c] && rm.ghosts.contains(&c))
+                .count() as f64;
+            assert_eq!(got[c], multiplicity, "cell {c}");
+        }
+    }
+
+    #[test]
+    fn localize_dat_layout() {
+        let (m, _, meshes) = setup(2);
+        let global: Vec<f64> = (0..m.n_cells()).map(|c| c as f64).collect();
+        let rm = &meshes[0];
+        let local = rm.localize_dat(&global, 1);
+        assert_eq!(local.len(), rm.n_local());
+        for (l, &g) in rm.owned.iter().enumerate() {
+            assert_eq!(local[l], g as f64);
+        }
+        for (k, &g) in rm.ghosts.iter().enumerate() {
+            assert_eq!(local[rm.n_owned() + k], g as f64);
+            assert_eq!(rm.local_of(g), Some(rm.n_owned() + k));
+        }
+        assert_eq!(rm.local_of(usize::MAX), None);
+    }
+
+    #[test]
+    fn send_volume_counts_elements() {
+        let (_, _, meshes) = setup(2);
+        // Both ranks of a 2-way slab cut send a full interface layer.
+        assert!(meshes[0].plan.send_volume() > 0);
+        assert_eq!(meshes[0].plan.send_volume(), meshes[1].plan.send_volume());
+    }
+}

@@ -1,0 +1,34 @@
+//! # oppic-mpi — the distributed-memory runtime
+//!
+//! The paper's distributed level is classic MPI: mesh partitioning,
+//! owner-compute halos, particle migration with pack/ship/unpack, and
+//! an RMA window for the direct-hop global move. This crate reproduces
+//! all of those algorithms in-process: **ranks are OS threads**,
+//! messages travel over typed crossbeam channels, and collective
+//! operations (barrier, allreduce, alltoallv) are implemented on top —
+//! the identical code paths at rank-count parametric scale (the
+//! substitution documented in DESIGN.md).
+//!
+//! * [`comm`] — the communicator: point-to-point sends, barriers,
+//!   reductions, gathers, and an RMA-style shared window.
+//! * [`partition`] — the paper's custom partitioner ("along the
+//!   principal direction of motion of particles", as in PUMIPic), plus
+//!   recursive coordinate bisection and a greedy graph-growing k-way
+//!   partitioner as the ParMETIS stand-in.
+//! * [`halo`] — import/export list construction from a partition and a
+//!   cell→cell map, local renumbering, and halo exchange executors
+//!   (forward ghost-read and reverse accumulate).
+//! * [`exchange`] — particle migration: pack leaving particles, ship
+//!   via alltoallv, unpack at the destination, hole-fill at the source.
+
+pub mod comm;
+pub mod exchange;
+pub mod halo;
+pub mod partition;
+pub mod solve;
+
+pub use comm::{world_run, Message, RankCtx};
+pub use exchange::migrate_particles;
+pub use halo::{HaloExchangePlan, RankMesh};
+pub use partition::{directional_partition, graph_growing_partition, rcb_partition, PartitionStats};
+pub use solve::{cg_solve_distributed, partition_system, DistributedSystem};

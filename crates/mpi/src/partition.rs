@@ -1,0 +1,299 @@
+//! Mesh partitioners.
+//!
+//! The paper: "OP-PIC supports partitioning the mesh with ParMETIS,
+//! however, in this paper we use a custom partitioning routine where
+//! partitions are created along the 'principal direction of motion of
+//! particles', as in PUMIPic. This significantly minimizes
+//! communication between partitions."
+//!
+//! Provided here:
+//! * [`directional_partition`] — the paper's custom scheme: sort cells
+//!   by centroid coordinate along the given axis, cut into equal
+//!   contiguous blocks;
+//! * [`rcb_partition`] — recursive coordinate bisection;
+//! * [`graph_growing_partition`] — greedy BFS region growing over the
+//!   cell graph (the ParMETIS stand-in, documented in DESIGN.md);
+//! * [`PartitionStats`] — edge cut, imbalance and halo-size metrics the
+//!   partition ablation bench reports.
+
+use oppic_mesh::Vec3;
+
+/// Quality metrics of a partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionStats {
+    pub n_ranks: usize,
+    /// c2c edges whose endpoints live on different ranks.
+    pub edge_cut: usize,
+    /// max part size / mean part size.
+    pub imbalance: f64,
+    /// Total number of (cell, neighbour-rank) ghost pairs — the halo
+    /// volume the exchange pays per step.
+    pub halo_cells: usize,
+}
+
+/// The paper's custom partitioner: equal contiguous blocks along one
+/// axis (the principal direction of particle motion).
+pub fn directional_partition(centroids: &[Vec3], axis: usize, n_ranks: usize) -> Vec<u32> {
+    assert!(n_ranks > 0);
+    assert!(axis < 3);
+    let n = centroids.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        centroids[a][axis]
+            .partial_cmp(&centroids[b][axis])
+            .expect("centroid coordinates must not be NaN")
+    });
+    let mut rank = vec![0u32; n];
+    for (pos, &cell) in order.iter().enumerate() {
+        // Equal-count blocks: cell `pos` of the sorted order goes to
+        // floor(pos * R / n).
+        rank[cell] = ((pos * n_ranks) / n.max(1)) as u32;
+    }
+    rank
+}
+
+/// Recursive coordinate bisection: split the widest axis at the median
+/// repeatedly until `n_ranks` parts exist. `n_ranks` may be any
+/// positive integer (non-powers of two split proportionally).
+pub fn rcb_partition(centroids: &[Vec3], n_ranks: usize) -> Vec<u32> {
+    assert!(n_ranks > 0);
+    let mut rank = vec![0u32; centroids.len()];
+    let all: Vec<usize> = (0..centroids.len()).collect();
+    rcb_recurse(centroids, &all, 0, n_ranks, &mut rank);
+    rank
+}
+
+fn rcb_recurse(
+    centroids: &[Vec3],
+    cells: &[usize],
+    first_rank: u32,
+    n_parts: usize,
+    rank: &mut [u32],
+) {
+    if n_parts == 1 || cells.is_empty() {
+        for &c in cells {
+            rank[c] = first_rank;
+        }
+        return;
+    }
+    // Widest axis of this subset.
+    let mut lo = Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut hi = Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &c in cells {
+        lo = lo.min(centroids[c]);
+        hi = hi.max(centroids[c]);
+    }
+    let ext = hi - lo;
+    let axis = if ext.x >= ext.y && ext.x >= ext.z {
+        0
+    } else if ext.y >= ext.z {
+        1
+    } else {
+        2
+    };
+    let mut sorted = cells.to_vec();
+    sorted.sort_by(|&a, &b| {
+        centroids[a][axis]
+            .partial_cmp(&centroids[b][axis])
+            .expect("centroid coordinates must not be NaN")
+    });
+    // Proportional split for odd part counts.
+    let left_parts = n_parts / 2;
+    let right_parts = n_parts - left_parts;
+    let split = sorted.len() * left_parts / n_parts;
+    rcb_recurse(centroids, &sorted[..split], first_rank, left_parts, rank);
+    rcb_recurse(centroids, &sorted[split..], first_rank + left_parts as u32, right_parts, rank);
+}
+
+/// Greedy graph-growing k-way partition over the cell adjacency:
+/// grow each part by BFS from the lowest-index unassigned cell until it
+/// reaches its target size. Produces connected, balanced parts on
+/// connected meshes — the qualitative behaviour expected from METIS.
+pub fn graph_growing_partition(c2c: &[Vec<i32>], n_ranks: usize) -> Vec<u32> {
+    assert!(n_ranks > 0);
+    let n = c2c.len();
+    let mut rank = vec![u32::MAX; n];
+    let mut assigned = 0usize;
+    let mut next_seed = 0usize;
+    for r in 0..n_ranks {
+        let target = (n - assigned) / (n_ranks - r);
+        if target == 0 {
+            continue;
+        }
+        // Seed: first unassigned cell.
+        while next_seed < n && rank[next_seed] != u32::MAX {
+            next_seed += 1;
+        }
+        if next_seed >= n {
+            break;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(next_seed);
+        rank[next_seed] = r as u32;
+        let mut size = 1usize;
+        while size < target {
+            let Some(c) = queue.pop_front() else {
+                // Region exhausted (disconnected component): reseed.
+                let mut found = None;
+                for k in next_seed..n {
+                    if rank[k] == u32::MAX {
+                        found = Some(k);
+                        break;
+                    }
+                }
+                match found {
+                    Some(k) => {
+                        rank[k] = r as u32;
+                        size += 1;
+                        queue.push_back(k);
+                        continue;
+                    }
+                    None => break,
+                }
+            };
+            for &nb in &c2c[c] {
+                if nb >= 0 && rank[nb as usize] == u32::MAX && size < target {
+                    rank[nb as usize] = r as u32;
+                    size += 1;
+                    queue.push_back(nb as usize);
+                }
+            }
+        }
+        assigned += size;
+    }
+    // Any stragglers (disconnected leftovers) go to the last rank.
+    for r in rank.iter_mut() {
+        if *r == u32::MAX {
+            *r = (n_ranks - 1) as u32;
+        }
+    }
+    rank
+}
+
+/// Compute partition quality metrics from a fixed-arity c2c map
+/// (entries < 0 are boundaries).
+pub fn partition_stats(c2c: &[impl AsRef<[i32]>], rank: &[u32], n_ranks: usize) -> PartitionStats {
+    let n = c2c.len();
+    let mut edge_cut = 0usize;
+    let mut sizes = vec![0usize; n_ranks];
+    let mut halo_pairs = std::collections::HashSet::new();
+    for (c, nbs) in c2c.iter().enumerate() {
+        sizes[rank[c] as usize] += 1;
+        for &nb in nbs.as_ref() {
+            if nb >= 0 {
+                let nb = nb as usize;
+                if rank[nb] != rank[c] {
+                    edge_cut += 1;
+                    // Cell nb is a ghost on rank[c].
+                    halo_pairs.insert((nb, rank[c]));
+                }
+            }
+        }
+    }
+    edge_cut /= 2; // counted from both sides
+    let mean = n as f64 / n_ranks as f64;
+    let imbalance = sizes.iter().copied().max().unwrap_or(0) as f64 / mean.max(1e-300);
+    PartitionStats { n_ranks, edge_cut, imbalance, halo_cells: halo_pairs.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oppic_mesh::TetMesh;
+
+    fn centroids(m: &TetMesh) -> Vec<Vec3> {
+        (0..m.n_cells()).map(|c| m.cell_centroid(c)).collect()
+    }
+
+    fn check_cover(rank: &[u32], n_ranks: usize) {
+        // Every cell assigned, every rank in range, every rank nonempty.
+        let mut seen = vec![0usize; n_ranks];
+        for &r in rank {
+            assert!((r as usize) < n_ranks);
+            seen[r as usize] += 1;
+        }
+        assert!(seen.iter().all(|&s| s > 0), "empty rank: {seen:?}");
+    }
+
+    #[test]
+    fn directional_is_balanced_and_ordered() {
+        let m = TetMesh::duct(8, 2, 2, 8.0, 1.0, 1.0);
+        let cen = centroids(&m);
+        let rank = directional_partition(&cen, 0, 4);
+        check_cover(&rank, 4);
+        // Exactly balanced.
+        let mut sizes = [0usize; 4];
+        for &r in &rank {
+            sizes[r as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s == m.n_cells() / 4));
+        // Monotone along x: lower-x cells get lower ranks.
+        for c in 0..m.n_cells() {
+            for d in 0..m.n_cells() {
+                if cen[c].x < cen[d].x - 1e-9 {
+                    assert!(rank[c] <= rank[d]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rcb_covers_and_balances() {
+        let m = TetMesh::duct(4, 4, 4, 1.0, 1.0, 1.0);
+        for r in [2usize, 3, 4, 5, 8] {
+            let rank = rcb_partition(&centroids(&m), r);
+            check_cover(&rank, r);
+            let stats = partition_stats(&m.c2c, &rank, r);
+            assert!(stats.imbalance < 1.2, "r={r} imbalance {}", stats.imbalance);
+        }
+    }
+
+    #[test]
+    fn graph_growing_covers_and_balances() {
+        let m = TetMesh::duct(4, 4, 4, 1.0, 1.0, 1.0);
+        let c2c: Vec<Vec<i32>> = m.c2c.iter().map(|a| a.to_vec()).collect();
+        for r in [2usize, 4, 7] {
+            let rank = graph_growing_partition(&c2c, r);
+            check_cover(&rank, r);
+            let stats = partition_stats(&m.c2c, &rank, r);
+            assert!(stats.imbalance < 1.4, "r={r} imbalance {}", stats.imbalance);
+        }
+    }
+
+    #[test]
+    fn directional_minimises_cut_on_a_duct() {
+        // On a long duct, slicing across the long axis must beat
+        // slicing across a short axis — the paper's rationale.
+        let m = TetMesh::duct(16, 2, 2, 16.0, 1.0, 1.0);
+        let cen = centroids(&m);
+        let along = partition_stats(&m.c2c, &directional_partition(&cen, 0, 4), 4);
+        let across = partition_stats(&m.c2c, &directional_partition(&cen, 1, 4), 4);
+        assert!(
+            along.edge_cut < across.edge_cut,
+            "along {} vs across {}",
+            along.edge_cut,
+            across.edge_cut
+        );
+    }
+
+    #[test]
+    fn single_rank_partitions_are_trivial() {
+        let m = TetMesh::duct(2, 2, 2, 1.0, 1.0, 1.0);
+        let cen = centroids(&m);
+        assert!(directional_partition(&cen, 0, 1).iter().all(|&r| r == 0));
+        assert!(rcb_partition(&cen, 1).iter().all(|&r| r == 0));
+        let c2c: Vec<Vec<i32>> = m.c2c.iter().map(|a| a.to_vec()).collect();
+        assert!(graph_growing_partition(&c2c, 1).iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn stats_on_hand_built_graph() {
+        // 4 cells in a row, ranks [0,0,1,1]: one cut edge (1-2), one
+        // ghost pair each side.
+        let c2c: Vec<[i32; 2]> = vec![[-1, 1], [0, 2], [1, 3], [2, -1]];
+        let stats = partition_stats(&c2c, &[0, 0, 1, 1], 2);
+        assert_eq!(stats.edge_cut, 1);
+        assert_eq!(stats.halo_cells, 2);
+        assert_eq!(stats.imbalance, 1.0);
+    }
+}
