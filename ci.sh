@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, full workspace tests, and
+# the analyzer's end-to-end self-test. Everything runs --offline —
+# external crates are satisfied by the workspace-local shims.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --offline --release --workspace
+
+echo "== cargo test --workspace"
+cargo test --offline --workspace --quiet
+
+echo "== oppic-analyzer --self-test"
+./target/release/oppic-analyzer --self-test
+
+echo "== fempic --validate / cabana --validate"
+./target/release/fempic --validate >/dev/null
+./target/release/cabana --validate >/dev/null
+
+echo "CI OK"

@@ -1,0 +1,49 @@
+//! `oppic-analyzer` — command-line front-end of the loop-plan checker.
+//!
+//! Currently the binary runs the built-in self-test (CI's smoke check
+//! of all three analysis passes); applications embed the library
+//! directly via their `--validate` flags.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--self-test") => {
+            let results = oppic_analyzer::self_test();
+            let mut failed = 0usize;
+            for (desc, ok) in &results {
+                println!("{} {desc}", if *ok { "PASS" } else { "FAIL" });
+                if !*ok {
+                    failed += 1;
+                }
+            }
+            println!(
+                "{}/{} scenarios passed",
+                results.len() - failed,
+                results.len()
+            );
+            if failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("--help") | None => {
+            println!(
+                "oppic-analyzer: loop-plan checker for the OP-PIC DSL\n\
+                 \n\
+                 Usage:\n\
+                 \x20 oppic-analyzer --self-test   run all three analysis passes on canned plans\n\
+                 \n\
+                 Applications run the analyzer on their own plans via\n\
+                 `fempic --validate` / `cabana --validate`."
+            );
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("oppic-analyzer: unknown argument '{other}' (try --help)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Criterion microbench: multi-hop vs direct-hop particle move on the
 //! Mini-FEM-PIC duct, slow-flow and fast-flow regimes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oppic_core::ExecPolicy;
 use oppic_fempic::{FemPic, FemPicConfig, MoveStrategy};
 
@@ -30,20 +30,16 @@ fn bench_move(c: &mut Criterion) {
             ("MH", MoveStrategy::MultiHop),
             ("DH", MoveStrategy::DirectHop { overlay_res: 48 }),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(label, regime),
-                &fast,
-                |b, &fast| {
-                    // Warm a simulation to a populated steady state,
-                    // then time individual move passes.
-                    let mut sim = FemPic::new(config(fast, strategy));
-                    sim.run(10);
-                    b.iter(|| {
-                        sim.calc_pos_vel();
-                        sim.move_particles()
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, regime), &fast, |b, &fast| {
+                // Warm a simulation to a populated steady state,
+                // then time individual move passes.
+                let mut sim = FemPic::new(config(fast, strategy));
+                sim.run(10);
+                b.iter(|| {
+                    sim.calc_pos_vel();
+                    sim.move_particles()
+                });
+            });
         }
     }
     g.finish();

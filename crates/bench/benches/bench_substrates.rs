@@ -35,7 +35,15 @@ fn bench_cg(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("jacobi_pcg", nn), &nn, |bch, _| {
             bch.iter(|| {
                 let mut x = vec![0.0; nn];
-                cg_solve(&a, &rhs, &mut x, CgConfig { rtol: 1e-8, ..Default::default() })
+                cg_solve(
+                    &a,
+                    &rhs,
+                    &mut x,
+                    CgConfig {
+                        rtol: 1e-8,
+                        ..Default::default()
+                    },
+                )
             });
         });
     }
@@ -66,9 +74,13 @@ fn bench_partitioners(c: &mut Criterion) {
     let cen: Vec<Vec3> = (0..mesh.n_cells()).map(|i| mesh.cell_centroid(i)).collect();
     let c2c: Vec<Vec<i32>> = mesh.c2c.iter().map(|a| a.to_vec()).collect();
     let mut g = c.benchmark_group("partition_10k_cells");
-    g.bench_function("directional", |b| b.iter(|| directional_partition(&cen, 0, 16)));
+    g.bench_function("directional", |b| {
+        b.iter(|| directional_partition(&cen, 0, 16))
+    });
     g.bench_function("rcb", |b| b.iter(|| rcb_partition(&cen, 16)));
-    g.bench_function("graph_growing", |b| b.iter(|| graph_growing_partition(&c2c, 16)));
+    g.bench_function("graph_growing", |b| {
+        b.iter(|| graph_growing_partition(&c2c, 16))
+    });
     g.finish();
 }
 

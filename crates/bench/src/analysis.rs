@@ -13,7 +13,8 @@
 /// the path-splitting walker branches on).
 #[inline]
 pub fn move_path_signature(visits: u32, vel: &[f64]) -> u32 {
-    let octant = (u32::from(vel[0] < 0.0)) | (u32::from(vel[1] < 0.0) << 1) | (u32::from(vel[2] < 0.0) << 2);
+    let octant =
+        (u32::from(vel[0] < 0.0)) | (u32::from(vel[1] < 0.0) << 1) | (u32::from(vel[2] < 0.0) << 2);
     visits * 8 + octant
 }
 

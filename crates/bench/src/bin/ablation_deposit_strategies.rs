@@ -64,7 +64,12 @@ fn main() {
         let mut sim = FemPic::new(cfg);
         sim.run(n_steps);
         let dep = sim.profiler.get("DepositCharge").map_or(0.0, |s| s.seconds);
-        println!("{:<24} {:>10.4} s  (total charge {:.6})", format!("{method:?}"), dep, sim.node_charge.sum());
+        println!(
+            "{:<24} {:>10.4} s  (total charge {:.6})",
+            format!("{method:?}"),
+            dep,
+            sim.node_charge.sum()
+        );
     }
     // The paper's third CPU option: cell coloring (sorted particles).
     {
@@ -77,7 +82,10 @@ fn main() {
         let sort = sim.profiler.get("SortParticles").map_or(0.0, |s| s.seconds);
         println!(
             "{:<24} {:>10.4} s  (+ {:.4} s sort overhead, total charge {:.6})",
-            "Coloring", dep, sort, sim.node_charge.sum()
+            "Coloring",
+            dep,
+            sort,
+            sim.node_charge.sum()
         );
     }
 
@@ -102,9 +110,14 @@ fn main() {
         DeviceSpec::mi250x_gcd(),
         DeviceSpec::intel_max_1550(), // the paper's future-work target
     ] {
-        let rep = analyze_warps(spec.warp_size, np, |_| 0, |i, out| {
-            out.extend(c2n[cells[i] as usize].iter().map(|&x| x as u32));
-        });
+        let rep = analyze_warps(
+            spec.warp_size,
+            np,
+            |_| 0,
+            |i, out| {
+                out.extend(c2n[cells[i] as usize].iter().map(|&x| x as u32));
+            },
+        );
         let at = rep.modeled_seconds(&spec, AtomicFlavor::Safe, b, f);
         let ua = rep.modeled_seconds(&spec, AtomicFlavor::Unsafe, b, f);
         // SR: no atomics at all; sort/reduce costs ~3 extra passes over

@@ -32,7 +32,10 @@ fn fast_flow_config() -> FemPicConfig {
 }
 
 fn main() {
-    banner("Ablation", "particle move: multi-hop (MH) vs direct-hop (DH)");
+    banner(
+        "Ablation",
+        "particle move: multi-hop (MH) vs direct-hop (DH)",
+    );
     let n_steps = steps(20);
     let base = fast_flow_config();
     println!(
@@ -50,9 +53,21 @@ fn main() {
     let mut mh_time = 0.0;
     for (label, strategy, res) in [
         ("multi-hop (MH)", MoveStrategy::MultiHop, 0usize),
-        ("direct-hop (DH), overlay 48³", MoveStrategy::DirectHop { overlay_res: 48 }, 48),
-        ("direct-hop (DH), overlay 96³", MoveStrategy::DirectHop { overlay_res: 96 }, 96),
-        ("direct-hop (DH), overlay 24³", MoveStrategy::DirectHop { overlay_res: 24 }, 24),
+        (
+            "direct-hop (DH), overlay 48³",
+            MoveStrategy::DirectHop { overlay_res: 48 },
+            48,
+        ),
+        (
+            "direct-hop (DH), overlay 96³",
+            MoveStrategy::DirectHop { overlay_res: 96 },
+            96,
+        ),
+        (
+            "direct-hop (DH), overlay 24³",
+            MoveStrategy::DirectHop { overlay_res: 24 },
+            24,
+        ),
     ] {
         let mut cfg = base.clone();
         cfg.move_strategy = strategy;

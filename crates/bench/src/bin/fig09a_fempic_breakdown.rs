@@ -27,9 +27,17 @@ fn run_variant(name: &str, cfg: FemPicConfig, n_steps: usize) -> (FemPic, Vec<(S
     sim.run(n_steps);
     let rows: Vec<(String, f64)> = KERNELS
         .iter()
-        .map(|k| (k.to_string(), sim.profiler.get(k).map_or(0.0, |s| s.seconds)))
+        .map(|k| {
+            (
+                k.to_string(),
+                sim.profiler.get(k).map_or(0.0, |s| s.seconds),
+            )
+        })
         .collect();
-    println!("\n--- {name} ({} particles after {n_steps} steps) ---", sim.ps.len());
+    println!(
+        "\n--- {name} ({} particles after {n_steps} steps) ---",
+        sim.ps.len()
+    );
     print!("{}", bar_chart(&rows, "s"));
     (sim, rows)
 }
@@ -62,8 +70,14 @@ fn main() {
     let mut cfg = base.clone();
     cfg.policy = ExecPolicy::Par;
     cfg.deposit = DepositMethod::ScatterArrays;
-    cfg.move_strategy = MoveStrategy::DirectHop { overlay_res: 2 * base.nx };
-    let (sim_dh, _) = run_variant("CPU parallel, direct-hop (DH), scatter arrays", cfg, n_steps);
+    cfg.move_strategy = MoveStrategy::DirectHop {
+        overlay_res: 2 * base.nx,
+    };
+    let (sim_dh, _) = run_variant(
+        "CPU parallel, direct-hop (DH), scatter arrays",
+        cfg,
+        n_steps,
+    );
 
     println!(
         "\nMove search work: MH {:.3} visits/particle vs DH {:.3}.\n\
@@ -111,7 +125,10 @@ fn main() {
         let g = |k: &str| {
             let s = sim_mh.profiler.get(k).unwrap_or_default();
             // Per-step traffic.
-            (s.bytes as f64 / n_steps as f64, s.flops as f64 / n_steps as f64)
+            (
+                s.bytes as f64 / n_steps as f64,
+                s.flops as f64 / n_steps as f64,
+            )
         };
         let (mv_b, mv_f) = g("Move");
         let (cp_b, cp_f) = g("CalcPosVel");

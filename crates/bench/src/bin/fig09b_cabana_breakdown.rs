@@ -26,7 +26,12 @@ fn run_case(label: &str, cfg: CabanaConfig, n_steps: usize) -> CabanaPic {
     sim.run(n_steps);
     let rows: Vec<(String, f64)> = KERNELS
         .iter()
-        .map(|k| (k.to_string(), sim.profiler.get(k).map_or(0.0, |s| s.seconds)))
+        .map(|k| {
+            (
+                k.to_string(),
+                sim.profiler.get(k).map_or(0.0, |s| s.seconds),
+            )
+        })
         .collect();
     println!(
         "\n--- {label}: {} cells × {} ppc = {} particles, {n_steps} steps ---",
@@ -76,10 +81,12 @@ fn main() {
             let rep = analyze_warps(
                 spec.warp_size,
                 n,
-                |i| oppic_bench::analysis::move_path_signature(
-                visits.get(i).copied().unwrap_or(1),
-                &vel_col[i * 3..i * 3 + 3],
-            ),
+                |i| {
+                    oppic_bench::analysis::move_path_signature(
+                        visits.get(i).copied().unwrap_or(1),
+                        &vel_col[i * 3..i * 3 + 3],
+                    )
+                },
                 |i, out| {
                     let c = cells[i] as u32;
                     out.extend([c * 3, c * 3 + 1, c * 3 + 2]);
@@ -87,7 +94,10 @@ fn main() {
             );
             let g = |k: &str| {
                 let s = sim.profiler.get(k).unwrap_or_default();
-                (s.bytes as f64 / n_steps as f64, s.flops as f64 / n_steps as f64)
+                (
+                    s.bytes as f64 / n_steps as f64,
+                    s.flops as f64 / n_steps as f64,
+                )
             };
             let (md_b, md_f) = g("Move_Deposit");
             let (ae_b, ae_f) = g("AdvanceE");

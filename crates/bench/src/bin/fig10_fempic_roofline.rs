@@ -10,14 +10,17 @@
 //! GPUs (atomics serialization keeps it far under the roof).
 
 use oppic_bench::report::{banner, scale_factor, steps};
+use oppic_core::profile::KernelStats;
 use oppic_core::ExecPolicy;
 use oppic_device::{analyze_warps, AtomicFlavor, DeviceSpec};
 use oppic_fempic::{FemPic, FemPicConfig};
 use oppic_model::RooflineChart;
-use oppic_core::profile::KernelStats;
 
 fn main() {
-    banner("Figure 10", "Mini-FEM-PIC rooflines (CPU node, V100, MI250X GCD)");
+    banner(
+        "Figure 10",
+        "Mini-FEM-PIC rooflines (CPU node, V100, MI250X GCD)",
+    );
     let scale = scale_factor(0.02);
     let n_steps = steps(20);
 
@@ -32,9 +35,18 @@ fn main() {
     let cells = sim.ps.cells().to_vec();
     let c2n = sim.mesh.c2n.clone();
 
-    let kernels = ["CalcPosVel", "Move", "DepositCharge", "ComputeElectricField"];
+    let kernels = [
+        "CalcPosVel",
+        "Move",
+        "DepositCharge",
+        "ComputeElectricField",
+    ];
 
-    for spec in [DeviceSpec::xeon_8268_x2(), DeviceSpec::v100(), DeviceSpec::mi250x_gcd()] {
+    for spec in [
+        DeviceSpec::xeon_8268_x2(),
+        DeviceSpec::v100(),
+        DeviceSpec::mi250x_gcd(),
+    ] {
         let mut chart = RooflineChart::new(spec.name, spec.mem_bw_gbs, spec.peak_gflops);
         let move_rep = analyze_warps(
             spec.warp_size,
@@ -42,9 +54,14 @@ fn main() {
             |i| chains.get(i).copied().unwrap_or(1),
             |_, _| {},
         );
-        let dep_rep = analyze_warps(spec.warp_size, n, |_| 0, |i, out| {
-            out.extend(c2n[cells[i] as usize].iter().map(|&x| x as u32));
-        });
+        let dep_rep = analyze_warps(
+            spec.warp_size,
+            n,
+            |_| 0,
+            |i, out| {
+                out.extend(c2n[cells[i] as usize].iter().map(|&x| x as u32));
+            },
+        );
         for k in kernels {
             let st = sim.profiler.get(k).unwrap_or_default();
             if st.bytes == 0 {
@@ -62,13 +79,22 @@ fn main() {
                 }
                 _ => spec.roofline_time(b, f),
             };
-            let modeled = KernelStats { calls: st.calls, seconds: t, bytes: st.bytes, flops: st.flops, class: st.class };
+            let modeled = KernelStats {
+                calls: st.calls,
+                seconds: t,
+                bytes: st.bytes,
+                flops: st.flops,
+                class: st.class,
+            };
             chart.place(k, &modeled);
         }
         println!("\n{}", chart.table());
         // A few roofline-curve samples for plotting.
         let pts = chart.curve(0.01, 100.0, 7);
-        let line: Vec<String> = pts.iter().map(|(ai, g)| format!("({ai:.2},{g:.0})")).collect();
+        let line: Vec<String> = pts
+            .iter()
+            .map(|(ai, g)| format!("({ai:.2},{g:.0})"))
+            .collect();
         println!("roofline curve samples (AI, GFLOP/s): {}", line.join(" "));
     }
 

@@ -14,7 +14,10 @@ use oppic_device::{analyze_warps, AtomicFlavor, DeviceSpec};
 use oppic_model::RooflineChart;
 
 fn main() {
-    banner("Figure 11", "CabanaPIC rooflines (CPU node, V100, MI250X GCD)");
+    banner(
+        "Figure 11",
+        "CabanaPIC rooflines (CPU node, V100, MI250X GCD)",
+    );
     let scale = scale_factor(0.02);
     let n_steps = steps(15);
 
@@ -29,17 +32,29 @@ fn main() {
     let vel_col = sim.ps.col(sim.vel).to_vec();
     let cells = sim.ps.cells().to_vec();
 
-    let kernels = ["Interpolate", "Move_Deposit", "AccumulateCurrent", "AdvanceB", "AdvanceE"];
+    let kernels = [
+        "Interpolate",
+        "Move_Deposit",
+        "AccumulateCurrent",
+        "AdvanceB",
+        "AdvanceE",
+    ];
 
-    for spec in [DeviceSpec::xeon_8268_x2(), DeviceSpec::v100(), DeviceSpec::mi250x_gcd()] {
+    for spec in [
+        DeviceSpec::xeon_8268_x2(),
+        DeviceSpec::v100(),
+        DeviceSpec::mi250x_gcd(),
+    ] {
         let mut chart = RooflineChart::new(spec.name, spec.mem_bw_gbs, spec.peak_gflops);
         let md_rep = analyze_warps(
             spec.warp_size,
             n,
-            |i| oppic_bench::analysis::move_path_signature(
-                visits.get(i).copied().unwrap_or(1),
-                &vel_col[i * 3..i * 3 + 3],
-            ),
+            |i| {
+                oppic_bench::analysis::move_path_signature(
+                    visits.get(i).copied().unwrap_or(1),
+                    &vel_col[i * 3..i * 3 + 3],
+                )
+            },
             |i, out| {
                 let c = cells[i] as u32;
                 out.extend([c * 3, c * 3 + 1, c * 3 + 2]);
@@ -56,8 +71,13 @@ fn main() {
             } else {
                 spec.roofline_time(b, f)
             };
-            let modeled =
-                KernelStats { calls: st.calls, seconds: t, bytes: st.bytes, flops: st.flops, class: st.class };
+            let modeled = KernelStats {
+                calls: st.calls,
+                seconds: t,
+                bytes: st.bytes,
+                flops: st.flops,
+                class: st.class,
+            };
             chart.place(k, &modeled);
         }
         println!("\n{}", chart.table());

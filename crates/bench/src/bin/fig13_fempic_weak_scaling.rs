@@ -16,7 +16,10 @@ use oppic_model::{weak_scaling_curve, SystemSpec, WorkloadModel};
 use oppic_mpi::partition::{directional_partition, partition_stats};
 
 fn main() {
-    banner("Figure 13", "Mini-FEM-PIC weak scaling (48k cells + 70M particles per unit)");
+    banner(
+        "Figure 13",
+        "Mini-FEM-PIC weak scaling (48k cells + 70M particles per unit)",
+    );
     let scale = scale_factor(0.02);
     let n_steps = steps(10);
     let base = FemPicConfig::paper_scaled(scale);
@@ -82,30 +85,38 @@ fn main() {
         "{:>8} {:>14} {:>14} {:>14}",
         "units", "ARCHER2 (s)", "Bede V100 (s)", "LUMI GCD (s)"
     );
-    let curves: Vec<Vec<f64>> = [SystemSpec::archer2(), SystemSpec::bede(), SystemSpec::lumi_g()]
-        .iter()
-        .map(|sys| {
-            // GPU units lose ~3x more bandwidth than cached CPUs on
-            // the data-dependent gathers that dominate FEM-PIC (see
-            // DeviceSpec::gather_efficiency); the host measurement is
-            // CPU-cached, so only GPU units get the relative derate.
-            let gather_rel = if sys.units_per_node > 1 { 1.0 / 3.0 } else { 1.0 };
-            let w = WorkloadModel {
-                compute_s_per_step: (t1 / n_steps as f64) * work_ratio * host_bw
-                    / (sys.unit_mem_bw_gbs * gather_rel),
-                halo_bytes_per_step: halo_cells_per_unit * 2.0 * 8.0 * 2.0,
-                msgs_per_step: 8.0,
-                // Migration is tiny with the directional partition.
-                migration_bytes_per_step: 1e4,
-                imbalance: 0.10,
-                steps: 250,
-            };
-            weak_scaling_curve(sys, &w, &units_axis)
-                .into_iter()
-                .map(|p| p.total_s)
-                .collect()
-        })
-        .collect();
+    let curves: Vec<Vec<f64>> = [
+        SystemSpec::archer2(),
+        SystemSpec::bede(),
+        SystemSpec::lumi_g(),
+    ]
+    .iter()
+    .map(|sys| {
+        // GPU units lose ~3x more bandwidth than cached CPUs on
+        // the data-dependent gathers that dominate FEM-PIC (see
+        // DeviceSpec::gather_efficiency); the host measurement is
+        // CPU-cached, so only GPU units get the relative derate.
+        let gather_rel = if sys.units_per_node > 1 {
+            1.0 / 3.0
+        } else {
+            1.0
+        };
+        let w = WorkloadModel {
+            compute_s_per_step: (t1 / n_steps as f64) * work_ratio * host_bw
+                / (sys.unit_mem_bw_gbs * gather_rel),
+            halo_bytes_per_step: halo_cells_per_unit * 2.0 * 8.0 * 2.0,
+            msgs_per_step: 8.0,
+            // Migration is tiny with the directional partition.
+            migration_bytes_per_step: 1e4,
+            imbalance: 0.10,
+            steps: 250,
+        };
+        weak_scaling_curve(sys, &w, &units_axis)
+            .into_iter()
+            .map(|p| p.total_s)
+            .collect()
+    })
+    .collect();
     for (k, &u) in units_axis.iter().enumerate() {
         println!(
             "{:>8} {:>14.3} {:>14.3} {:>14.3}",

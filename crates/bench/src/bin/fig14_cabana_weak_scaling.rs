@@ -14,12 +14,20 @@ use oppic_device::{analyze_warps, AtomicFlavor, DeviceSpec};
 use oppic_model::{weak_scaling_curve, SystemSpec, WorkloadModel};
 
 fn main() {
-    banner("Figure 14", "CabanaPIC weak scaling (96k cells + 144M particles per unit)");
+    banner(
+        "Figure 14",
+        "CabanaPIC weak scaling (96k cells + 144M particles per unit)",
+    );
     let scale = scale_factor(0.02);
     let n_steps = steps(8);
     let ppc = 32; // 144M-equivalent regime
     let base = CabanaConfig::paper_scaled(scale, ppc);
-    println!("scale={scale}: {} cells × {} ppc, {} steps\n", base.n_cells(), ppc, n_steps);
+    println!(
+        "scale={scale}: {} cells × {} ppc, {} steps\n",
+        base.n_cells(),
+        ppc,
+        n_steps
+    );
 
     // ---- Layer 1: measured in-process ranks ----
     println!("--- measured (in-process ranks, y-slab partition) ---");
@@ -55,7 +63,10 @@ fn main() {
     let cells = sim.ps.cells().to_vec();
     let per_step = |k: &str| {
         let s = sim.profiler.get(k).unwrap_or_default();
-        (s.bytes as f64 / n_steps as f64, s.flops as f64 / n_steps as f64)
+        (
+            s.bytes as f64 / n_steps as f64,
+            s.flops as f64 / n_steps as f64,
+        )
     };
 
     // Per-unit per-step compute time on each system: GPU units include
@@ -64,17 +75,25 @@ fn main() {
         let rep = analyze_warps(
             spec.warp_size,
             n,
-            |i| oppic_bench::analysis::move_path_signature(
-                visits.get(i).copied().unwrap_or(1),
-                &vel_col[i * 3..i * 3 + 3],
-            ),
+            |i| {
+                oppic_bench::analysis::move_path_signature(
+                    visits.get(i).copied().unwrap_or(1),
+                    &vel_col[i * 3..i * 3 + 3],
+                )
+            },
             |i, out| {
                 let c = cells[i] as u32;
                 out.extend([c * 3, c * 3 + 1, c * 3 + 2]);
             },
         );
         let mut t = 0.0;
-        for k in ["Interpolate", "Move_Deposit", "AccumulateCurrent", "AdvanceB", "AdvanceE"] {
+        for k in [
+            "Interpolate",
+            "Move_Deposit",
+            "AccumulateCurrent",
+            "AdvanceB",
+            "AdvanceE",
+        ] {
             let (b, f) = per_step(k);
             t += if k == "Move_Deposit" {
                 rep.modeled_seconds(spec, AtomicFlavor::Unsafe, b, f)
@@ -130,7 +149,11 @@ fn main() {
         "\nBede/ARCHER2 at scale: {:.2}x ({} — the paper's anomaly: the V100 cluster\n\
          is SLOWER than the CPU cluster for the 144M-per-unit problem)",
         bede_last / archer_last,
-        if bede_last > archer_last { "reproduced" } else { "NOT reproduced" }
+        if bede_last > archer_last {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "\nShape checks vs Figure 14: good weak scaling to 16k cores / 1024 GCDs;\n\

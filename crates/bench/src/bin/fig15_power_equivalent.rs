@@ -19,7 +19,10 @@ use oppic_model::{power_equivalent_nodes, PowerStudy, SystemSpec, WorkloadModel}
 const ENVELOPE_W: f64 = 12_000.0;
 
 fn main() {
-    banner("Figure 15", "Power-equivalent best runtimes (~12 kW fleets)");
+    banner(
+        "Figure 15",
+        "Power-equivalent best runtimes (~12 kW fleets)",
+    );
     let scale = scale_factor(0.04);
     let n_steps = steps(8);
 
@@ -29,12 +32,18 @@ fn main() {
         (SystemSpec::lumi_g(), "LUMI-G"),
     ] {
         let (nodes, units) = power_equivalent_nodes(&sys, ENVELOPE_W);
-        println!("{label}: {nodes} nodes = {units} units in {:.0} kW", ENVELOPE_W / 1000.0);
+        println!(
+            "{label}: {nodes} nodes = {units} units in {:.0} kW",
+            ENVELOPE_W / 1000.0
+        );
     }
 
     // ---------- CabanaPIC ----------
     // Per-unit kernel model measured once on the scaled problem.
-    for (ppc, label, global_parts) in [(16usize, "2.3B-particle problem", 2.3e9), (32, "4.6B-particle problem", 4.6e9)] {
+    for (ppc, label, global_parts) in [
+        (16usize, "2.3B-particle problem", 2.3e9),
+        (32, "4.6B-particle problem", 4.6e9),
+    ] {
         let mut cfg = CabanaConfig::paper_scaled(scale, ppc);
         cfg.policy = ExecPolicy::Par;
         cfg.record_visits = true;
@@ -42,11 +51,14 @@ fn main() {
         sim.run(n_steps);
         let n = sim.ps.len();
         let visits = sim.last_visited.clone();
-    let vel_col = sim.ps.col(sim.vel).to_vec();
+        let vel_col = sim.ps.col(sim.vel).to_vec();
         let cells = sim.ps.cells().to_vec();
         let per_step = |k: &str| {
             let s = sim.profiler.get(k).unwrap_or_default();
-            (s.bytes as f64 / n_steps as f64, s.flops as f64 / n_steps as f64)
+            (
+                s.bytes as f64 / n_steps as f64,
+                s.flops as f64 / n_steps as f64,
+            )
         };
         // Time per particle-step on each device class, then scale to
         // the fixed global problem split across the fleet.
@@ -54,17 +66,25 @@ fn main() {
             let rep = analyze_warps(
                 spec.warp_size,
                 n,
-                |i| oppic_bench::analysis::move_path_signature(
-                visits.get(i).copied().unwrap_or(1),
-                &vel_col[i * 3..i * 3 + 3],
-            ),
+                |i| {
+                    oppic_bench::analysis::move_path_signature(
+                        visits.get(i).copied().unwrap_or(1),
+                        &vel_col[i * 3..i * 3 + 3],
+                    )
+                },
                 |i, out| {
                     let c = cells[i] as u32;
                     out.extend([c * 3, c * 3 + 1, c * 3 + 2]);
                 },
             );
             let mut t = 0.0;
-            for k in ["Interpolate", "Move_Deposit", "AccumulateCurrent", "AdvanceB", "AdvanceE"] {
+            for k in [
+                "Interpolate",
+                "Move_Deposit",
+                "AccumulateCurrent",
+                "AdvanceB",
+                "AdvanceE",
+            ] {
                 let (b, f) = per_step(k);
                 t += if k == "Move_Deposit" {
                     rep.modeled_seconds(spec, AtomicFlavor::Unsafe, b, f)
@@ -112,7 +132,10 @@ fn main() {
         let c2n = sim.mesh.c2n.clone();
         let per_step = |k: &str| {
             let s = sim.profiler.get(k).unwrap_or_default();
-            (s.bytes as f64 / n_steps as f64, s.flops as f64 / n_steps as f64)
+            (
+                s.bytes as f64 / n_steps as f64,
+                s.flops as f64 / n_steps as f64,
+            )
         };
         let global_parts = 2.5e9;
         let unit_time_for = |spec: &DeviceSpec, particles_per_unit: f64| -> f64 {
@@ -122,11 +145,23 @@ fn main() {
                 |i| chains.get(i).copied().unwrap_or(1),
                 |_, _| {},
             );
-            let dep_rep = analyze_warps(spec.warp_size, n, |_| 0, |i, out| {
-                out.extend(c2n[cells[i] as usize].iter().map(|&x| x as u32));
-            });
+            let dep_rep = analyze_warps(
+                spec.warp_size,
+                n,
+                |_| 0,
+                |i, out| {
+                    out.extend(c2n[cells[i] as usize].iter().map(|&x| x as u32));
+                },
+            );
             let mut t = 0.0;
-            for k in ["Inject", "CalcPosVel", "Move", "DepositCharge", "ComputeF1Vector+SolvePotential", "ComputeElectricField"] {
+            for k in [
+                "Inject",
+                "CalcPosVel",
+                "Move",
+                "DepositCharge",
+                "ComputeF1Vector+SolvePotential",
+                "ComputeElectricField",
+            ] {
                 let (b, f) = per_step(k);
                 t += match k {
                     "Move" => move_rep.modeled_gather_seconds(spec, AtomicFlavor::Safe, b, f),

@@ -48,14 +48,19 @@ fn utilization(
 }
 
 fn main() {
-    banner("Table 1", "GPU utilisation — 1 vs many devices, both mini-apps");
+    banner(
+        "Table 1",
+        "GPU utilisation — 1 vs many devices, both mini-apps",
+    );
     let scale = scale_factor(0.015);
     let n_steps = steps(10);
 
     // ---- CabanaPIC at two particle counts ----
     let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
-    for (ppc, label) in [(16usize, "CabanaPIC 96k cells, 72M particles"),
-                         (32, "CabanaPIC 96k cells, 144M particles")] {
+    for (ppc, label) in [
+        (16usize, "CabanaPIC 96k cells, 72M particles"),
+        (32, "CabanaPIC 96k cells, 144M particles"),
+    ] {
         let mut cfg = CabanaConfig::paper_scaled(scale, ppc);
         cfg.policy = ExecPolicy::Par;
         cfg.record_visits = true;
@@ -67,7 +72,10 @@ fn main() {
         let vel_col = sim.ps.col(sim.vel).to_vec();
         let per_step = |k: &str| {
             let s = sim.profiler.get(k).unwrap_or_default();
-            (s.bytes as f64 / n_steps as f64, s.flops as f64 / n_steps as f64)
+            (
+                s.bytes as f64 / n_steps as f64,
+                s.flops as f64 / n_steps as f64,
+            )
         };
 
         let mut cols = Vec::new();
@@ -78,14 +86,22 @@ fn main() {
             let rep = analyze_warps(
                 spec.warp_size,
                 n,
-                |i| oppic_bench::analysis::move_path_signature(
-                visits.get(i).copied().unwrap_or(1),
-                &vel_col[i * 3..i * 3 + 3],
-            ),
+                |i| {
+                    oppic_bench::analysis::move_path_signature(
+                        visits.get(i).copied().unwrap_or(1),
+                        &vel_col[i * 3..i * 3 + 3],
+                    )
+                },
                 |i, out| out.push(cells[i] as u32),
             );
             let mut busy = 0.0;
-            for k in ["Interpolate", "Move_Deposit", "AccumulateCurrent", "AdvanceB", "AdvanceE"] {
+            for k in [
+                "Interpolate",
+                "Move_Deposit",
+                "AccumulateCurrent",
+                "AdvanceB",
+                "AdvanceE",
+            ] {
                 let (b, f) = per_step(k);
                 busy += if k == "Move_Deposit" {
                     rep.modeled_seconds(&spec, AtomicFlavor::Unsafe, b, f)
@@ -115,7 +131,10 @@ fn main() {
         let c2n = &sim.mesh.c2n;
         let per_step = |k: &str| {
             let s = sim.profiler.get(k).unwrap_or_default();
-            (s.bytes as f64 / n_steps as f64, s.flops as f64 / n_steps as f64)
+            (
+                s.bytes as f64 / n_steps as f64,
+                s.flops as f64 / n_steps as f64,
+            )
         };
         let mut cols = Vec::new();
         for (spec, system, counts) in [
@@ -128,11 +147,22 @@ fn main() {
                 |i| chains.get(i).copied().unwrap_or(1),
                 |_, _| {},
             );
-            let dep_rep = analyze_warps(spec.warp_size, n, |_| 0, |i, out| {
-                out.extend(c2n[cells[i] as usize].iter().map(|&x| x as u32));
-            });
+            let dep_rep = analyze_warps(
+                spec.warp_size,
+                n,
+                |_| 0,
+                |i, out| {
+                    out.extend(c2n[cells[i] as usize].iter().map(|&x| x as u32));
+                },
+            );
             let mut busy = 0.0;
-            for k in ["Inject", "CalcPosVel", "Move", "DepositCharge", "ComputeElectricField"] {
+            for k in [
+                "Inject",
+                "CalcPosVel",
+                "Move",
+                "DepositCharge",
+                "ComputeElectricField",
+            ] {
                 let (b, f) = per_step(k);
                 busy += match k {
                     "Move" => move_rep.modeled_gather_seconds(&spec, AtomicFlavor::Safe, b, f),

@@ -12,10 +12,10 @@
 use oppic_cabana::{CabanaConfig, StructuredCabana};
 use oppic_core::ExecPolicy;
 use oppic_fempic::{FemPic, FemPicConfig};
+use oppic_mesh::Vec3;
 use oppic_mpi::comm::{world_run, RankCtx};
 use oppic_mpi::exchange::migrate_particles;
 use oppic_mpi::partition::directional_partition;
-use oppic_mesh::Vec3;
 use std::time::Instant;
 
 /// Per-rank outcome of a distributed run.
@@ -50,7 +50,12 @@ impl DistributedReport {
         if mean == 0.0 {
             return 1.0;
         }
-        self.ranks.iter().map(|r| r.final_particles).max().unwrap_or(0) as f64 / mean
+        self.ranks
+            .iter()
+            .map(|r| r.final_particles)
+            .max()
+            .unwrap_or(0) as f64
+            / mean
     }
 
     pub fn total_comm_bytes(&self) -> u64 {
@@ -79,8 +84,9 @@ pub fn run_fempic_distributed(
         let mut sim = FemPic::new(cfg);
 
         // Directional partition, identical on every rank.
-        let centroids: Vec<Vec3> =
-            (0..sim.mesh.n_cells()).map(|c| sim.mesh.cell_centroid(c)).collect();
+        let centroids: Vec<Vec3> = (0..sim.mesh.n_cells())
+            .map(|c| sim.mesh.cell_centroid(c))
+            .collect();
         let cell_rank = directional_partition(&centroids, 1, n_ranks);
 
         let mut migrated_out = 0usize;
@@ -129,8 +135,10 @@ pub fn run_fempic_distributed(
     let ranks: Vec<RankReport> = rank_results.iter().map(|(r, _)| r.clone()).collect();
     let check_scalar = rank_results[0].1; // identical on all ranks post-reduce
     let total_particles = ranks.iter().map(|r| r.final_particles).sum();
-    let main_loop_seconds =
-        ranks.iter().map(|r| r.main_loop_seconds).fold(0.0f64, f64::max);
+    let main_loop_seconds = ranks
+        .iter()
+        .map(|r| r.main_loop_seconds)
+        .fold(0.0f64, f64::max);
     DistributedReport {
         n_ranks,
         steps,
@@ -155,12 +163,16 @@ pub fn run_fempic_distributed_solve(
 
     // Build the (identical) FEM system and node partition up front;
     // every rank keeps its own share.
-    let probe = FemPic::new(FemPicConfig { policy: ExecPolicy::Seq, ..base.clone() });
+    let probe = FemPic::new(FemPicConfig {
+        policy: ExecPolicy::Seq,
+        ..base.clone()
+    });
     let n_nodes = probe.mesh.n_nodes();
     // Node owner = owner of the lowest-rank adjacent cell under the
     // directional partition.
-    let centroids: Vec<Vec3> =
-        (0..probe.mesh.n_cells()).map(|c| probe.mesh.cell_centroid(c)).collect();
+    let centroids: Vec<Vec3> = (0..probe.mesh.n_cells())
+        .map(|c| probe.mesh.cell_centroid(c))
+        .collect();
     let cell_rank = directional_partition(&centroids, 1, n_ranks);
     let mut node_owner = vec![u32::MAX; n_nodes];
     for (c, nd) in probe.mesh.c2n.iter().enumerate() {
@@ -212,13 +224,7 @@ pub fn run_fempic_distributed_solve(
             // Distributed field solve: owned RHS rows, halo'd SpMV.
             let rhs_global = sim.fem.build_rhs(sim.node_charge.raw(), sim.cfg.epsilon0);
             let my_rhs: Vec<f64> = mine.iter().map(|&n| rhs_global[n]).collect();
-            let out = cg_solve_distributed(
-                ctx,
-                sys,
-                &my_rhs,
-                &mut x_owned,
-                sim.fem.cg_config,
-            );
+            let out = cg_solve_distributed(ctx, sys, &my_rhs, &mut x_owned, sim.fem.cg_config);
             debug_assert!(out.converged, "{out:?}");
             // Assemble the global potential (allreduce of the disjoint
             // owned pieces) and push it into the app.
@@ -247,8 +253,18 @@ pub fn run_fempic_distributed_solve(
     let ranks: Vec<RankReport> = rank_results.iter().map(|(r, _)| r.clone()).collect();
     let check_scalar = rank_results[0].1;
     let total_particles = ranks.iter().map(|r| r.final_particles).sum();
-    let main_loop_seconds = ranks.iter().map(|r| r.main_loop_seconds).fold(0.0f64, f64::max);
-    DistributedReport { n_ranks, steps, ranks, total_particles, main_loop_seconds, check_scalar }
+    let main_loop_seconds = ranks
+        .iter()
+        .map(|r| r.main_loop_seconds)
+        .fold(0.0f64, f64::max);
+    DistributedReport {
+        n_ranks,
+        steps,
+        ranks,
+        total_particles,
+        main_loop_seconds,
+        check_scalar,
+    }
 }
 
 /// Run CabanaPIC on `n_ranks` in-process ranks for `steps` steps.
@@ -329,8 +345,10 @@ pub fn run_cabana_distributed(
     let ranks: Vec<RankReport> = rank_results.iter().map(|(r, _)| r.clone()).collect();
     let check_scalar = rank_results[0].1;
     let total_particles = ranks.iter().map(|r| r.final_particles).sum();
-    let main_loop_seconds =
-        ranks.iter().map(|r| r.main_loop_seconds).fold(0.0f64, f64::max);
+    let main_loop_seconds = ranks
+        .iter()
+        .map(|r| r.main_loop_seconds)
+        .fold(0.0f64, f64::max);
     DistributedReport {
         n_ranks,
         steps,

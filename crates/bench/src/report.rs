@@ -40,7 +40,10 @@ pub fn bar_chart(rows: &[(String, f64)], unit: &str) -> String {
     let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
     let mut out = String::new();
     for (label, v) in rows {
-        out.push_str(&format!("{label:<34} {v:>10.4} {unit}  |{}\n", bar(*v, max, 34)));
+        out.push_str(&format!(
+            "{label:<34} {v:>10.4} {unit}  |{}\n",
+            bar(*v, max, 34)
+        ));
     }
     out
 }
@@ -60,7 +63,10 @@ mod tests {
 
     #[test]
     fn chart_renders_all_rows() {
-        let rows = vec![("Move".to_string(), 3.0), ("DepositCharge".to_string(), 1.5)];
+        let rows = vec![
+            ("Move".to_string(), 3.0),
+            ("DepositCharge".to_string(), 1.5),
+        ];
         let c = bar_chart(&rows, "s");
         assert!(c.contains("Move"));
         assert!(c.contains("DepositCharge"));

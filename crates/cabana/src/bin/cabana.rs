@@ -9,8 +9,22 @@ use oppic_cabana::{CabanaConfig, CabanaPic, StructuredCabana};
 use oppic_core::{ExecPolicy, Params};
 
 const KNOWN: &[&str] = &[
-    "nx", "ny", "nz", "ppc", "v0", "perturbation", "modes", "dt", "charge", "mass", "steps",
-    "parallel", "structured", "sort_every", "report_every", "seed",
+    "nx",
+    "ny",
+    "nz",
+    "ppc",
+    "v0",
+    "perturbation",
+    "modes",
+    "dt",
+    "charge",
+    "mass",
+    "steps",
+    "parallel",
+    "structured",
+    "sort_every",
+    "report_every",
+    "seed",
 ];
 
 fn config_from(params: &Params) -> Result<(CabanaConfig, usize, usize, usize, bool), String> {
@@ -41,7 +55,7 @@ fn config_from(params: &Params) -> Result<(CabanaConfig, usize, usize, usize, bo
         seed: params.get_usize("seed", 0xCAB4A)? as u64,
         record_visits: false,
     };
-    if cfg.ppc < 2 || cfg.ppc % 2 != 0 {
+    if cfg.ppc < 2 || !cfg.ppc.is_multiple_of(2) {
         return Err("ppc must be an even number >= 2 (two beams)".into());
     }
     let steps = params.get_usize("steps", 100)?;
@@ -87,8 +101,31 @@ fn run<T: oppic_cabana::Topology>(
     }
 }
 
+/// `--validate` mode: build the simulation, run a few steps to
+/// populate the dynamic maps, then run all three analyzer passes and
+/// exit non-zero on any Error finding.
+fn run_validation<T: oppic_cabana::Topology>(
+    mut sim: oppic_cabana::CabanaEngine<T>,
+    steps: usize,
+) -> ! {
+    let warmup = steps.clamp(1, 5);
+    println!(
+        "CabanaPIC ({}) --validate: {} cells, {warmup} warm-up step(s)",
+        sim.topo.name(),
+        sim.cfg.n_cells()
+    );
+    sim.run(warmup);
+    let plans = sim.loop_plans();
+    println!("\n{}", plans.summary());
+    let report = sim.validate_all();
+    println!("{report}");
+    std::process::exit(report.exit_code());
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let validate = args.iter().any(|a| a == "--validate");
+    args.retain(|a| a != "--validate");
     let params = match args.get(1).map(String::as_str) {
         Some(path) => Params::load(path).unwrap_or_else(|e| {
             eprintln!("error: {e}");
@@ -101,9 +138,15 @@ fn main() {
             eprintln!("config error: {e}");
             std::process::exit(2);
         });
-    if structured {
-        run(StructuredCabana::new_structured(cfg), steps, sort_every, report_every);
-    } else {
-        run(CabanaPic::new_dsl(cfg), steps, sort_every, report_every);
+    match (structured, validate) {
+        (true, true) => run_validation(StructuredCabana::new_structured(cfg), steps),
+        (false, true) => run_validation(CabanaPic::new_dsl(cfg), steps),
+        (true, false) => run(
+            StructuredCabana::new_structured(cfg),
+            steps,
+            sort_every,
+            report_every,
+        ),
+        (false, false) => run(CabanaPic::new_dsl(cfg), steps, sort_every, report_every),
     }
 }

@@ -46,7 +46,11 @@ impl GridGeom {
 
     #[inline]
     pub fn cell_ijk(&self, c: usize) -> [usize; 3] {
-        [c % self.nx, (c / self.nx) % self.ny, c / (self.nx * self.ny)]
+        [
+            c % self.nx,
+            (c / self.nx) % self.ny,
+            c / (self.nx * self.ny),
+        ]
     }
 
     #[inline]
@@ -257,13 +261,7 @@ where
 /// Forward-difference curl component update for `AdvanceB`:
 /// `B ← B − dt·∇×E` with `∂/∂a` as `(E[a+1] − E[c]) / d_a`.
 #[inline]
-pub fn advance_b_cell<NB, G>(
-    geom: &GridGeom,
-    c: usize,
-    neighbor: NB,
-    get_e: G,
-    dt: f64,
-) -> [f64; 3]
+pub fn advance_b_cell<NB, G>(geom: &GridGeom, c: usize, neighbor: NB, get_e: G, dt: f64) -> [f64; 3]
 where
     NB: Fn(usize, usize, i32) -> usize,
     G: Fn(usize) -> [f64; 3],
@@ -326,7 +324,10 @@ pub fn init_two_stream(
     perturbation: f64,
     modes: usize,
 ) -> (Vec<f64>, Vec<f64>, Vec<i32>, f64) {
-    assert!(ppc >= 2 && ppc % 2 == 0, "ppc must be even (two beams)");
+    assert!(
+        ppc >= 2 && ppc.is_multiple_of(2),
+        "ppc must be even (two beams)"
+    );
     let n_cells = geom.n_cells();
     let n = n_cells * ppc;
     let mut pos = Vec::with_capacity(n * 3);
@@ -339,7 +340,7 @@ pub fn init_two_stream(
     let weight = geom.cell_volume() / ppc as f64;
 
     // Golden-ratio lattice fractions (deterministic, well spread).
-    const PHI1: f64 = 0.754_877_666_246_692_9;
+    const PHI1: f64 = 0.754_877_666_246_693;
     const PHI2: f64 = 0.569_840_290_998_053_3;
     const PHI3: f64 = 0.401_861_864_295_503_7;
 
@@ -369,7 +370,14 @@ mod tests {
     use super::*;
 
     fn geom() -> GridGeom {
-        GridGeom { nx: 4, ny: 3, nz: 5, dx: 0.25, dy: 0.5, dz: 0.2 }
+        GridGeom {
+            nx: 4,
+            ny: 3,
+            nz: 5,
+            dx: 0.25,
+            dy: 0.5,
+            dz: 0.2,
+        }
     }
 
     /// Arithmetic periodic neighbour (oracle).
@@ -458,10 +466,9 @@ mod tests {
         let mut pos = [0.05, 0.05, 0.05];
         let vel = [0.1, 0.0, 0.0];
         let mut deposits = Vec::new();
-        let (c, visited) =
-            move_deposit_particle(&g, &mut pos, &vel, 0, 0.5, &nb, |cell, frac| {
-                deposits.push((cell, frac));
-            });
+        let (c, visited) = move_deposit_particle(&g, &mut pos, &vel, 0, 0.5, &nb, |cell, frac| {
+            deposits.push((cell, frac));
+        });
         assert_eq!(c, 0);
         assert_eq!(visited, 1);
         assert_eq!(deposits, vec![(0, 1.0)]);
@@ -476,10 +483,9 @@ mod tests {
         let mut pos = [0.125, 0.25, 0.1];
         let vel = [0.25, 0.0, 0.0];
         let mut deposits = Vec::new();
-        let (c, visited) =
-            move_deposit_particle(&g, &mut pos, &vel, 0, 1.0, &nb, |cell, frac| {
-                deposits.push((cell, frac));
-            });
+        let (c, visited) = move_deposit_particle(&g, &mut pos, &vel, 0, 1.0, &nb, |cell, frac| {
+            deposits.push((cell, frac));
+        });
         assert_eq!(c, 1);
         assert_eq!(visited, 2);
         // Half the step in cell 0, half in cell 1.
@@ -515,10 +521,17 @@ mod tests {
         let mut pos = [0.24, 0.49, 0.19];
         let vel = [0.3, 0.3, 0.3];
         let mut total = 0.0;
-        let (_, visited) =
-            move_deposit_particle(&g, &mut pos, &vel, g.cell_id([0, 0, 0]), 0.5, &nb, |_, f| {
+        let (_, visited) = move_deposit_particle(
+            &g,
+            &mut pos,
+            &vel,
+            g.cell_id([0, 0, 0]),
+            0.5,
+            &nb,
+            |_, f| {
                 total += f;
-            });
+            },
+        );
         assert!(visited >= 3, "diagonal crossing visits several cells");
         assert!((total - 1.0).abs() < 1e-12);
     }
@@ -567,7 +580,14 @@ mod tests {
 
     #[test]
     fn init_perturbation_seeds_momentum_modulation() {
-        let g = GridGeom { nx: 32, ny: 2, nz: 2, dx: 1.0 / 32.0, dy: 0.5, dz: 0.5 };
+        let g = GridGeom {
+            nx: 32,
+            ny: 2,
+            nz: 2,
+            dx: 1.0 / 32.0,
+            dy: 0.5,
+            dz: 0.5,
+        };
         let (pos, vel, _, _) = init_two_stream(&g, 4, 0.2, 0.1, 1);
         // Correlation between sin(kx) and vx perturbation must be
         // positive.

@@ -141,7 +141,11 @@ mod tests {
 
     #[test]
     fn cfl_is_respected() {
-        for cfg in [CabanaConfig::default(), CabanaConfig::tiny(), CabanaConfig::paper_scaled(0.1, 8)] {
+        for cfg in [
+            CabanaConfig::default(),
+            CabanaConfig::tiny(),
+            CabanaConfig::paper_scaled(0.1, 8),
+        ] {
             let dmin = cfg.dx.min(cfg.dy).min(cfg.dz);
             assert!(cfg.dt < dmin / (3f64).sqrt() + 1e-12, "CFL violated");
         }

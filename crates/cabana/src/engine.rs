@@ -162,18 +162,18 @@ impl<T: Topology> CabanaEngine<T> {
                 let c = *cl as usize;
                 let nb = |cc: usize, a: usize, d: i32| topo.neighbor(cc, a, d);
                 let p = [x[0], x[1], x[2]];
-                let ef = gather_trilinear(&geom, p, c, &nb, |cc| {
+                let ef = gather_trilinear(&geom, p, c, nb, |cc| {
                     let s = ie.el(cc);
                     [s[0], s[1], s[2]]
                 });
-                let bf = gather_trilinear(&geom, p, c, &nb, |cc| {
+                let bf = gather_trilinear(&geom, p, c, nb, |cc| {
                     let s = ib.el(cc);
                     [s[0], s[1], s[2]]
                 });
                 let nv = boris_push([v[0], v[1], v[2]], ef, bf, qm_half_dt);
                 v.copy_from_slice(&nv);
                 let (final_cell, visited) =
-                    move_deposit_particle(&geom, x, &nv, c, dt, &nb, |cell, frac| {
+                    move_deposit_particle(&geom, x, &nv, c, dt, nb, |cell, frac| {
                         acc.atomic_add(cell * 3, q_w * nv[0] * frac);
                         acc.atomic_add(cell * 3 + 1, q_w * nv[1] * frac);
                         acc.atomic_add(cell * 3 + 2, q_w * nv[2] * frac);
@@ -206,7 +206,8 @@ impl<T: Topology> CabanaEngine<T> {
         });
         self.acc.clear();
         let bytes = (self.geom.n_cells() * 6 * 8) as u64;
-        self.profiler.add_traffic("AccumulateCurrent", bytes, (self.geom.n_cells() * 3) as u64);
+        self.profiler
+            .add_traffic("AccumulateCurrent", bytes, (self.geom.n_cells() * 3) as u64);
     }
 
     /// `AdvanceB`: `B ← B − dt·∇×E` (forward differences).
@@ -217,16 +218,23 @@ impl<T: Topology> CabanaEngine<T> {
         let dt = self.cfg.dt;
         par_loop_direct1(&self.cfg.policy, &mut self.b, |c, w| {
             let nb = |cc: usize, a: usize, d: i32| topo.neighbor(cc, a, d);
-            let db = advance_b_cell(&geom, c, &nb, |cc| {
-                let s = e.el(cc);
-                [s[0], s[1], s[2]]
-            }, dt);
+            let db = advance_b_cell(
+                &geom,
+                c,
+                nb,
+                |cc| {
+                    let s = e.el(cc);
+                    [s[0], s[1], s[2]]
+                },
+                dt,
+            );
             w[0] += db[0];
             w[1] += db[1];
             w[2] += db[2];
         });
         let nc = self.geom.n_cells() as u64;
-        self.profiler.add_traffic("AdvanceB", nc * (4 * 24 + 48), nc * 18);
+        self.profiler
+            .add_traffic("AdvanceB", nc * (4 * 24 + 48), nc * 18);
     }
 
     /// `AdvanceE`: `E ← E + dt·(∇×B − J)` (backward differences).
@@ -239,23 +247,32 @@ impl<T: Topology> CabanaEngine<T> {
         par_loop_direct1(&self.cfg.policy, &mut self.e, |c, w| {
             let nb = |cc: usize, a: usize, d: i32| topo.neighbor(cc, a, d);
             let jj = j.el(c);
-            let de = advance_e_cell(&geom, c, &nb, |cc| {
-                let s = b.el(cc);
-                [s[0], s[1], s[2]]
-            }, [jj[0], jj[1], jj[2]], dt);
+            let de = advance_e_cell(
+                &geom,
+                c,
+                nb,
+                |cc| {
+                    let s = b.el(cc);
+                    [s[0], s[1], s[2]]
+                },
+                [jj[0], jj[1], jj[2]],
+                dt,
+            );
             w[0] += de[0];
             w[1] += de[1];
             w[2] += de[2];
         });
         let nc = self.geom.n_cells() as u64;
-        self.profiler.add_traffic("AdvanceE", nc * (4 * 24 + 24 + 48), nc * 21);
+        self.profiler
+            .add_traffic("AdvanceE", nc * (4 * 24 + 24 + 48), nc * 21);
     }
 
     /// `Update_Ghosts`: in shared memory the periodic maps close the
     /// torus, so this stage only exists for breakdown parity (the
     /// distributed driver replaces it with real halo exchanges).
     pub fn update_ghosts(&mut self) {
-        self.profiler.record("Update_Ghosts", std::time::Duration::ZERO);
+        self.profiler
+            .record("Update_Ghosts", std::time::Duration::ZERO);
         self.profiler.classify("Update_Ghosts", KernelClass::Comm);
     }
 
@@ -297,17 +314,23 @@ impl<T: Topology> CabanaEngine<T> {
         let t0 = Instant::now();
         self.interpolate();
         self.profiler.record("Interpolate", t0.elapsed());
-        self.profiler.classify("Interpolate", KernelClass::WeightFields);
+        self.profiler
+            .classify("Interpolate", KernelClass::WeightFields);
 
         let t0 = Instant::now();
         let visited = self.move_deposit();
         self.profiler.record("Move_Deposit", t0.elapsed());
         self.profiler.classify("Move_Deposit", KernelClass::Move);
+        // With the `validate` feature the dynamic particle→cell map is
+        // re-audited right after the fused mover updated it.
+        #[cfg(feature = "validate")]
+        self.assert_particle_map_valid();
 
         let t0 = Instant::now();
         self.accumulate_current();
         self.profiler.record("AccumulateCurrent", t0.elapsed());
-        self.profiler.classify("AccumulateCurrent", KernelClass::Deposit);
+        self.profiler
+            .classify("AccumulateCurrent", KernelClass::Deposit);
 
         let t0 = Instant::now();
         self.advance_b();
@@ -422,7 +445,10 @@ impl<T: Topology> CabanaEngine<T> {
         }
         let ps = ParticleDats::read_checkpoint(&mut br)?;
         if ps.dofs() != self.ps.dofs() {
-            return Err(Error::new(ErrorKind::InvalidData, "particle schema mismatch"));
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "particle schema mismatch",
+            ));
         }
         self.step_no = step_no;
         self.e = e;
@@ -456,7 +482,10 @@ mod checkpoint_tests {
 
         let d_full = full_diags.last().unwrap();
         let d_res = tail.last().unwrap();
-        assert_eq!(d_full.e_field, d_res.e_field, "field energy bit-exact after restart");
+        assert_eq!(
+            d_full.e_field, d_res.e_field,
+            "field energy bit-exact after restart"
+        );
         assert_eq!(full.ps.col(full.pos), resumed.ps.col(resumed.pos));
         assert_eq!(full.e.raw(), resumed.e.raw());
     }

@@ -25,12 +25,13 @@
 //! `AdvanceE`, `Update_Ghosts`.
 
 pub mod common;
-pub mod engine;
 pub mod config;
 pub mod dsl;
+pub mod engine;
 pub mod structured;
+pub mod validate;
 
 pub use config::CabanaConfig;
-pub use engine::{CabanaEngine, EnergyDiagnostics, Topology};
 pub use dsl::CabanaPic;
+pub use engine::{CabanaEngine, EnergyDiagnostics, Topology};
 pub use structured::StructuredCabana;

@@ -27,7 +27,11 @@ impl Topology for ArithTopology {
             0 => {
                 let i = cell % nx;
                 if dir > 0 {
-                    if i + 1 == nx { cell + 1 - nx } else { cell + 1 }
+                    if i + 1 == nx {
+                        cell + 1 - nx
+                    } else {
+                        cell + 1
+                    }
                 } else if i == 0 {
                     cell + nx - 1
                 } else {
@@ -38,7 +42,11 @@ impl Topology for ArithTopology {
                 let j = (cell / nx) % ny;
                 let stride = nx;
                 if dir > 0 {
-                    if j + 1 == ny { cell + stride - stride * ny } else { cell + stride }
+                    if j + 1 == ny {
+                        cell + stride - stride * ny
+                    } else {
+                        cell + stride
+                    }
                 } else if j == 0 {
                     cell + stride * ny - stride
                 } else {
@@ -49,7 +57,11 @@ impl Topology for ArithTopology {
                 let k = cell / (nx * ny);
                 let stride = nx * ny;
                 if dir > 0 {
-                    if k + 1 == nz { cell + stride - stride * nz } else { cell + stride }
+                    if k + 1 == nz {
+                        cell + stride - stride * nz
+                    } else {
+                        cell + stride
+                    }
                 } else if k == 0 {
                     cell + stride * nz - stride
                 } else {
@@ -147,9 +159,11 @@ mod tests {
         // The two-stream instability converts beam kinetic energy into
         // field energy: E-field energy must grow by orders of
         // magnitude from its seed value.
-        let mut cfg = CabanaConfig::default();
-        cfg.policy = ExecPolicy::Seq;
-        cfg.ppc = 16;
+        let cfg = CabanaConfig {
+            policy: ExecPolicy::Seq,
+            ppc: 16,
+            ..Default::default()
+        };
         let mut sim = StructuredCabana::new_structured(cfg);
         let diags = sim.run(120);
         let early: f64 = diags[2..6].iter().map(|d| d.e_field).sum();
@@ -168,7 +182,14 @@ mod arith_tests {
 
     #[test]
     fn optimized_arithmetic_matches_full_recompute() {
-        let geom = GridGeom { nx: 5, ny: 3, nz: 4, dx: 1.0, dy: 1.0, dz: 1.0 };
+        let geom = GridGeom {
+            nx: 5,
+            ny: 3,
+            nz: 4,
+            dx: 1.0,
+            dy: 1.0,
+            dz: 1.0,
+        };
         let t = ArithTopology { geom };
         for c in 0..geom.n_cells() {
             for axis in 0..3 {

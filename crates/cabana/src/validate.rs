@@ -1,0 +1,256 @@
+//! `--validate` support: CabanaPIC's loop plans and the three analyzer
+//! passes bound to a live engine.
+//!
+//! Works for both versions: the DSL's `c2c` maps and the structured
+//! baseline's index arithmetic are materialised through the same
+//! [`Topology::neighbor`] calls, so one audit covers both — exactly the
+//! equivalence the paper exploits for its 1e-15 validation.
+
+use crate::engine::{CabanaEngine, Topology};
+use oppic_analyzer::{
+    audit_mesh_map, audit_particle_cells, check_plans, shadow_record, Diagnostic, RaceOptions,
+    Report, Schedule, ShadowRun,
+};
+use oppic_core::access::{Access, ArgDecl, LoopDecl};
+use oppic_core::decl::Registry;
+use oppic_core::plan::{LoopPlan, PlanRegistry, RaceStrategy};
+use oppic_core::DepositMethod;
+
+impl<T: Topology> CabanaEngine<T> {
+    /// The six per-axis face neighbours of every cell, materialised
+    /// through the topology — for the DSL version this is the stored
+    /// map itself; for the structured baseline it is the same relation
+    /// computed on the fly.
+    pub fn materialise_c2c(&self) -> Vec<i32> {
+        let nc = self.geom.n_cells();
+        let mut data = Vec::with_capacity(nc * 6);
+        for c in 0..nc {
+            for axis in 0..3 {
+                for dir in [-1i32, 1] {
+                    data.push(self.topo.neighbor(c, axis, dir) as i32);
+                }
+            }
+        }
+        data
+    }
+
+    /// Sets, maps and dats of the CabanaPIC arrangement ("9 DOFs per
+    /// cell and 7 DOFs per particle"), as currently sized.
+    pub fn decl_registry(&self) -> Registry {
+        let mut r = Registry::new();
+        let nc = self.geom.n_cells();
+        r.decl_set("cells", nc).expect("fresh registry");
+        r.decl_particle_set("particles", "cells", self.ps.len())
+            .expect("fresh registry");
+        let c2c = self.materialise_c2c();
+        r.decl_map("c2c", "cells", "cells", 6, Some(&c2c))
+            .expect("c2c is in range");
+        r.decl_map("p2c", "particles", "cells", 1, None)
+            .expect("fresh registry");
+        for name in ["E", "B", "J", "interp E", "interp B", "acc"] {
+            r.decl_dat(name, "cells", 3).expect("fresh registry");
+        }
+        r.decl_dat("pos", "particles", 3).expect("fresh registry");
+        r.decl_dat("vel", "particles", 3).expect("fresh registry");
+        r.decl_dat("weight", "particles", 1)
+            .expect("fresh registry");
+        r
+    }
+
+    /// Every loop of the Figure 9(b) step, with the executor and race
+    /// strategy the engine actually uses.
+    pub fn loop_plans(&self) -> PlanRegistry {
+        let policy = &self.cfg.policy;
+        let mut plans = PlanRegistry::new();
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                "Interpolate",
+                "cells",
+                vec![
+                    ArgDecl::direct("E", 3, Access::Read),
+                    ArgDecl::direct("B", 3, Access::Read),
+                    ArgDecl::direct("interp E", 3, Access::Write),
+                    ArgDecl::direct("interp B", 3, Access::Write),
+                ],
+            ),
+            policy,
+        ));
+        // The fused mover: trilinear gathers read neighbour cells
+        // through p2c∘c2c, the current deposit increments the atomic
+        // accumulator of every crossed cell.
+        plans.register(LoopPlan::new(
+            LoopDecl::new(
+                "Move_Deposit",
+                "particles",
+                vec![
+                    ArgDecl::direct("pos", 3, Access::ReadWrite),
+                    ArgDecl::direct("vel", 3, Access::ReadWrite),
+                    ArgDecl::direct("weight", 1, Access::Read),
+                    ArgDecl::double_indirect("interp E", 3, Access::Read, "p2c.c2c"),
+                    ArgDecl::double_indirect("interp B", 3, Access::Read, "p2c.c2c"),
+                    ArgDecl::double_indirect("acc", 3, Access::Inc, "p2c.c2c"),
+                ],
+            ),
+            policy,
+            RaceStrategy::Deposit(DepositMethod::Atomics),
+        ));
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                "AccumulateCurrent",
+                "cells",
+                vec![
+                    ArgDecl::direct("J", 3, Access::Write),
+                    ArgDecl::direct("acc", 3, Access::ReadWrite),
+                ],
+            ),
+            policy,
+        ));
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                "AdvanceB",
+                "cells",
+                vec![
+                    ArgDecl::direct("B", 3, Access::ReadWrite),
+                    ArgDecl::indirect("E", 3, Access::Read, "c2c"),
+                ],
+            ),
+            policy,
+        ));
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                "AdvanceE",
+                "cells",
+                vec![
+                    ArgDecl::direct("E", 3, Access::ReadWrite),
+                    ArgDecl::indirect("B", 3, Access::Read, "c2c"),
+                    ArgDecl::direct("J", 3, Access::Read),
+                ],
+            ),
+            policy,
+        ));
+        plans
+    }
+
+    /// Pass 3: periodic topology bounds plus the dynamic particle→cell
+    /// map.
+    pub fn audit_maps(&self) -> Report {
+        let nc = self.geom.n_cells();
+        let mut report = Report::new();
+        let c2c = self.materialise_c2c();
+        // Periodic boundaries: every neighbour must resolve in-range,
+        // no boundary sentinels allowed.
+        report.extend(audit_mesh_map("c2c", &c2c, nc, 6, nc, false));
+        report.extend(audit_particle_cells("p2c", self.ps.cells(), nc));
+        report
+    }
+
+    /// Pass 2: replay the Move_Deposit footprint (gather from the home
+    /// cell, current increment into the atomic accumulator) and check
+    /// it under the engine's schedule.
+    pub fn shadow_move_deposit(&self) -> Report {
+        let mut report = Report::new();
+        let cells = self.ps.cells();
+        let run = shadow_record(self.ps.len(), |i, ctx| {
+            let c = cells[i] as usize;
+            ctx.read("interp E", c);
+            ctx.read("interp B", c);
+            ctx.inc("acc", c);
+        });
+        let parallel = self.cfg.policy.is_parallel();
+        let races = if parallel {
+            // DeviceBuffer::atomic_add synchronises the increments.
+            let opts = RaceOptions {
+                inc_is_synchronised: true,
+                ..Default::default()
+            };
+            run.detect_races(Schedule::AllParallel, &opts)
+        } else {
+            run.detect_races(Schedule::Sequential, &RaceOptions::default())
+        };
+        report.extend(ShadowRun::races_to_diagnostics("Move_Deposit", &races));
+        if parallel && self.ps.len() > 1 {
+            let unsafe_races = run.detect_races(Schedule::AllParallel, &RaceOptions::default());
+            report.push(Diagnostic::info(
+                "race/control",
+                "Move_Deposit",
+                format!(
+                    "shadow replay of {} particles ({} touches): {} conflict(s) with plain \
+                     increments, {} with the atomic accumulator",
+                    run.n_iters(),
+                    run.n_touches(),
+                    unsafe_races.len(),
+                    races.len()
+                ),
+            ));
+        }
+        report
+    }
+
+    /// All three passes against the current state.
+    pub fn validate_all(&self) -> Report {
+        let reg = self.decl_registry();
+        let mut report = check_plans(&self.loop_plans(), Some(&reg));
+        report.merge(self.audit_maps());
+        report.merge(self.shadow_move_deposit());
+        report
+    }
+
+    /// Per-step invariant gate used by the `validate` cargo feature:
+    /// panics with the full report if the particle→cell map is broken.
+    pub fn assert_particle_map_valid(&self) {
+        let mut report = Report::new();
+        report.extend(audit_particle_cells(
+            "p2c",
+            self.ps.cells(),
+            self.geom.n_cells(),
+        ));
+        assert!(
+            !report.has_errors(),
+            "particle→cell map audit failed after Move_Deposit:\n{report}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::CabanaConfig;
+    use crate::dsl::CabanaPic;
+    use crate::structured::StructuredCabana;
+    use oppic_core::ExecPolicy;
+
+    #[test]
+    fn shipped_configs_validate_cleanly() {
+        let mut dsl = CabanaPic::new_dsl(CabanaConfig::tiny());
+        dsl.run(3);
+        let report = dsl.validate_all();
+        assert!(!report.has_errors(), "dsl:\n{report}");
+
+        let mut cfg = CabanaConfig::tiny();
+        cfg.policy = ExecPolicy::Par;
+        let mut structured = StructuredCabana::new_structured(cfg);
+        structured.run(3);
+        let report = structured.validate_all();
+        assert!(!report.has_errors(), "structured:\n{report}");
+    }
+
+    #[test]
+    fn both_topologies_materialise_the_same_map() {
+        let dsl = CabanaPic::new_dsl(CabanaConfig::tiny());
+        let structured = StructuredCabana::new_structured(CabanaConfig::tiny());
+        assert_eq!(dsl.materialise_c2c(), structured.materialise_c2c());
+    }
+
+    #[test]
+    fn map_audit_flags_corrupted_particle_cells() {
+        let mut sim = CabanaPic::new_dsl(CabanaConfig::tiny());
+        sim.run(2);
+        let nc = sim.geom.n_cells() as i32;
+        sim.ps.cells_mut()[0] = nc + 7;
+        let report = sim.audit_maps();
+        assert!(report.has_errors());
+        assert!(
+            !report.with_code("pmap/out-of-range").is_empty(),
+            "{report}"
+        );
+    }
+}

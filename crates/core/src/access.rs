@@ -58,7 +58,13 @@ pub struct ArgDecl {
 
 impl ArgDecl {
     pub fn direct(dat: impl Into<String>, dim: usize, access: Access) -> Self {
-        ArgDecl { dat: dat.into(), dim, access, indirection: Indirection::Direct, map: String::new() }
+        ArgDecl {
+            dat: dat.into(),
+            dim,
+            access,
+            indirection: Indirection::Direct,
+            map: String::new(),
+        }
     }
 
     pub fn indirect(
@@ -67,7 +73,13 @@ impl ArgDecl {
         access: Access,
         map: impl Into<String>,
     ) -> Self {
-        ArgDecl { dat: dat.into(), dim, access, indirection: Indirection::Indirect, map: map.into() }
+        ArgDecl {
+            dat: dat.into(),
+            dim,
+            access,
+            indirection: Indirection::Indirect,
+            map: map.into(),
+        }
     }
 
     pub fn double_indirect(
@@ -76,7 +88,43 @@ impl ArgDecl {
         access: Access,
         map: impl Into<String>,
     ) -> Self {
-        ArgDecl { dat: dat.into(), dim, access, indirection: Indirection::Double, map: map.into() }
+        ArgDecl {
+            dat: dat.into(),
+            dim,
+            access,
+            indirection: Indirection::Double,
+            map: map.into(),
+        }
+    }
+
+    /// Coherence rules for a single descriptor: a direct arg must not
+    /// name a map, an indirect or double-indirect arg must, and a
+    /// double-indirect plain `WRITE` is rejected outright (the DSL
+    /// cannot order scattered plain writes deterministically — the
+    /// paper's generator only accepts `INC` through two map hops).
+    pub fn validate(&self) -> Result<(), String> {
+        match self.indirection {
+            Indirection::Direct if !self.map.is_empty() => {
+                return Err(format!(
+                    "direct arg '{}' names a map '{}'",
+                    self.dat, self.map
+                ));
+            }
+            Indirection::Indirect | Indirection::Double if self.map.is_empty() => {
+                return Err(format!("indirect arg '{}' missing its map", self.dat));
+            }
+            _ => {}
+        }
+        if self.access == Access::Write && self.indirection == Indirection::Double {
+            return Err(format!(
+                "double-indirect plain WRITE on '{}' is not deterministic; use INC",
+                self.dat
+            ));
+        }
+        if self.dim == 0 {
+            return Err(format!("arg '{}' declares dim 0", self.dat));
+        }
+        Ok(())
     }
 
     /// Bytes this argument moves per iteration (reads + writes),
@@ -104,16 +152,20 @@ pub struct LoopDecl {
 
 impl LoopDecl {
     pub fn new(name: impl Into<String>, iter_set: impl Into<String>, args: Vec<ArgDecl>) -> Self {
-        LoopDecl { name: name.into(), iter_set: iter_set.into(), args }
+        LoopDecl {
+            name: name.into(),
+            iter_set: iter_set.into(),
+            args,
+        }
     }
 
     /// Does any argument require race handling under thread-parallel
     /// execution? True exactly when an indirect (or double-indirect)
     /// increment exists — the condition the paper's generator keys on.
     pub fn needs_race_handling(&self) -> bool {
-        self.args.iter().any(|a| {
-            a.access == Access::Inc && a.indirection != Indirection::Direct
-        })
+        self.args
+            .iter()
+            .any(|a| a.access == Access::Inc && a.indirection != Indirection::Direct)
     }
 
     /// Estimated bytes moved per iteration over all arguments.
@@ -121,26 +173,14 @@ impl LoopDecl {
         self.args.iter().map(ArgDecl::bytes_per_iter).sum()
     }
 
-    /// Sanity rules: an indirect arg must name its map; a direct arg
-    /// must not; `Write`-only double indirection is rejected (the DSL
-    /// cannot order scattered plain writes deterministically).
+    /// Sanity rules, delegated per-argument to [`ArgDecl::validate`]:
+    /// an indirect arg must name its map; a direct arg must not;
+    /// `Write`-only double indirection is rejected (the DSL cannot
+    /// order scattered plain writes deterministically).
     pub fn validate(&self) -> Result<(), String> {
         for a in &self.args {
-            match a.indirection {
-                Indirection::Direct if !a.map.is_empty() => {
-                    return Err(format!("direct arg '{}' names a map '{}'", a.dat, a.map));
-                }
-                Indirection::Indirect | Indirection::Double if a.map.is_empty() => {
-                    return Err(format!("indirect arg '{}' missing its map", a.dat));
-                }
-                _ => {}
-            }
-            if a.access == Access::Write && a.indirection == Indirection::Double {
-                return Err(format!(
-                    "double-indirect plain WRITE on '{}' is not deterministic; use INC",
-                    a.dat
-                ));
-            }
+            a.validate()
+                .map_err(|e| format!("loop '{}': {e}", self.name))?;
         }
         Ok(())
     }
@@ -247,6 +287,24 @@ mod tests {
             vec![ArgDecl::double_indirect("x", 1, Access::Inc, "p2c.c2n")],
         );
         assert!(fine.validate().is_ok());
+    }
+
+    #[test]
+    fn arg_validation_is_per_argument() {
+        assert!(ArgDecl::direct("x", 3, Access::Read).validate().is_ok());
+        assert!(ArgDecl::indirect("x", 3, Access::Read, "c2n")
+            .validate()
+            .is_ok());
+        // Zero-dim args are incoherent whatever the route.
+        assert!(ArgDecl::direct("x", 0, Access::Read).validate().is_err());
+        // Loop-level validation prefixes the loop name.
+        let bad = LoopDecl::new(
+            "Deposit",
+            "particles",
+            vec![ArgDecl::direct("x", 0, Access::Read)],
+        );
+        let msg = bad.validate().unwrap_err();
+        assert!(msg.contains("Deposit"), "{msg}");
     }
 
     #[test]

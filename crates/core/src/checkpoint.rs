@@ -72,7 +72,10 @@ impl<R: Read> BinReader<R> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an OP-PIC checkpoint"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an OP-PIC checkpoint",
+            ));
         }
         let mut v = [0u8; 4];
         r.read_exact(&mut v)?;
@@ -171,7 +174,10 @@ impl ParticleDats {
         let cells = r.i32_slice()?;
         let np = n_particles.unwrap_or(cells.len());
         if cells.len() != np {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "cell map length mismatch"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "cell map length mismatch",
+            ));
         }
         ps.inject_into(&cells);
         for (id, data) in cols {

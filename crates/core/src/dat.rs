@@ -28,14 +28,22 @@ impl Dat {
     /// A zero-initialised dat.
     pub fn zeros(name: impl Into<String>, len: usize, dim: usize) -> Self {
         assert!(dim > 0, "dat dimension must be positive");
-        Dat { name: name.into(), dim, data: vec![0.0; len * dim] }
+        Dat {
+            name: name.into(),
+            dim,
+            data: vec![0.0; len * dim],
+        }
     }
 
     /// Wrap existing raw data (must be `len * dim` long).
     pub fn from_vec(name: impl Into<String>, dim: usize, data: Vec<f64>) -> Self {
         assert!(dim > 0, "dat dimension must be positive");
         assert_eq!(data.len() % dim, 0, "data length not a multiple of dim");
-        Dat { name: name.into(), dim, data }
+        Dat {
+            name: name.into(),
+            dim,
+            data,
+        }
     }
 
     /// Build per-element from a function.

@@ -63,7 +63,14 @@ impl Registry {
             return Err(format!("set '{name}' declared twice"));
         }
         self.order.push(format!("set:{name}"));
-        self.sets.insert(name.clone(), SetDecl { name, size, cells_set: None });
+        self.sets.insert(
+            name.clone(),
+            SetDecl {
+                name,
+                size,
+                cells_set: None,
+            },
+        );
         Ok(())
     }
 
@@ -76,7 +83,9 @@ impl Registry {
     ) -> Result<(), String> {
         let name = name.into();
         if !self.sets.contains_key(cells_set) {
-            return Err(format!("particle set '{name}' references unknown set '{cells_set}'"));
+            return Err(format!(
+                "particle set '{name}' references unknown set '{cells_set}'"
+            ));
         }
         if self.sets.contains_key(&name) {
             return Err(format!("set '{name}' declared twice"));
@@ -84,7 +93,11 @@ impl Registry {
         self.order.push(format!("pset:{name}"));
         self.sets.insert(
             name.clone(),
-            SetDecl { name, size: count, cells_set: Some(cells_set.to_string()) },
+            SetDecl {
+                name,
+                size: count,
+                cells_set: Some(cells_set.to_string()),
+            },
         );
         Ok(())
     }
@@ -135,8 +148,15 @@ impl Registry {
             }
         }
         self.order.push(format!("map:{name}"));
-        self.maps
-            .insert(name.clone(), MapDecl { name, from: from.into(), to: to.into(), arity });
+        self.maps.insert(
+            name.clone(),
+            MapDecl {
+                name,
+                from: from.into(),
+                to: to.into(),
+                arity,
+            },
+        );
         Ok(())
     }
 
@@ -158,7 +178,14 @@ impl Registry {
             return Err(format!("dat '{name}': dim must be positive"));
         }
         self.order.push(format!("dat:{name}"));
-        self.dats.insert(name.clone(), DatDecl { name, set: set.into(), dim });
+        self.dats.insert(
+            name.clone(),
+            DatDecl {
+                name,
+                set: set.into(),
+                dim,
+            },
+        );
         Ok(())
     }
 
@@ -185,7 +212,11 @@ impl Registry {
     /// Degrees of freedom per element of a set — the paper quotes these
     /// per app (Mini-FEM-PIC: 1 DOF/cell, 2 DOF/node, 7 DOF/particle).
     pub fn dofs_on(&self, set: &str) -> usize {
-        self.dats.values().filter(|d| d.set == set).map(|d| d.dim).sum()
+        self.dats
+            .values()
+            .filter(|d| d.set == set)
+            .map(|d| d.dim)
+            .sum()
     }
 
     /// Human-readable summary in declaration order.
@@ -216,7 +247,10 @@ impl Registry {
                 }
                 "dat" => {
                     let d = &self.dats[name];
-                    s.push_str(&format!("dat       {:<24} on {} dim {}\n", d.name, d.set, d.dim));
+                    s.push_str(&format!(
+                        "dat       {:<24} on {} dim {}\n",
+                        d.name, d.set, d.dim
+                    ));
                 }
                 _ => unreachable!("unknown registry key kind"),
             }
@@ -242,9 +276,11 @@ mod tests {
     #[test]
     fn figure4_declarations() {
         let mut r = figure4_registry();
-        let c2n: Vec<i32> = (0..9 * 4).map(|i| (i % 16) as i32).collect();
-        r.decl_map("cell_to_nodes_map", "cells", "nodes", 4, Some(&c2n)).unwrap();
-        r.decl_map("particles_to_cells_index", "x", "cells", 1, None).unwrap();
+        let c2n: Vec<i32> = (0..9 * 4).map(|i| i % 16).collect();
+        r.decl_map("cell_to_nodes_map", "cells", "nodes", 4, Some(&c2n))
+            .unwrap();
+        r.decl_map("particles_to_cells_index", "x", "cells", 1, None)
+            .unwrap();
         r.decl_dat("electric field", "cells", 1).unwrap();
         r.decl_dat("node potential", "nodes", 2).unwrap();
         r.decl_dat("particle position", "x", 1).unwrap();
@@ -274,7 +310,9 @@ mod tests {
     fn map_payload_validated() {
         let mut r = figure4_registry();
         // Wrong length.
-        assert!(r.decl_map("m1", "cells", "nodes", 4, Some(&[0, 1, 2])).is_err());
+        assert!(r
+            .decl_map("m1", "cells", "nodes", 4, Some(&[0, 1, 2]))
+            .is_err());
         // Out of range entry.
         let mut c2n = vec![0i32; 36];
         c2n[7] = 16; // nodes has size 16 -> max valid 15

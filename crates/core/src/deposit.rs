@@ -52,6 +52,15 @@ impl DepositMethod {
         DepositMethod::SegmentedReduction,
     ];
 
+    /// Does this method execute race-free *while honouring* a policy
+    /// with the given parallelism? Every method is safe in the
+    /// data-race sense — `Serial` under a parallel policy returns
+    /// `false` because it silently falls back to sequential execution,
+    /// which the analyzer surfaces as a plan-incoherence warning.
+    pub fn is_race_safe(self, parallel: bool) -> bool {
+        !parallel || !matches!(self, DepositMethod::Serial)
+    }
+
     /// Short label used by the benchmark tables (matches the paper's
     /// AT/UA/SR abbreviations).
     pub fn label(self) -> &'static str {
@@ -84,9 +93,7 @@ impl<'a> Depositor<'a> {
     pub fn add(&mut self, idx: usize, value: f64) {
         match self {
             Depositor::Exclusive(t) | Depositor::Local(t) => t[idx] += value,
-            Depositor::Atomic { slots, ordering } => {
-                atomic_add_f64(&slots[idx], value, *ordering)
-            }
+            Depositor::Atomic { slots, ordering } => atomic_add_f64(&slots[idx], value, *ordering),
             Depositor::Pairs(buf) => buf.push((idx as u32, value)),
         }
     }
@@ -188,7 +195,9 @@ where
             });
             DepositStats::default()
         }
-        DepositMethod::SegmentedReduction => policy.run(|| segmented_reduction(policy, n, target, &kernel)),
+        DepositMethod::SegmentedReduction => {
+            policy.run(|| segmented_reduction(policy, n, target, &kernel))
+        }
     }
 }
 
@@ -271,7 +280,8 @@ where
 
     // Step 2: sort_by_key (key, then value bits for determinism).
     pairs.par_sort_unstable_by(|a, b| {
-        a.0.cmp(&b.0).then_with(|| total_order_bits(a.1).cmp(&total_order_bits(b.1)))
+        a.0.cmp(&b.0)
+            .then_with(|| total_order_bits(a.1).cmp(&total_order_bits(b.1)))
     });
 
     // Step 3: reduce_by_key + scatter.
@@ -288,7 +298,10 @@ where
         segments += 1;
     }
 
-    DepositStats { pairs_staged: staged, segments }
+    DepositStats {
+        pairs_staged: staged,
+        segments,
+    }
 }
 
 /// Map an `f64` to a totally ordered integer (IEEE-754 total order
@@ -420,13 +433,19 @@ where
         policy.run(|| {
             if policy.is_parallel() {
                 work.par_iter().for_each(|&&(_, lo, hi)| {
-                    let mut dep = Depositor::Atomic { slots, ordering: Ordering::Relaxed };
+                    let mut dep = Depositor::Atomic {
+                        slots,
+                        ordering: Ordering::Relaxed,
+                    };
                     for p in lo..hi {
                         kernel(p, &mut dep);
                     }
                 });
             } else {
-                let mut dep = Depositor::Atomic { slots, ordering: Ordering::Relaxed };
+                let mut dep = Depositor::Atomic {
+                    slots,
+                    ordering: Ordering::Relaxed,
+                };
                 for &&(_, lo, hi) in &work {
                     for p in lo..hi {
                         kernel(p, &mut dep);
@@ -485,7 +504,14 @@ mod tests {
         // results must be bit-identical thanks to the total ordering of
         // values within a key segment.
         let runs: Vec<Vec<f64>> = (0..5)
-            .map(|_| run_method(DepositMethod::SegmentedReduction, &ExecPolicy::Par, 20_000, 16))
+            .map(|_| {
+                run_method(
+                    DepositMethod::SegmentedReduction,
+                    &ExecPolicy::Par,
+                    20_000,
+                    16,
+                )
+            })
             .collect();
         for r in &runs[1..] {
             assert_eq!(r, &runs[0], "SR must be schedule-independent");
@@ -495,9 +521,15 @@ mod tests {
     #[test]
     fn segmented_reduction_stats() {
         let mut target = vec![0.0; 8];
-        let st = deposit_loop(&ExecPolicy::Seq, DepositMethod::SegmentedReduction, 10, &mut target, |i, d| {
-            d.add(i % 2, 1.0);
-        });
+        let st = deposit_loop(
+            &ExecPolicy::Seq,
+            DepositMethod::SegmentedReduction,
+            10,
+            &mut target,
+            |i, d| {
+                d.add(i % 2, 1.0);
+            },
+        );
         assert_eq!(st.pairs_staged, 10);
         assert_eq!(st.segments, 2);
         assert_eq!(target[0], 5.0);
@@ -519,9 +551,16 @@ mod tests {
     fn extreme_contention_single_slot() {
         // Everybody hits slot 0 — the exact pathology the paper
         // observed serialising AMD atomics.
-        for method in [DepositMethod::Atomics, DepositMethod::UnsafeAtomics, DepositMethod::SegmentedReduction, DepositMethod::ScatterArrays] {
+        for method in [
+            DepositMethod::Atomics,
+            DepositMethod::UnsafeAtomics,
+            DepositMethod::SegmentedReduction,
+            DepositMethod::ScatterArrays,
+        ] {
             let mut target = vec![0.0];
-            deposit_loop(&ExecPolicy::Par, method, 100_000, &mut target, |_, d| d.add(0, 1.0));
+            deposit_loop(&ExecPolicy::Par, method, 100_000, &mut target, |_, d| {
+                d.add(0, 1.0)
+            });
             assert_eq!(target[0], 100_000.0, "{method:?}");
         }
     }
@@ -530,7 +569,9 @@ mod tests {
     fn empty_loop_is_noop() {
         for method in DepositMethod::ALL {
             let mut target = vec![1.0, 2.0];
-            deposit_loop(&ExecPolicy::Par, method, 0, &mut target, |_, d| d.add(0, 9.9));
+            deposit_loop(&ExecPolicy::Par, method, 0, &mut target, |_, d| {
+                d.add(0, 9.9)
+            });
             assert_eq!(target, vec![1.0, 2.0]);
         }
     }
@@ -568,12 +609,18 @@ mod tests {
         // 3 particles per cell, sorted by construction.
         let cells: Vec<i32> = (0..6).flat_map(|c| [c, c, c]).collect();
         let kernel = |i: usize, dep: &mut Depositor| {
-            let c = (i / 3) as usize;
+            let c = i / 3;
             dep.add(mesh[c][0], 1.0);
             dep.add(mesh[c][1], 0.5);
         };
         let mut reference = vec![0.0; 7];
-        deposit_loop(&ExecPolicy::Seq, DepositMethod::Serial, cells.len(), &mut reference, kernel);
+        deposit_loop(
+            &ExecPolicy::Seq,
+            DepositMethod::Serial,
+            cells.len(),
+            &mut reference,
+            kernel,
+        );
         for policy in [ExecPolicy::Seq, ExecPolicy::Par] {
             let mut got = vec![0.0; 7];
             deposit_loop_colored(&policy, &mut got, &cells, &colors, n_colors, kernel).unwrap();
@@ -602,22 +649,34 @@ mod tests {
     #[test]
     fn colored_deposit_heavy_agrees_under_parallelism() {
         // Denser conflict structure: 50 cells, 4 shared nodes each.
-        let mesh: Vec<[usize; 4]> = (0..50)
-            .map(|c| [c, c + 1, c + 2, c + 3])
-            .collect();
+        let mesh: Vec<[usize; 4]> = (0..50).map(|c| [c, c + 1, c + 2, c + 3]).collect();
         let (colors, n_colors) = greedy_color_cells(&mesh, 53);
         assert!(coloring_is_valid(&mesh, 53, &colors));
-        let cells: Vec<i32> = (0..50).flat_map(|c| std::iter::repeat(c).take(40)).collect();
+        let cells: Vec<i32> = (0..50).flat_map(|c| std::iter::repeat_n(c, 40)).collect();
         let kernel = |i: usize, dep: &mut Depositor| {
             let c = i / 40;
-            for k in 0..4 {
-                dep.add(mesh[c][k], 1.0 + k as f64);
+            for (k, &node) in mesh[c].iter().enumerate() {
+                dep.add(node, 1.0 + k as f64);
             }
         };
         let mut reference = vec![0.0; 53];
-        deposit_loop(&ExecPolicy::Seq, DepositMethod::Serial, cells.len(), &mut reference, kernel);
+        deposit_loop(
+            &ExecPolicy::Seq,
+            DepositMethod::Serial,
+            cells.len(),
+            &mut reference,
+            kernel,
+        );
         let mut got = vec![0.0; 53];
-        deposit_loop_colored(&ExecPolicy::Par, &mut got, &cells, &colors, n_colors, kernel).unwrap();
+        deposit_loop_colored(
+            &ExecPolicy::Par,
+            &mut got,
+            &cells,
+            &colors,
+            n_colors,
+            kernel,
+        )
+        .unwrap();
         for (a, b) in got.iter().zip(&reference) {
             assert!((a - b).abs() < 1e-12);
         }

@@ -41,21 +41,24 @@ pub mod move_engine;
 pub mod params;
 pub mod parloop;
 pub mod particles;
+pub mod plan;
 pub mod profile;
 
-pub use access::{Access, ArgDecl};
+pub use access::{Access, ArgDecl, Indirection, LoopDecl};
 pub use checkpoint::{BinReader, BinWriter};
 pub use dat::Dat;
+pub use decl::Registry;
 pub use deposit::{
     coloring_is_valid, deposit_loop, deposit_loop_colored, greedy_color_cells, DepositMethod,
     Depositor,
 };
 pub use move_engine::{move_loop, move_loop_direct_hop, MoveConfig, MoveResult, MoveStatus};
+pub use params::Params;
 pub use parloop::{
-    par_loop_slices1, par_loop_slices2, par_loop_slices2_cells, par_loop_slices3, par_reduce_sum,
     par_loop_direct1, par_loop_direct2, par_loop_direct3, par_loop_direct4, par_loop_gather,
+    par_loop_slices1, par_loop_slices2, par_loop_slices2_cells, par_loop_slices3, par_reduce_sum,
     ExecPolicy,
 };
-pub use params::Params;
 pub use particles::{ColId, ParticleDats};
+pub use plan::{LoopPlan, PlanRegistry, RaceStrategy};
 pub use profile::{KernelClass, Profiler};

@@ -34,24 +34,39 @@
 /// Each binding names the element's mutable window of that dat inside
 /// the kernel body. 1–4 written dats are supported (the paper's loops
 /// never write more; add reads by capturing).
+///
+/// Every expansion builds the loop's [`crate::access::LoopDecl`] from
+/// the written dats and validates it ([`crate::access::ArgDecl::validate`])
+/// before dispatch — the declaration *is* checked, not just recorded.
 #[macro_export]
 macro_rules! opp_par_loop {
-    ($policy:expr, $name:expr; write [$a:ident: $da:expr]; |$i:pat_param| $body:block) => {{
-        let _ = $name;
+    ($policy:expr, $name:expr; write [$($a:ident: $da:expr),+]; |$i:pat_param| $body:block) => {{
+        let __decl = $crate::access::LoopDecl::new(
+            $name,
+            "<direct>",
+            vec![$($crate::access::ArgDecl::direct(
+                $da.name(),
+                $da.dim(),
+                $crate::access::Access::Write,
+            )),+],
+        );
+        $crate::plan::LoopPlan::direct(__decl, &$policy)
+            .quick_check()
+            .expect("opp_par_loop: incoherent loop declaration");
+        $crate::opp_par_loop!(@dispatch $policy; [$($a: $da),+]; |$i| $body);
+    }};
+    (@dispatch $policy:expr; [$a:ident: $da:expr]; |$i:pat_param| $body:block) => {
         $crate::parloop::par_loop_direct1(&$policy, &mut $da, |$i, $a| $body);
-    }};
-    ($policy:expr, $name:expr; write [$a:ident: $da:expr, $b:ident: $db:expr]; |$i:pat_param| $body:block) => {{
-        let _ = $name;
+    };
+    (@dispatch $policy:expr; [$a:ident: $da:expr, $b:ident: $db:expr]; |$i:pat_param| $body:block) => {
         $crate::parloop::par_loop_direct2(&$policy, &mut $da, &mut $db, |$i, $a, $b| $body);
-    }};
-    ($policy:expr, $name:expr; write [$a:ident: $da:expr, $b:ident: $db:expr, $c:ident: $dc:expr]; |$i:pat_param| $body:block) => {{
-        let _ = $name;
+    };
+    (@dispatch $policy:expr; [$a:ident: $da:expr, $b:ident: $db:expr, $c:ident: $dc:expr]; |$i:pat_param| $body:block) => {
         $crate::parloop::par_loop_direct3(&$policy, &mut $da, &mut $db, &mut $dc, |$i, $a, $b, $c| $body);
-    }};
-    ($policy:expr, $name:expr; write [$a:ident: $da:expr, $b:ident: $db:expr, $c:ident: $dc:expr, $d:ident: $dd:expr]; |$i:pat_param| $body:block) => {{
-        let _ = $name;
+    };
+    (@dispatch $policy:expr; [$a:ident: $da:expr, $b:ident: $db:expr, $c:ident: $dc:expr, $d:ident: $dd:expr]; |$i:pat_param| $body:block) => {
         $crate::parloop::par_loop_direct4(&$policy, &mut $da, &mut $db, &mut $dc, &mut $dd, |$i, $a, $b, $c, $d| $body);
-    }};
+    };
 }
 
 /// Declare a particle-move loop, Figure 6 style. The kernel body
@@ -99,8 +114,28 @@ macro_rules! opp_particle_move {
 #[macro_export]
 macro_rules! opp_deposit {
     ($policy:expr, $method:expr, $name:expr, $n:expr => $target:expr; |$i:pat_param, $dep:pat_param| $body:block) => {{
-        let _ = $name;
-        $crate::deposit::deposit_loop(&$policy, $method, $n, $target, |$i, $dep| $body)
+        let __method = $method;
+        // The deposit pattern is by construction a double-indirect INC
+        // (particle → cell → target element); record that shape as a
+        // plan and run the cheap coherence check before dispatch.
+        let __decl = $crate::access::LoopDecl::new(
+            $name,
+            "particles",
+            vec![$crate::access::ArgDecl::double_indirect(
+                "<deposit-target>",
+                1,
+                $crate::access::Access::Inc,
+                "<p2c.map>",
+            )],
+        );
+        $crate::plan::LoopPlan::new(
+            __decl,
+            &$policy,
+            $crate::plan::RaceStrategy::Deposit(__method),
+        )
+        .quick_check()
+        .expect("opp_deposit: incoherent deposit plan");
+        $crate::deposit::deposit_loop(&$policy, __method, $n, $target, |$i, $dep| $body)
     }};
 }
 
@@ -171,9 +206,9 @@ mod tests {
         let policy = ExecPolicy::Par;
         let mut charge = vec![0.0f64; 4];
         opp_deposit!(policy, DepositMethod::SegmentedReduction, "DepositCharge",
-            400 => &mut charge; |i, dep| {
-                dep.add(i % 4, 0.5);
-            });
+        400 => &mut charge; |i, dep| {
+            dep.add(i % 4, 0.5);
+        });
         assert_eq!(charge, vec![50.0; 4]);
     }
 

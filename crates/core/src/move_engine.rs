@@ -45,11 +45,22 @@ pub struct MoveConfig {
     /// [`MoveResult::chains`] (used by the GPU divergence analysis;
     /// costs 4 bytes/particle).
     pub record_chains: bool,
+    /// Size of the cell set, when known. With `Some(n)`, every final
+    /// cell a kernel reports via [`MoveStatus::Done`] is checked
+    /// against `0..n` and violations are counted in
+    /// [`MoveResult::out_of_range`] — the move engine's contribution to
+    /// the analyzer's map-invariant audit (a broken kernel or c2c map
+    /// would otherwise corrupt the particle→cell map silently).
+    pub n_cells: Option<usize>,
 }
 
 impl Default for MoveConfig {
     fn default() -> Self {
-        MoveConfig { max_hops: 10_000, record_chains: false }
+        MoveConfig {
+            max_hops: 10_000,
+            record_chains: false,
+            n_cells: None,
+        }
     }
 }
 
@@ -71,6 +82,9 @@ pub struct MoveResult {
     /// Per-particle chain lengths (empty unless
     /// [`MoveConfig::record_chains`] was set).
     pub chains: Vec<u32>,
+    /// Final cells outside `0..n_cells` (only counted when
+    /// [`MoveConfig::n_cells`] is set; always 0 for a correct kernel).
+    pub out_of_range: u64,
 }
 
 impl MoveResult {
@@ -136,8 +150,7 @@ where
     K: Fn(usize, usize) -> MoveStatus + Sync,
     S: Fn(usize) -> usize + Sync,
 {
-    run_move(policy, cfg, cells, |i, _| seed(i), kernel)
-        .expect("seeded move is infallible")
+    run_move(policy, cfg, cells, |i, _| seed(i), kernel).expect("seeded move is infallible")
 }
 
 fn run_move<K, S>(
@@ -154,6 +167,7 @@ where
     let total_visits = AtomicU64::new(0);
     let max_chain = AtomicU64::new(0);
     let aborted = AtomicU64::new(0);
+    let out_of_range = AtomicU64::new(0);
     use std::sync::atomic::AtomicU32;
     let chain_log: Vec<AtomicU32> = if cfg.record_chains {
         (0..cells.len()).map(|_| AtomicU32::new(0)).collect()
@@ -177,6 +191,11 @@ where
             let status = kernel(i, cell);
             match status {
                 MoveStatus::Done => {
+                    if let Some(n) = cfg.n_cells {
+                        if cell >= n {
+                            out_of_range.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     finish(chain);
                     return Some(cell);
                 }
@@ -235,6 +254,7 @@ where
         max_chain: max_chain.into_inner() as u32,
         aborted: aborted.into_inner(),
         chains: chain_log.into_iter().map(AtomicU32::into_inner).collect(),
+        out_of_range: out_of_range.into_inner(),
     })
 }
 
@@ -262,7 +282,12 @@ mod tests {
         for pol in [ExecPolicy::Seq, ExecPolicy::Par] {
             let targets = vec![5usize, 0, 3, 9, 2];
             let mut cells = vec![0i32, 0, 3, 1, 7];
-            let r = move_loop(&pol, MoveConfig::default(), &mut cells, walk_kernel(&targets));
+            let r = move_loop(
+                &pol,
+                MoveConfig::default(),
+                &mut cells,
+                walk_kernel(&targets),
+            );
             assert!(r.removed.is_empty());
             assert_eq!(cells, vec![5, 0, 3, 9, 2]);
             // visits: |0-5|+1 + 1 + 1 + |1-9|+1 + |7-2|+1 = 6+1+1+9+6 = 23
@@ -337,7 +362,10 @@ mod tests {
         let mut cells = vec![0i32, 0];
         let r = move_loop(
             &ExecPolicy::Seq,
-            MoveConfig { max_hops: 50, ..Default::default() },
+            MoveConfig {
+                max_hops: 50,
+                ..Default::default()
+            },
             &mut cells,
             |_i, cell| MoveStatus::NeedMove(1 - cell), // ping-pong forever
         );
@@ -349,9 +377,12 @@ mod tests {
     #[test]
     fn empty_particle_set() {
         let mut cells: Vec<i32> = vec![];
-        let r = move_loop(&ExecPolicy::Par, MoveConfig::default(), &mut cells, |_, _| {
-            MoveStatus::Done
-        });
+        let r = move_loop(
+            &ExecPolicy::Par,
+            MoveConfig::default(),
+            &mut cells,
+            |_, _| MoveStatus::Done,
+        );
         assert!(r.removed.is_empty());
         assert_eq!(r.total_visits, 0);
         assert_eq!(r.mean_visits(0), 0.0);
@@ -361,24 +392,65 @@ mod tests {
     fn chain_recording() {
         let targets = vec![3usize, 0, 5];
         let mut cells = vec![0i32, 0, 0];
-        let cfg = MoveConfig { record_chains: true, ..Default::default() };
+        let cfg = MoveConfig {
+            record_chains: true,
+            ..Default::default()
+        };
         for pol in [ExecPolicy::Seq, ExecPolicy::Par] {
             let mut c = cells.clone();
             let r = move_loop(&pol, cfg, &mut c, walk_kernel(&targets));
             assert_eq!(r.chains, vec![4, 1, 6], "{pol:?}");
         }
         // Off by default.
-        let r = move_loop(&ExecPolicy::Seq, MoveConfig::default(), &mut cells, walk_kernel(&targets));
+        let r = move_loop(
+            &ExecPolicy::Seq,
+            MoveConfig::default(),
+            &mut cells,
+            walk_kernel(&targets),
+        );
         assert!(r.chains.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_final_cells_are_counted() {
+        let targets = vec![3usize, 12, 5]; // 12 exceeds the 10-cell set
+        let cfg = MoveConfig {
+            n_cells: Some(10),
+            ..Default::default()
+        };
+        for pol in [ExecPolicy::Seq, ExecPolicy::Par] {
+            let mut cells = vec![0i32, 0, 0];
+            let r = move_loop(&pol, cfg, &mut cells, walk_kernel(&targets));
+            assert_eq!(r.out_of_range, 1, "{pol:?}");
+        }
+        // Without the audit hook nothing is counted.
+        let mut cells = vec![0i32, 0, 0];
+        let r = move_loop(
+            &ExecPolicy::Seq,
+            MoveConfig::default(),
+            &mut cells,
+            walk_kernel(&targets),
+        );
+        assert_eq!(r.out_of_range, 0);
     }
 
     #[test]
     fn parallel_and_serial_agree() {
         let targets: Vec<usize> = (0..500).map(|i| (i * 31 + 7) % 200).collect();
-        let mut cells_a: Vec<i32> = (0..500).map(|i| (i % 200) as i32).collect();
+        let mut cells_a: Vec<i32> = (0..500).map(|i| i % 200).collect();
         let mut cells_b = cells_a.clone();
-        let ra = move_loop(&ExecPolicy::Seq, MoveConfig::default(), &mut cells_a, walk_kernel(&targets));
-        let rb = move_loop(&ExecPolicy::Par, MoveConfig::default(), &mut cells_b, walk_kernel(&targets));
+        let ra = move_loop(
+            &ExecPolicy::Seq,
+            MoveConfig::default(),
+            &mut cells_a,
+            walk_kernel(&targets),
+        );
+        let rb = move_loop(
+            &ExecPolicy::Par,
+            MoveConfig::default(),
+            &mut cells_b,
+            walk_kernel(&targets),
+        );
         assert_eq!(cells_a, cells_b);
         assert_eq!(ra.total_visits, rb.total_visits);
         assert_eq!(ra.removed, rb.removed);

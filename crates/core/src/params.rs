@@ -21,7 +21,10 @@ impl Params {
                 continue;
             }
             let Some((k, v)) = line.split_once('=') else {
-                return Err(format!("line {}: expected 'key = value', got {raw:?}", lineno + 1));
+                return Err(format!(
+                    "line {}: expected 'key = value', got {raw:?}",
+                    lineno + 1
+                ));
             };
             let key = k.trim();
             if key.is_empty() {
@@ -45,7 +48,10 @@ impl Params {
 
     /// Raw string value.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
@@ -99,7 +105,8 @@ mod tests {
 
     #[test]
     fn parses_basic_file() {
-        let p = Params::parse("nx = 10\n# comment\n dt=0.5  # trailing\n\nname = duct run\n").unwrap();
+        let p =
+            Params::parse("nx = 10\n# comment\n dt=0.5  # trailing\n\nname = duct run\n").unwrap();
         assert_eq!(p.get_usize("nx", 0).unwrap(), 10);
         assert_eq!(p.get_f64("dt", 0.0).unwrap(), 0.5);
         assert_eq!(p.get_str("name", ""), "duct run");

@@ -36,7 +36,9 @@ impl std::fmt::Debug for ExecPolicy {
         match self {
             ExecPolicy::Seq => write!(f, "ExecPolicy::Seq"),
             ExecPolicy::Par => write!(f, "ExecPolicy::Par"),
-            ExecPolicy::Pool(p) => write!(f, "ExecPolicy::Pool({} threads)", p.current_num_threads()),
+            ExecPolicy::Pool(p) => {
+                write!(f, "ExecPolicy::Pool({} threads)", p.current_num_threads())
+            }
         }
     }
 }
@@ -107,7 +109,11 @@ pub fn par_loop_direct2<F>(policy: &ExecPolicy, w0: &mut Dat, w1: &mut Dat, f: F
 where
     F: Fn(usize, &mut [f64], &mut [f64]) + Sync,
 {
-    assert_eq!(w0.len(), w1.len(), "direct loop dats must share the iteration set");
+    assert_eq!(
+        w0.len(),
+        w1.len(),
+        "direct loop dats must share the iteration set"
+    );
     let (d0, d1) = (w0.dim(), w1.dim());
     match policy {
         ExecPolicy::Seq => {
@@ -135,8 +141,16 @@ pub fn par_loop_direct3<F>(policy: &ExecPolicy, w0: &mut Dat, w1: &mut Dat, w2: 
 where
     F: Fn(usize, &mut [f64], &mut [f64], &mut [f64]) + Sync,
 {
-    assert_eq!(w0.len(), w1.len(), "direct loop dats must share the iteration set");
-    assert_eq!(w0.len(), w2.len(), "direct loop dats must share the iteration set");
+    assert_eq!(
+        w0.len(),
+        w1.len(),
+        "direct loop dats must share the iteration set"
+    );
+    assert_eq!(
+        w0.len(),
+        w2.len(),
+        "direct loop dats must share the iteration set"
+    );
     let (d0, d1, d2) = (w0.dim(), w1.dim(), w2.dim());
     match policy {
         ExecPolicy::Seq => {
@@ -172,9 +186,21 @@ pub fn par_loop_direct4<F>(
 ) where
     F: Fn(usize, &mut [f64], &mut [f64], &mut [f64], &mut [f64]) + Sync,
 {
-    assert_eq!(w0.len(), w1.len(), "direct loop dats must share the iteration set");
-    assert_eq!(w0.len(), w2.len(), "direct loop dats must share the iteration set");
-    assert_eq!(w0.len(), w3.len(), "direct loop dats must share the iteration set");
+    assert_eq!(
+        w0.len(),
+        w1.len(),
+        "direct loop dats must share the iteration set"
+    );
+    assert_eq!(
+        w0.len(),
+        w2.len(),
+        "direct loop dats must share the iteration set"
+    );
+    assert_eq!(
+        w0.len(),
+        w3.len(),
+        "direct loop dats must share the iteration set"
+    );
     let (d0, d1, d2, d3) = (w0.dim(), w1.dim(), w2.dim(), w3.dim());
     match policy {
         ExecPolicy::Seq => {
@@ -215,7 +241,9 @@ where
             }
         }
         _ => policy.run(|| {
-            s0.par_chunks_mut(dim0).enumerate().for_each(|(i, c0)| f(i, c0));
+            s0.par_chunks_mut(dim0)
+                .enumerate()
+                .for_each(|(i, c0)| f(i, c0));
         }),
     }
 }
@@ -230,7 +258,11 @@ pub fn par_loop_slices2<F>(
 ) where
     F: Fn(usize, &mut [f64], &mut [f64]) + Sync,
 {
-    assert_eq!(s0.len() / dim0, s1.len() / dim1, "slice loops must share the iteration set");
+    assert_eq!(
+        s0.len() / dim0,
+        s1.len() / dim1,
+        "slice loops must share the iteration set"
+    );
     match policy {
         ExecPolicy::Seq => {
             for (i, (c0, c1)) in s0.chunks_mut(dim0).zip(s1.chunks_mut(dim1)).enumerate() {
@@ -256,8 +288,16 @@ pub fn par_loop_slices3<F>(
 ) where
     F: Fn(usize, &mut [f64], &mut [f64], &mut [f64]) + Sync,
 {
-    assert_eq!(s0.len() / dim0, s1.len() / dim1, "slice loops must share the iteration set");
-    assert_eq!(s0.len() / dim0, s2.len() / dim2, "slice loops must share the iteration set");
+    assert_eq!(
+        s0.len() / dim0,
+        s1.len() / dim1,
+        "slice loops must share the iteration set"
+    );
+    assert_eq!(
+        s0.len() / dim0,
+        s2.len() / dim2,
+        "slice loops must share the iteration set"
+    );
     match policy {
         ExecPolicy::Seq => {
             for (i, ((c0, c1), c2)) in s0
@@ -291,8 +331,16 @@ pub fn par_loop_slices2_cells<F>(
 ) where
     F: Fn(usize, &mut [f64], &mut [f64], &mut i32) + Sync,
 {
-    assert_eq!(s0.len() / dim0, s1.len() / dim1, "slice loops must share the iteration set");
-    assert_eq!(s0.len() / dim0, cells.len(), "slice loops must share the iteration set");
+    assert_eq!(
+        s0.len() / dim0,
+        s1.len() / dim1,
+        "slice loops must share the iteration set"
+    );
+    assert_eq!(
+        s0.len() / dim0,
+        cells.len(),
+        "slice loops must share the iteration set"
+    );
     match policy {
         ExecPolicy::Seq => {
             for (i, ((c0, c1), cl)) in s0
@@ -335,12 +383,7 @@ where
 {
     let dim = d.dim();
     match policy {
-        ExecPolicy::Seq => d
-            .raw()
-            .chunks(dim)
-            .enumerate()
-            .map(|(i, c)| g(i, c))
-            .sum(),
+        ExecPolicy::Seq => d.raw().chunks(dim).enumerate().map(|(i, c)| g(i, c)).sum(),
         _ => policy.run(|| {
             d.raw()
                 .par_chunks(dim)
@@ -439,7 +482,10 @@ mod tests {
         let serial = par_reduce_sum(&ExecPolicy::Seq, &d, |_, c| c[0] * c[1]);
         for pol in policies() {
             let got = par_reduce_sum(&pol, &d, |_, c| c[0] * c[1]);
-            assert!((got - serial).abs() < 1e-6 * serial.abs().max(1.0), "{pol:?}");
+            assert!(
+                (got - serial).abs() < 1e-6 * serial.abs().max(1.0),
+                "{pol:?}"
+            );
         }
     }
 
@@ -477,9 +523,15 @@ mod tests {
             assert_eq!(c[9], 10.0);
 
             let mut d = vec![0.0; 20];
-            par_loop_slices3(&pol, (3, &mut a), (1, &mut b), (2, &mut d), |_i, av, bv, dv| {
-                dv[0] = av[1] + bv[0];
-            });
+            par_loop_slices3(
+                &pol,
+                (3, &mut a),
+                (1, &mut b),
+                (2, &mut d),
+                |_i, av, bv, dv| {
+                    dv[0] = av[1] + bv[0];
+                },
+            );
             assert_eq!(d[2 * 5], 5.0 + 10.0);
         }
     }

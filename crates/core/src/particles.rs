@@ -11,7 +11,6 @@
 //! columns move together under relocation, which is why the store owns
 //! them rather than the application.
 
-
 /// Handle to a particle column, returned by
 /// [`ParticleDats::decl_dat`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,11 +159,7 @@ impl ParticleDats {
     /// Two distinct mutable columns plus the (read-only) cell map — the
     /// push kernel's working set (writes pos+vel, gathers the field
     /// through the particle→cell map).
-    pub fn cols_mut2_with_cells(
-        &mut self,
-        a: ColId,
-        b: ColId,
-    ) -> (&mut [f64], &mut [f64], &[i32]) {
+    pub fn cols_mut2_with_cells(&mut self, a: ColId, b: ColId) -> (&mut [f64], &mut [f64], &[i32]) {
         let [ca, cb] = self
             .cols
             .get_disjoint_mut([a.0, b.0])
@@ -226,8 +221,14 @@ impl ParticleDats {
         if holes.is_empty() {
             return;
         }
-        debug_assert!(holes.windows(2).all(|w| w[0] < w[1]), "holes must be sorted unique");
-        debug_assert!(*holes.last().expect("nonempty") < self.n, "hole out of range");
+        debug_assert!(
+            holes.windows(2).all(|w| w[0] < w[1]),
+            "holes must be sorted unique"
+        );
+        debug_assert!(
+            *holes.last().expect("nonempty") < self.n,
+            "hole out of range"
+        );
         let keep = self.n - holes.len();
 
         // Tail holes (>= keep) vanish with the truncation; only holes in
@@ -527,7 +528,10 @@ mod tests {
         assert_eq!(other.dofs(), ps.dofs());
         let idx = other.unpack_one(&payload, 7);
         assert_eq!(idx, 0);
-        assert_eq!(other.el(other.col_id("pos").unwrap(), 0), ps.el(ps.col_id("pos").unwrap(), 3));
+        assert_eq!(
+            other.el(other.col_id("pos").unwrap(), 0),
+            ps.el(ps.col_id("pos").unwrap(), 3)
+        );
         assert_eq!(other.cells()[0], 7);
     }
 

@@ -43,14 +43,12 @@ impl KernelStats {
 
     /// Achieved GFLOP/s (None without timing or flops).
     pub fn gflops(&self) -> Option<f64> {
-        (self.seconds > 0.0 && self.flops > 0)
-            .then(|| self.flops as f64 / self.seconds / 1e9)
+        (self.seconds > 0.0 && self.flops > 0).then(|| self.flops as f64 / self.seconds / 1e9)
     }
 
     /// Achieved GB/s.
     pub fn gbytes_per_s(&self) -> Option<f64> {
-        (self.seconds > 0.0 && self.bytes > 0)
-            .then(|| self.bytes as f64 / self.seconds / 1e9)
+        (self.seconds > 0.0 && self.bytes > 0).then(|| self.bytes as f64 / self.seconds / 1e9)
     }
 }
 
@@ -135,8 +133,10 @@ impl Profiler {
                 st.calls,
                 st.seconds,
                 100.0 * st.seconds / total,
-                st.gbytes_per_s().map_or_else(|| "-".into(), |v| format!("{v:.2}")),
-                st.gflops().map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+                st.gbytes_per_s()
+                    .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+                st.gflops()
+                    .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
             ));
         }
         s.push_str(&format!("{:<28} {:>8} {:>12.4}\n", "TOTAL", "", total));

@@ -148,3 +148,132 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Analyzer cross-checks (dev-dependency on oppic-analyzer): the shadow
+// race detector and the plan checker must agree with the executors'
+// own semantics on arbitrary meshes.
+
+use oppic_analyzer::{check_plan, shadow_record, RaceOptions, Schedule, Severity};
+use oppic_core::plan::{LoopPlan, PlanRegistry, RaceStrategy};
+use oppic_core::{Access, ArgDecl, LoopDecl};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A parallel double-indirect INC with no race strategy is always
+    /// rejected with an Error; the identical plan with scatter arrays
+    /// (or any real strategy) is always clean.
+    #[test]
+    fn racy_deposit_plans_are_always_rejected(
+        dim in 1usize..5,
+        name_idx in 0usize..4,
+    ) {
+        let name = ["deposit", "scatter", "weigh", "accumulate"][name_idx];
+        let decl = LoopDecl::new(
+            name,
+            "particles",
+            vec![ArgDecl::double_indirect("charge", dim, Access::Inc, "p2c.c2n")],
+        );
+        let racy = LoopPlan::new(decl.clone(), &ExecPolicy::Par, RaceStrategy::None);
+        prop_assert!(racy.quick_check().is_err());
+        let diags = check_plan(&racy, None);
+        prop_assert!(diags.iter().any(|d|
+            d.code == "plan/racy-inc" && d.severity == Severity::Error));
+
+        let safe = LoopPlan::new(
+            decl.clone(),
+            &ExecPolicy::Par,
+            RaceStrategy::Deposit(DepositMethod::ScatterArrays),
+        );
+        prop_assert!(safe.quick_check().is_ok());
+        prop_assert!(check_plan(&safe, None).is_empty());
+
+        // Under a sequential policy even the strategy-less plan is fine.
+        let seq = LoopPlan::new(decl, &ExecPolicy::Seq, RaceStrategy::None);
+        prop_assert!(seq.quick_check().is_ok());
+        let mut reg = PlanRegistry::new();
+        reg.register(seq);
+        prop_assert_eq!(reg.len(), 1);
+    }
+
+    /// On arbitrary meshes the shadow detector agrees with
+    /// `coloring_is_valid`: a greedy distance-2 coloring admits no
+    /// conflicts under the colored-groups schedule, collapsing all
+    /// colors reintroduces a conflict exactly when two distinct cells
+    /// share a target, and the all-parallel schedule with plain
+    /// increments races exactly when two particles' cells overlap.
+    #[test]
+    fn shadow_detector_agrees_with_coloring_validity(
+        n_targets in 2usize..30,
+        cell_targets in prop::collection::vec(
+            prop::collection::vec(0usize..30, 1..5), 1..20),
+        particle_cells in prop::collection::vec(0usize..20, 2..60),
+    ) {
+        let cell_targets: Vec<Vec<usize>> = cell_targets
+            .into_iter()
+            .map(|t| t.into_iter().map(|x| x % n_targets).collect())
+            .collect();
+        let n_cells = cell_targets.len();
+        let cells: Vec<usize> = particle_cells.into_iter().map(|c| c % n_cells).collect();
+
+        let run = shadow_record(cells.len(), |i, ctx| {
+            for &t in &cell_targets[cells[i]] {
+                ctx.inc("charge", t);
+            }
+        });
+        let opts = RaceOptions::default();
+
+        // Sequential replay never conflicts.
+        prop_assert!(run.detect_races(Schedule::Sequential, &opts).is_empty());
+
+        // Greedy coloring + per-cell groups: race-free, and the
+        // coloring itself audits as valid.
+        let (colors, n_colors) = greedy_color_cells(&cell_targets, n_targets);
+        prop_assert!(coloring_is_valid(&cell_targets, n_targets, &colors));
+        prop_assert!(n_colors >= 1);
+        let pc: Vec<u32> = cells.iter().map(|&c| colors[c]).collect();
+        let pg: Vec<u32> = cells.iter().map(|&c| c as u32).collect();
+        let races = run.detect_races(
+            Schedule::ColoredGroups { colors: &pc, groups: &pg }, &opts);
+        prop_assert!(races.is_empty(), "colored schedule raced: {:?}", races);
+
+        // Collapse every color onto round 0. The shadow detector and
+        // coloring_is_valid must agree on whether that is still safe.
+        let merged = vec![0u32; n_cells];
+        let merged_ok = coloring_is_valid(&cell_targets, n_targets, &merged);
+        let mpc = vec![0u32; cells.len()];
+        let merged_races = run.detect_races(
+            Schedule::ColoredGroups { colors: &mpc, groups: &pg }, &opts);
+        // The coloring audit covers all cell pairs; the shadow run only
+        // sees cells that hold particles — so an invalid merged
+        // coloring with races is consistent, and a race implies
+        // invalidity, but not conversely.
+        if !merged_races.is_empty() {
+            prop_assert!(!merged_ok,
+                "shadow found a race but coloring_is_valid accepted the merged colors");
+        }
+        if merged_ok {
+            prop_assert!(merged_races.is_empty());
+        }
+
+        // All-parallel with plain increments: a race exists iff two
+        // different particles touch a common target.
+        let mut owner: Vec<Option<usize>> = vec![None; n_targets];
+        let mut expect_conflict = false;
+        for (i, &c) in cells.iter().enumerate() {
+            for &t in &cell_targets[c] {
+                match owner[t] {
+                    Some(prev) if prev != i => { expect_conflict = true; }
+                    _ => owner[t] = Some(i),
+                }
+            }
+        }
+        let all_par = run.detect_races(Schedule::AllParallel, &opts);
+        prop_assert_eq!(!all_par.is_empty(), expect_conflict);
+
+        // Synchronised increments make the same schedule safe.
+        let sync = RaceOptions { inc_is_synchronised: true, ..RaceOptions::default() };
+        prop_assert!(run.detect_races(Schedule::AllParallel, &sync).is_empty());
+    }
+}

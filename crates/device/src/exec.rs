@@ -187,7 +187,11 @@ pub struct Device {
 
 impl Device {
     pub fn new(spec: DeviceSpec) -> Self {
-        Device { spec, busy_s: Mutex::new(0.0), idle_s: Mutex::new(0.0) }
+        Device {
+            spec,
+            busy_s: Mutex::new(0.0),
+            idle_s: Mutex::new(0.0),
+        }
     }
 
     /// Launch `n` lanes of `kernel` and return the divergence/atomic
@@ -207,7 +211,11 @@ impl Device {
                 let mut paths: Vec<u32> = Vec::with_capacity(hi - lo);
                 let mut targets: Vec<u32> = Vec::new();
                 for tid in lo..hi {
-                    let mut lane = Lane { tid, path: 0, atomic_targets: &mut targets };
+                    let mut lane = Lane {
+                        tid,
+                        path: 0,
+                        atomic_targets: &mut targets,
+                    };
                     kernel(&mut lane);
                     paths.push(lane.path);
                 }

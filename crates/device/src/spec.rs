@@ -229,9 +229,14 @@ mod tests {
     fn amd_safe_atomics_are_pathological() {
         // The paper's ">200x slower" finding must be encoded.
         let mi = DeviceSpec::mi250x_gcd();
-        assert!(mi.atomic_penalty(AtomicFlavor::Safe) / mi.atomic_penalty(AtomicFlavor::Unsafe) > 100.0);
+        assert!(
+            mi.atomic_penalty(AtomicFlavor::Safe) / mi.atomic_penalty(AtomicFlavor::Unsafe) > 100.0
+        );
         let v100 = DeviceSpec::v100();
-        assert!(v100.atomic_penalty(AtomicFlavor::Safe) < 5.0, "NVIDIA atomics are fast");
+        assert!(
+            v100.atomic_penalty(AtomicFlavor::Safe) < 5.0,
+            "NVIDIA atomics are fast"
+        );
     }
 
     #[test]

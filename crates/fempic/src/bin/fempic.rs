@@ -11,10 +11,31 @@ use oppic_core::{DepositMethod, ExecPolicy, Params};
 use oppic_fempic::{FemPic, FemPicConfig, Integrator, MoveStrategy};
 
 const KNOWN: &[&str] = &[
-    "nx", "ny", "nz", "lx", "ly", "lz", "charge", "mass", "inlet_velocity", "wall_potential",
-    "epsilon0", "dt", "thermal_fraction", "steps", "inject_per_step", "seed", "parallel",
-    "deposit", "move", "coloring", "integrator", "overlay_res", "report_every",
-    "neutral_density", "cross_section",
+    "nx",
+    "ny",
+    "nz",
+    "lx",
+    "ly",
+    "lz",
+    "charge",
+    "mass",
+    "inlet_velocity",
+    "wall_potential",
+    "epsilon0",
+    "dt",
+    "thermal_fraction",
+    "steps",
+    "inject_per_step",
+    "seed",
+    "parallel",
+    "deposit",
+    "move",
+    "coloring",
+    "integrator",
+    "overlay_res",
+    "report_every",
+    "neutral_density",
+    "cross_section",
 ];
 
 fn config_from(params: &Params) -> Result<(FemPicConfig, usize, usize), String> {
@@ -75,8 +96,28 @@ fn config_from(params: &Params) -> Result<(FemPicConfig, usize, usize), String> 
     Ok((cfg, steps, report_every))
 }
 
+/// `--validate` mode: build the simulation, run a few steps to
+/// populate the dynamic maps, then run all three analyzer passes and
+/// exit non-zero on any Error finding.
+fn run_validation(cfg: FemPicConfig, steps: usize) -> ! {
+    let warmup = steps.clamp(1, 5);
+    println!(
+        "Mini-FEM-PIC --validate: {} cells, {warmup} warm-up step(s)",
+        cfg.n_cells()
+    );
+    let mut sim = FemPic::new(cfg);
+    sim.run(warmup);
+    let plans = sim.loop_plans();
+    println!("\n{}", plans.summary());
+    let report = sim.validate_all();
+    println!("{report}");
+    std::process::exit(report.exit_code());
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let validate = args.iter().any(|a| a == "--validate");
+    args.retain(|a| a != "--validate");
     let params = match args.get(1).map(String::as_str) {
         Some("--print-defaults") => {
             println!("# Mini-FEM-PIC configuration keys and defaults");
@@ -95,6 +136,9 @@ fn main() {
         eprintln!("config error: {e}");
         std::process::exit(2);
     });
+    if validate {
+        run_validation(cfg, steps);
+    }
 
     println!(
         "Mini-FEM-PIC: {} cells, {} nodes-worth duct, {} steps",

@@ -78,7 +78,9 @@ pub fn collide(
             collided.fetch_add(1, Ordering::Relaxed);
         }
     });
-    CollisionStats { collided: collided.into_inner() }
+    CollisionStats {
+        collided: collided.into_inner(),
+    }
 }
 
 #[cfg(test)]
@@ -91,7 +93,10 @@ mod tests {
 
     #[test]
     fn zero_density_is_a_noop() {
-        let model = CollisionModel { neutral_density: 0.0, cross_section: 1.0 };
+        let model = CollisionModel {
+            neutral_density: 0.0,
+            cross_section: 1.0,
+        };
         let mut vel = beam(100);
         let before = vel.clone();
         let st = collide(&ExecPolicy::Par, &model, &mut vel, 0.1, 7, 1);
@@ -101,10 +106,17 @@ mod tests {
 
     #[test]
     fn collisions_preserve_speed_exactly() {
-        let model = CollisionModel { neutral_density: 50.0, cross_section: 1.0 };
+        let model = CollisionModel {
+            neutral_density: 50.0,
+            cross_section: 1.0,
+        };
         let mut vel = beam(2000);
         let st = collide(&ExecPolicy::Par, &model, &mut vel, 1.0, 7, 1);
-        assert!(st.collided > 1500, "high rate must collide most: {}", st.collided);
+        assert!(
+            st.collided > 1500,
+            "high rate must collide most: {}",
+            st.collided
+        );
         for v in vel.chunks(3) {
             let s = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
             assert!((s - 0.5).abs() < 1e-12);
@@ -118,7 +130,10 @@ mod tests {
         let dt = 1.0;
         let p_target = 0.3f64;
         let nsigma = -(1.0f64 - p_target).ln() / (v * dt);
-        let model = CollisionModel { neutral_density: nsigma, cross_section: 1.0 };
+        let model = CollisionModel {
+            neutral_density: nsigma,
+            cross_section: 1.0,
+        };
         let n = 40_000;
         let mut vel = beam(n);
         let st = collide(&ExecPolicy::Par, &model, &mut vel, dt, 99, 3);
@@ -129,7 +144,10 @@ mod tests {
     #[test]
     fn isotropic_after_many_collisions() {
         // Beam along +x thermalises directionally: mean velocity ~ 0.
-        let model = CollisionModel { neutral_density: 100.0, cross_section: 1.0 };
+        let model = CollisionModel {
+            neutral_density: 100.0,
+            cross_section: 1.0,
+        };
         let mut vel = beam(50_000);
         collide(&ExecPolicy::Par, &model, &mut vel, 1.0, 5, 0);
         let n = vel.len() / 3;
@@ -140,13 +158,20 @@ mod tests {
             a
         });
         for m in mean {
-            assert!((m / n as f64).abs() < 0.02, "residual drift {}", m / n as f64);
+            assert!(
+                (m / n as f64).abs() < 0.02,
+                "residual drift {}",
+                m / n as f64
+            );
         }
     }
 
     #[test]
     fn deterministic_across_schedules() {
-        let model = CollisionModel { neutral_density: 5.0, cross_section: 0.7 };
+        let model = CollisionModel {
+            neutral_density: 5.0,
+            cross_section: 0.7,
+        };
         let mut a = beam(5000);
         let mut b = beam(5000);
         collide(&ExecPolicy::Seq, &model, &mut a, 0.5, 11, 9);

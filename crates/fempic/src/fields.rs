@@ -82,7 +82,11 @@ impl FemSolver {
             fixed_values,
             raw_matrix,
             potential,
-            cg_config: CgConfig { rtol: 1e-8, atol: 1e-30, max_iters: 5000 },
+            cg_config: CgConfig {
+                rtol: 1e-8,
+                atol: 1e-30,
+                max_iters: 5000,
+            },
             last_outcome: None,
         }
     }
@@ -106,7 +110,7 @@ impl FemSolver {
         // Dirichlet correction (same algebra as CsrMatrix::apply_dirichlet,
         // but the matrix part was precomputed):
         // rhs_free -= K_raw[:, fixed] * g;   rhs_fixed = g.
-        for r in 0..nn {
+        for (r, rhs_r) in rhs.iter_mut().enumerate() {
             if self.fixed[r] {
                 continue;
             }
@@ -114,13 +118,13 @@ impl FemSolver {
             for (c, v) in cols.iter().zip(vals) {
                 let c = *c as usize;
                 if self.fixed[c] {
-                    rhs[r] -= v * self.fixed_values[c];
+                    *rhs_r -= v * self.fixed_values[c];
                 }
             }
         }
-        for r in 0..nn {
+        for (r, rhs_r) in rhs.iter_mut().enumerate() {
             if self.fixed[r] {
-                rhs[r] = self.fixed_values[r];
+                *rhs_r = self.fixed_values[r];
             }
         }
         rhs

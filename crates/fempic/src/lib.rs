@@ -29,6 +29,7 @@ pub mod collisions;
 pub mod config;
 pub mod fields;
 pub mod sim;
+pub mod validate;
 
 pub use collisions::{collide, CollisionModel, CollisionStats};
 pub use config::{FemPicConfig, Integrator, MoveStrategy};

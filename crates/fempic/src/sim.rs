@@ -15,7 +15,7 @@ use oppic_core::{
     deposit_loop, deposit_loop_colored, greedy_color_cells, ColId, Dat, Depositor, MoveStatus,
     ParticleDats,
 };
-use oppic_mesh::geometry::{barycentric, bary_inside, bary_min_index, sample_triangle};
+use oppic_mesh::geometry::{bary_inside, bary_min_index, barycentric, sample_triangle};
 use oppic_mesh::{StructuredOverlay, TetMesh, Vec3};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -67,7 +67,7 @@ pub struct FemPic {
     rng: ChaCha8Rng,
     step_no: usize,
     /// Cell coloring for the colored deposit (built on demand).
-    cell_colors: Option<(Vec<u32>, usize)>,
+    pub(crate) cell_colors: Option<(Vec<u32>, usize)>,
     /// Last move result (benchmark introspection).
     pub last_move: MoveResult,
 }
@@ -109,7 +109,11 @@ impl FemPic {
             ];
             let area = (v[1] - v[0]).cross(v[2] - v[0]).norm() * 0.5;
             acc += area;
-            inlets.push(InletFace { cell: bf.cell, v, cumulative_area: acc });
+            inlets.push(InletFace {
+                cell: bf.cell,
+                v,
+                cumulative_area: acc,
+            });
         }
         assert!(!inlets.is_empty(), "duct must have inlet faces");
 
@@ -121,8 +125,7 @@ impl FemPic {
         // the shared-node relation; build it once (the mesh is static).
         let cell_colors = cfg.coloring.then(|| {
             profiler.time("ColorCells", || {
-                let targets: Vec<Vec<usize>> =
-                    mesh.c2n.iter().map(|nd| nd.to_vec()).collect();
+                let targets: Vec<Vec<usize>> = mesh.c2n.iter().map(|nd| nd.to_vec()).collect();
                 greedy_color_cells(&targets, mesh.n_nodes())
             })
         });
@@ -204,40 +207,35 @@ impl FemPic {
         let ef = &self.efield;
         let integrator = self.cfg.integrator;
         let (pos, vel, cells) = self.ps.cols_mut2_with_cells(self.pos, self.vel);
-        par_loop_slices2(
-            &self.cfg.policy,
-            (3, pos),
-            (3, vel),
-            |i, x, v| {
-                let c = cells[i] as usize;
-                let e = ef.el(c);
-                match integrator {
-                    Integrator::Leapfrog => {
-                        // kick, then drift with v^{n+1/2}.
-                        v[0] += qm_dt * e[0];
-                        v[1] += qm_dt * e[1];
-                        v[2] += qm_dt * e[2];
-                        x[0] += dt * v[0];
-                        x[1] += dt * v[1];
-                        x[2] += dt * v[2];
-                    }
-                    Integrator::VelocityVerlet => {
-                        // half kick, drift, half kick. The field is
-                        // constant per cell over the step (electro-
-                        // static), so both half kicks use e.
-                        v[0] += 0.5 * qm_dt * e[0];
-                        v[1] += 0.5 * qm_dt * e[1];
-                        v[2] += 0.5 * qm_dt * e[2];
-                        x[0] += dt * v[0];
-                        x[1] += dt * v[1];
-                        x[2] += dt * v[2];
-                        v[0] += 0.5 * qm_dt * e[0];
-                        v[1] += 0.5 * qm_dt * e[1];
-                        v[2] += 0.5 * qm_dt * e[2];
-                    }
+        par_loop_slices2(&self.cfg.policy, (3, pos), (3, vel), |i, x, v| {
+            let c = cells[i] as usize;
+            let e = ef.el(c);
+            match integrator {
+                Integrator::Leapfrog => {
+                    // kick, then drift with v^{n+1/2}.
+                    v[0] += qm_dt * e[0];
+                    v[1] += qm_dt * e[1];
+                    v[2] += qm_dt * e[2];
+                    x[0] += dt * v[0];
+                    x[1] += dt * v[1];
+                    x[2] += dt * v[2];
                 }
-            },
-        );
+                Integrator::VelocityVerlet => {
+                    // half kick, drift, half kick. The field is
+                    // constant per cell over the step (electro-
+                    // static), so both half kicks use e.
+                    v[0] += 0.5 * qm_dt * e[0];
+                    v[1] += 0.5 * qm_dt * e[1];
+                    v[2] += 0.5 * qm_dt * e[2];
+                    x[0] += dt * v[0];
+                    x[1] += dt * v[1];
+                    x[2] += dt * v[2];
+                    v[0] += 0.5 * qm_dt * e[0];
+                    v[1] += 0.5 * qm_dt * e[1];
+                    v[2] += 0.5 * qm_dt * e[2];
+                }
+            }
+        });
         let bytes = (self.ps.len() * (3 + 3 + 3 + 3 + 3) * 8 + self.ps.len() * 4) as u64;
         let flops = (self.ps.len() * 12) as u64;
         self.profiler.add_traffic("CalcPosVel", bytes, flops);
@@ -268,12 +266,13 @@ impl FemPic {
 
         let mv_cfg = MoveConfig {
             record_chains: self.cfg.record_move_chains,
+            // Feed the analyzer's map-invariant audit: final cells the
+            // kernel reports are bounds-checked against the cell set.
+            n_cells: Some(mesh.n_cells()),
             ..MoveConfig::default()
         };
         let result = match (&self.cfg.move_strategy, &self.overlay) {
-            (MoveStrategy::MultiHop, _) => {
-                move_loop(&self.cfg.policy, mv_cfg, cells, kernel)
-            }
+            (MoveStrategy::MultiHop, _) => move_loop(&self.cfg.policy, mv_cfg, cells, kernel),
             (MoveStrategy::DirectHop { .. }, Some(ov)) => {
                 let seed = |i: usize| ov.locate(Vec3::from_slice(&pos[i * 3..i * 3 + 3]));
                 move_loop_direct_hop(&self.cfg.policy, mv_cfg, cells, seed, kernel)
@@ -288,9 +287,20 @@ impl FemPic {
         let flops = result.total_visits * 50;
         self.profiler.add_traffic("Move", bytes, flops);
 
+        debug_assert_eq!(
+            result.out_of_range, 0,
+            "move kernel reported cells outside the mesh"
+        );
+
         let removed = result.removed.len();
         self.ps.remove_fill(&result.removed);
         self.last_move = result;
+
+        // With the `validate` feature the dynamic particle→cell map is
+        // re-audited after every move/hole-fill cycle.
+        #[cfg(feature = "validate")]
+        self.assert_particle_map_valid();
+
         removed
     }
 
@@ -364,11 +374,13 @@ impl FemPic {
             });
             phi_iters = self.fem.last_outcome.map_or(0, |o| o.iterations);
         }
-        self.profiler.classify("ComputeF1Vector+SolvePotential", KernelClass::FieldSolve);
+        self.profiler
+            .classify("ComputeF1Vector+SolvePotential", KernelClass::FieldSolve);
         self.profiler.time("ComputeElectricField", || {
             self.fem.electric_field(&self.mesh, self.efield.raw_mut());
         });
-        self.profiler.classify("ComputeElectricField", KernelClass::FieldSolve);
+        self.profiler
+            .classify("ComputeElectricField", KernelClass::FieldSolve);
         let nc = self.mesh.n_cells() as u64;
         self.profiler
             .add_traffic("ComputeElectricField", nc * (4 * 8 + 4 * 24 + 24), nc * 24);
@@ -422,7 +434,8 @@ impl FemPic {
         let t0 = std::time::Instant::now();
         self.deposit_charge();
         self.profiler.record("DepositCharge", t0.elapsed());
-        self.profiler.classify("DepositCharge", KernelClass::Deposit);
+        self.profiler
+            .classify("DepositCharge", KernelClass::Deposit);
 
         let cg_iterations = self.field_solve();
 
@@ -495,7 +508,10 @@ impl FemPic {
         let word_pos = br.u128()?;
         let ps = ParticleDats::read_checkpoint(&mut br)?;
         if ps.dofs() != self.ps.dofs() {
-            return Err(Error::new(ErrorKind::InvalidData, "particle schema mismatch"));
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "particle schema mismatch",
+            ));
         }
         let node_charge = Dat::read_checkpoint(&mut br)?;
         if node_charge.len() != self.mesh.n_nodes() {
@@ -507,7 +523,10 @@ impl FemPic {
         }
         let potential = br.f64_slice()?;
         if potential.len() != self.mesh.n_nodes() {
-            return Err(Error::new(ErrorKind::InvalidData, "potential length mismatch"));
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "potential length mismatch",
+            ));
         }
         self.step_no = step_no;
         self.rng.set_word_pos(word_pos);
@@ -638,7 +657,10 @@ mod tests {
             "ComputeElectricField",
             "ComputeJMatrix",
         ] {
-            let st = sim.profiler.get(name).unwrap_or_else(|| panic!("missing kernel {name}"));
+            let st = sim
+                .profiler
+                .get(name)
+                .unwrap_or_else(|| panic!("missing kernel {name}"));
             assert!(st.calls >= 1, "{name}");
         }
     }
@@ -685,7 +707,12 @@ mod extension_tests {
             assert!((a.total_charge - b.total_charge).abs() < 1e-9);
         }
         // Node-for-node agreement (order-insensitive quantity).
-        for (x, y) in standard.node_charge.raw().iter().zip(colored.node_charge.raw()) {
+        for (x, y) in standard
+            .node_charge
+            .raw()
+            .iter()
+            .zip(colored.node_charge.raw())
+        {
             assert!((x - y).abs() < 1e-9, "{x} vs {y}");
         }
         // The sort overhead is actually recorded.
@@ -763,8 +790,10 @@ mod collision_integration_tests {
         free_cfg.inlet_velocity = 1.2;
         free_cfg.dt = 0.1;
         let mut coll_cfg = free_cfg.clone();
-        coll_cfg.collisions =
-            Some(CollisionModel { neutral_density: 8.0, cross_section: 1.0 });
+        coll_cfg.collisions = Some(CollisionModel {
+            neutral_density: 8.0,
+            cross_section: 1.0,
+        });
 
         let mut free = FemPic::new(free_cfg);
         let mut coll = FemPic::new(coll_cfg);
@@ -810,7 +839,11 @@ mod checkpoint_tests {
         resumed.run(4);
 
         assert_eq!(full.ps.len(), resumed.ps.len());
-        assert_eq!(full.ps.col(full.pos), resumed.ps.col(resumed.pos), "positions bit-exact");
+        assert_eq!(
+            full.ps.col(full.pos),
+            resumed.ps.col(resumed.pos),
+            "positions bit-exact"
+        );
         assert_eq!(full.ps.col(full.vel), resumed.ps.col(resumed.vel));
         assert_eq!(full.ps.cells(), resumed.ps.cells());
         assert_eq!(full.node_charge.raw(), resumed.node_charge.raw());

@@ -1,0 +1,336 @@
+//! `--validate` support: Mini-FEM-PIC's loop plans and the three
+//! analyzer passes (static plan check, shadow race detection, map
+//! audits) bound to the live simulation state.
+
+use crate::sim::FemPic;
+use oppic_analyzer::{
+    audit_coloring, audit_mesh_map, audit_particle_cells, check_plans, shadow_record, Diagnostic,
+    RaceOptions, Report, Schedule, ShadowRun,
+};
+use oppic_core::access::{Access, ArgDecl, LoopDecl};
+use oppic_core::decl::Registry;
+use oppic_core::plan::{LoopPlan, PlanRegistry, RaceStrategy};
+use oppic_core::ExecPolicy;
+
+impl FemPic {
+    /// The paper's Figure 4 declarations for this app: sets, maps and
+    /// dats as currently sized. Rebuilt on demand (cheap; the map
+    /// payloads are borrowed only during construction-time checks).
+    pub fn decl_registry(&self) -> Registry {
+        let mut r = Registry::new();
+        let nc = self.mesh.n_cells();
+        let nn = self.mesh.n_nodes();
+        r.decl_set("cells", nc).expect("fresh registry");
+        r.decl_set("nodes", nn).expect("fresh registry");
+        r.decl_particle_set("particles", "cells", self.ps.len())
+            .expect("fresh registry");
+        let c2n: Vec<i32> = self.mesh.c2n.iter().flatten().map(|&n| n as i32).collect();
+        r.decl_map("c2n", "cells", "nodes", 4, Some(&c2n))
+            .expect("c2n is in range");
+        let c2c: Vec<i32> = self.mesh.c2c.iter().flatten().copied().collect();
+        r.decl_map("c2c", "cells", "cells", 4, Some(&c2c))
+            .expect("c2c is in range");
+        r.decl_map("p2c", "particles", "cells", 1, None)
+            .expect("fresh registry");
+        r.decl_dat(self.node_charge.name(), "nodes", 1)
+            .expect("fresh registry");
+        r.decl_dat(self.efield.name(), "cells", 3)
+            .expect("fresh registry");
+        r.decl_dat("pos", "particles", 3).expect("fresh registry");
+        r.decl_dat("vel", "particles", 3).expect("fresh registry");
+        r.decl_dat("lc", "particles", 4).expect("fresh registry");
+        r
+    }
+
+    /// Every loop this app runs, with the executor and race strategy
+    /// the configuration actually selects — the analyzer's input.
+    pub fn loop_plans(&self) -> PlanRegistry {
+        let policy = &self.cfg.policy;
+        let deposit_strategy = if self.cfg.coloring {
+            RaceStrategy::Colored
+        } else {
+            RaceStrategy::Deposit(self.cfg.deposit)
+        };
+        let mut plans = PlanRegistry::new();
+        // Inject fills freshly appended particles — sequential by
+        // construction (it draws from one RNG stream).
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                "Inject",
+                "particles",
+                vec![
+                    ArgDecl::direct("pos", 3, Access::Write),
+                    ArgDecl::direct("vel", 3, Access::Write),
+                ],
+            ),
+            &ExecPolicy::Seq,
+        ));
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                "CalcPosVel",
+                "particles",
+                vec![
+                    ArgDecl::direct("pos", 3, Access::ReadWrite),
+                    ArgDecl::direct("vel", 3, Access::ReadWrite),
+                    ArgDecl::indirect(self.efield.name(), 3, Access::Read, "p2c"),
+                ],
+            ),
+            policy,
+        ));
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                "Move",
+                "particles",
+                vec![ArgDecl::direct("pos", 3, Access::Read)],
+            ),
+            policy,
+        ));
+        plans.register(LoopPlan::new(
+            LoopDecl::new(
+                "DepositCharge",
+                "particles",
+                vec![
+                    ArgDecl::direct("pos", 3, Access::Read),
+                    ArgDecl::direct("lc", 4, Access::Write),
+                    ArgDecl::double_indirect(self.node_charge.name(), 1, Access::Inc, "p2c.c2n"),
+                ],
+            ),
+            policy,
+            deposit_strategy,
+        ));
+        // The field-solve group runs in the FEM solver (sequential CG).
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                "ComputeElectricField",
+                "cells",
+                vec![ArgDecl::direct(self.efield.name(), 3, Access::Write)],
+            ),
+            &ExecPolicy::Seq,
+        ));
+        plans
+    }
+
+    /// Pass 3: audit the static mesh maps, the dynamic particle→cell
+    /// map, and (when coloring is enabled) the deposit coloring.
+    pub fn audit_maps(&self) -> Report {
+        let nc = self.mesh.n_cells();
+        let nn = self.mesh.n_nodes();
+        let mut report = Report::new();
+        let c2n: Vec<i32> = self.mesh.c2n.iter().flatten().map(|&n| n as i32).collect();
+        report.extend(audit_mesh_map("c2n", &c2n, nc, 4, nn, false));
+        let c2c: Vec<i32> = self.mesh.c2c.iter().flatten().copied().collect();
+        report.extend(audit_mesh_map("c2c", &c2c, nc, 4, nc, true));
+        report.extend(audit_particle_cells("p2c", self.ps.cells(), nc));
+        if let Some((colors, n_colors)) = &self.cell_colors {
+            let targets: Vec<&[usize]> = self.mesh.c2n.iter().map(|nd| nd.as_slice()).collect();
+            report.extend(audit_coloring(
+                "cell-coloring",
+                &targets,
+                nn,
+                colors,
+                *n_colors,
+            ));
+        }
+        report
+    }
+
+    /// Pass 2: replay the deposit kernel's footprint over the current
+    /// particle population and check it against the schedule the
+    /// configuration would run it with.
+    pub fn shadow_deposit(&self) -> Report {
+        let mut report = Report::new();
+        let cells = self.ps.cells();
+        let c2n = &self.mesh.c2n;
+        let charge_dat = self.node_charge.name();
+        let run = shadow_record(self.ps.len(), |i, ctx| {
+            ctx.read("lc", i);
+            let c = cells[i] as usize;
+            for &node in &c2n[c] {
+                ctx.inc(charge_dat, node);
+            }
+        });
+
+        let parallel = self.cfg.policy.is_parallel();
+        let races = match (&self.cell_colors, parallel) {
+            (_, false) => run.detect_races(Schedule::Sequential, &RaceOptions::default()),
+            (Some((colors, _)), true) => {
+                // The colored executor barriers between colors and
+                // serialises each cell's particles on one worker; the
+                // increments themselves are plain — the coloring alone
+                // must prevent every conflict.
+                let particle_colors: Vec<u32> = cells.iter().map(|&c| colors[c as usize]).collect();
+                let groups: Vec<u32> = cells.iter().map(|&c| c as u32).collect();
+                run.detect_races(
+                    Schedule::ColoredGroups {
+                        colors: &particle_colors,
+                        groups: &groups,
+                    },
+                    &RaceOptions::default(),
+                )
+            }
+            (None, true) => {
+                let method = self.cfg.deposit;
+                if !method.is_race_safe(true) {
+                    // Serial method: the executor ignores the parallel
+                    // policy, so the effective schedule is sequential.
+                    run.detect_races(Schedule::Sequential, &RaceOptions::default())
+                } else {
+                    // Scatter/atomics/segmented make increments safe.
+                    let opts = RaceOptions {
+                        inc_is_synchronised: true,
+                        ..Default::default()
+                    };
+                    run.detect_races(Schedule::AllParallel, &opts)
+                }
+            }
+        };
+        report.extend(ShadowRun::races_to_diagnostics("DepositCharge", &races));
+
+        // Sensitivity control: without synchronised increments the same
+        // recording must conflict as soon as two particles share a node
+        // — proof the detector is actually looking.
+        if parallel && self.ps.len() > 1 {
+            let unsafe_races = run.detect_races(Schedule::AllParallel, &RaceOptions::default());
+            report.push(Diagnostic::info(
+                "race/control",
+                "DepositCharge",
+                format!(
+                    "shadow replay of {} particles ({} touches): {} conflict(s) without a \
+                     race strategy, {} with the configured one",
+                    run.n_iters(),
+                    run.n_touches(),
+                    unsafe_races.len(),
+                    races.len()
+                ),
+            ));
+        }
+        report
+    }
+
+    /// All three passes against the current state.
+    pub fn validate_all(&self) -> Report {
+        let reg = self.decl_registry();
+        let mut report = check_plans(&self.loop_plans(), Some(&reg));
+        report.merge(self.audit_maps());
+        report.merge(self.shadow_deposit());
+        // Dynamic counterpart of the move plan: the engine's own
+        // bounds counter must be clean.
+        if self.last_move.out_of_range > 0 {
+            report.push(Diagnostic::error(
+                "pmap/out-of-range",
+                "Move",
+                format!(
+                    "move engine reported {} final cells outside the mesh",
+                    self.last_move.out_of_range
+                ),
+            ));
+        }
+        report
+    }
+
+    /// Per-step invariant gate used by the `validate` cargo feature:
+    /// panics with the full report if the particle→cell map is broken.
+    pub fn assert_particle_map_valid(&self) {
+        let mut report = Report::new();
+        report.extend(audit_particle_cells(
+            "p2c",
+            self.ps.cells(),
+            self.mesh.n_cells(),
+        ));
+        assert!(
+            !report.has_errors(),
+            "particle→cell map audit failed after move/hole-fill:\n{report}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FemPicConfig;
+    use oppic_core::DepositMethod;
+
+    #[test]
+    fn shipped_configs_validate_cleanly() {
+        for (coloring, deposit, parallel) in [
+            (false, DepositMethod::ScatterArrays, true),
+            (false, DepositMethod::Atomics, true),
+            (true, DepositMethod::Serial, true),
+            (false, DepositMethod::Serial, false),
+        ] {
+            let mut cfg = FemPicConfig::tiny();
+            cfg.coloring = coloring;
+            cfg.deposit = deposit;
+            cfg.policy = if parallel {
+                ExecPolicy::Par
+            } else {
+                ExecPolicy::Seq
+            };
+            let mut sim = FemPic::new(cfg);
+            sim.run(3);
+            let report = sim.validate_all();
+            assert!(
+                !report.has_errors(),
+                "coloring={coloring} deposit={deposit:?} parallel={parallel}:\n{report}"
+            );
+        }
+    }
+
+    #[test]
+    fn racy_configuration_is_caught_statically() {
+        // Hand-build the incoherent plan the config surface refuses to
+        // express: a parallel deposit with no strategy at all.
+        let cfg = FemPicConfig::tiny();
+        let sim = FemPic::new(cfg);
+        let mut plans = PlanRegistry::new();
+        plans.register(LoopPlan::new(
+            LoopDecl::new(
+                "DepositCharge",
+                "particles",
+                vec![ArgDecl::double_indirect(
+                    "node charge",
+                    1,
+                    Access::Inc,
+                    "p2c.c2n",
+                )],
+            ),
+            &ExecPolicy::Par,
+            RaceStrategy::None,
+        ));
+        let report = check_plans(&plans, Some(&sim.decl_registry()));
+        assert!(report.has_errors());
+        assert_eq!(report.with_code("plan/racy-inc").len(), 1);
+    }
+
+    #[test]
+    fn shadow_pass_flags_a_corrupted_coloring() {
+        let mut cfg = FemPicConfig::tiny();
+        cfg.coloring = true;
+        cfg.policy = ExecPolicy::Par;
+        let mut sim = FemPic::new(cfg);
+        sim.run(2);
+        assert!(!sim.shadow_deposit().has_errors());
+        // Collapse all colors onto round 0: same-round cells now share
+        // nodes and the detector must notice.
+        if let Some((colors, _)) = &mut sim.cell_colors {
+            colors.iter_mut().for_each(|c| *c = 0);
+        }
+        let report = sim.shadow_deposit();
+        assert!(report.has_errors(), "{report}");
+        assert!(!report.with_code("race/conflict").is_empty(), "{report}");
+        // The map audit catches the same corruption independently.
+        let audit = sim.audit_maps();
+        assert!(!audit.with_code("color/conflict").is_empty(), "{audit}");
+    }
+
+    #[test]
+    fn map_audit_flags_dangling_particles() {
+        let cfg = FemPicConfig::tiny();
+        let mut sim = FemPic::new(cfg);
+        sim.run(2);
+        sim.ps.cells_mut()[0] = -1;
+        let report = sim.audit_maps();
+        assert!(report.has_errors());
+        assert!(!report.with_code("pmap/dangling").is_empty(), "{report}");
+    }
+}

@@ -21,7 +21,11 @@ pub struct CgConfig {
 
 impl Default for CgConfig {
     fn default() -> Self {
-        CgConfig { rtol: 1e-10, atol: 1e-30, max_iters: 10_000 }
+        CgConfig {
+            rtol: 1e-10,
+            atol: 1e-30,
+            max_iters: 10_000,
+        }
     }
 }
 
@@ -46,7 +50,9 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     if x.len() >= 4096 {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi += alpha * xi);
+        y.par_iter_mut()
+            .zip(x.par_iter())
+            .for_each(|(yi, xi)| *yi += alpha * xi);
     } else {
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi += alpha * xi;
@@ -86,7 +92,11 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], x: &mut [f64], cfg: CgConfig) -> CgOut
 
     let mut res = dot(&r, &r).sqrt();
     if res <= target {
-        return CgOutcome { converged: true, iterations: 0, residual: res };
+        return CgOutcome {
+            converged: true,
+            iterations: 0,
+            residual: res,
+        };
     }
 
     for it in 1..=cfg.max_iters {
@@ -95,14 +105,22 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], x: &mut [f64], cfg: CgConfig) -> CgOut
         if p_ap <= 0.0 {
             // Matrix is not SPD (or we hit exact breakdown): stop and
             // report honestly rather than looping on NaNs.
-            return CgOutcome { converged: false, iterations: it, residual: res };
+            return CgOutcome {
+                converged: false,
+                iterations: it,
+                residual: res,
+            };
         }
         let alpha = rz / p_ap;
         axpy(alpha, &p, x);
         axpy(-alpha, &ap, &mut r);
         res = dot(&r, &r).sqrt();
         if res <= target {
-            return CgOutcome { converged: true, iterations: it, residual: res };
+            return CgOutcome {
+                converged: true,
+                iterations: it,
+                residual: res,
+            };
         }
         for i in 0..n {
             z[i] = r[i] * inv_diag[i];
@@ -115,7 +133,11 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], x: &mut [f64], cfg: CgConfig) -> CgOut
         }
     }
 
-    CgOutcome { converged: false, iterations: cfg.max_iters, residual: res }
+    CgOutcome {
+        converged: false,
+        iterations: cfg.max_iters,
+        residual: res,
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +231,16 @@ mod tests {
         let a = laplacian_1d(n);
         let rhs = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let out = cg_solve(&a, &rhs, &mut x, CgConfig { rtol: 1e-14, atol: 0.0, max_iters: 3 });
+        let out = cg_solve(
+            &a,
+            &rhs,
+            &mut x,
+            CgConfig {
+                rtol: 1e-14,
+                atol: 0.0,
+                max_iters: 3,
+            },
+        );
         assert!(!out.converged);
         assert_eq!(out.iterations, 3);
         assert!(out.residual > 0.0);

@@ -17,7 +17,11 @@ pub struct CsrBuilder {
 
 impl CsrBuilder {
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        CsrBuilder { n_rows, n_cols, triplets: Vec::new() }
+        CsrBuilder {
+            n_rows,
+            n_cols,
+            triplets: Vec::new(),
+        }
     }
 
     /// Add `value` at `(row, col)`; duplicates accumulate.
@@ -64,7 +68,13 @@ impl CsrBuilder {
         for r in 0..self.n_rows {
             row_ptr[r + 1] = row_ptr[r] + row_count[r];
         }
-        CsrMatrix { n_rows: self.n_rows, n_cols: self.n_cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -134,7 +144,9 @@ impl CsrMatrix {
     /// The diagonal, for Jacobi preconditioning. Missing diagonal
     /// entries come back as 0.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.n_rows.min(self.n_cols)).map(|r| self.get(r, r)).collect()
+        (0..self.n_rows.min(self.n_cols))
+            .map(|r| self.get(r, r))
+            .collect()
     }
 
     /// Symmetric Dirichlet elimination for boundary condition `x[i] =

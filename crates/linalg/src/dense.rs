@@ -11,7 +11,11 @@ pub struct DenseMatrix {
 
 impl DenseMatrix {
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        DenseMatrix { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+        DenseMatrix {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
     }
 
     pub fn from_rows(rows: &[&[f64]]) -> Self {
@@ -22,7 +26,11 @@ impl DenseMatrix {
             assert_eq!(r.len(), n_cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        DenseMatrix { n_rows, n_cols, data }
+        DenseMatrix {
+            n_rows,
+            n_cols,
+            data,
+        }
     }
 
     #[inline]
@@ -60,7 +68,10 @@ impl DenseMatrix {
             // Pivot.
             let piv = (col..n)
                 .max_by(|&i, &j| {
-                    a[i * n + col].abs().partial_cmp(&a[j * n + col].abs()).unwrap()
+                    a[i * n + col]
+                        .abs()
+                        .partial_cmp(&a[j * n + col].abs())
+                        .unwrap()
                 })
                 .unwrap();
             if a[piv * n + col].abs() < 1e-300 {
@@ -103,9 +114,8 @@ pub fn p1_stiffness(grads: &[[f64; 3]; 4], volume: f64) -> [[f64; 4]; 4] {
     let mut k = [[0.0; 4]; 4];
     for i in 0..4 {
         for j in 0..4 {
-            let dot = grads[i][0] * grads[j][0]
-                + grads[i][1] * grads[j][1]
-                + grads[i][2] * grads[j][2];
+            let dot =
+                grads[i][0] * grads[j][0] + grads[i][1] * grads[j][1] + grads[i][2] * grads[j][2];
             k[i][j] = volume * dot;
         }
     }
@@ -155,8 +165,8 @@ mod tests {
             [-1.0, -1.0, -1.0],
         ];
         let k = p1_stiffness(&grads, 0.5);
-        for i in 0..4 {
-            let row: f64 = k[i].iter().sum();
+        for (i, k_row) in k.iter().enumerate() {
+            let row: f64 = k_row.iter().sum();
             let col: f64 = (0..4).map(|j| k[j][i]).sum();
             assert!(row.abs() < 1e-14);
             assert!(col.abs() < 1e-14);

@@ -55,7 +55,9 @@ pub fn build_c2c_from_faces(c2n: &[[usize; 4]]) -> (Vec<[i32; 4]>, Vec<(usize, u
                     face_map.insert(key, FaceState::Open(c, f));
                 }
                 Some(state @ FaceState::Open(..)) => {
-                    let FaceState::Open(c2, f2) = *state else { unreachable!() };
+                    let FaceState::Open(c2, f2) = *state else {
+                        unreachable!()
+                    };
                     c2c[c][f] = c2 as i32;
                     c2c[c2][f2] = c as i32;
                     *state = FaceState::Closed;

@@ -141,7 +141,9 @@ mod tests {
         let faces = FaceSet::build(&c2n);
         assert_eq!(faces.n_faces(), 7); // 4 + 4 − 1 shared
         assert_eq!(faces.n_boundary(), 6);
-        let shared = (0..faces.n_faces()).find(|&f| !faces.is_boundary(f)).unwrap();
+        let shared = (0..faces.n_faces())
+            .find(|&f| !faces.is_boundary(f))
+            .unwrap();
         assert_eq!(faces.f2n[shared], [1, 2, 3]);
         assert_eq!(faces.neighbor_via(shared, 0), 1);
         assert_eq!(faces.neighbor_via(shared, 1), 0);

@@ -14,7 +14,11 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     #[inline]
     pub fn new(x: f64, y: f64, z: f64) -> Self {
@@ -23,7 +27,11 @@ impl Vec3 {
 
     #[inline]
     pub fn from_slice(s: &[f64]) -> Self {
-        Vec3 { x: s[0], y: s[1], z: s[2] }
+        Vec3 {
+            x: s[0],
+            y: s[1],
+            z: s[2],
+        }
     }
 
     #[inline]
@@ -57,19 +65,31 @@ impl Vec3 {
 
     #[inline]
     pub fn scale(self, s: f64) -> Vec3 {
-        Vec3 { x: self.x * s, y: self.y * s, z: self.z * s }
+        Vec3 {
+            x: self.x * s,
+            y: self.y * s,
+            z: self.z * s,
+        }
     }
 
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, o: Vec3) -> Vec3 {
-        Vec3 { x: self.x.min(o.x), y: self.y.min(o.y), z: self.z.min(o.z) }
+        Vec3 {
+            x: self.x.min(o.x),
+            y: self.y.min(o.y),
+            z: self.z.min(o.z),
+        }
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, o: Vec3) -> Vec3 {
-        Vec3 { x: self.x.max(o.x), y: self.y.max(o.y), z: self.z.max(o.z) }
+        Vec3 {
+            x: self.x.max(o.x),
+            y: self.y.max(o.y),
+            z: self.z.max(o.z),
+        }
     }
 }
 
@@ -174,7 +194,10 @@ impl BoundingBox {
     /// Grow symmetrically by `eps` in every direction.
     pub fn inflated(&self, eps: f64) -> Self {
         let d = Vec3::new(eps, eps, eps);
-        BoundingBox { lo: self.lo - d, hi: self.hi + d }
+        BoundingBox {
+            lo: self.lo - d,
+            hi: self.hi + d,
+        }
     }
 
     pub fn extent(&self) -> Vec3 {
@@ -359,9 +382,9 @@ mod tests {
         let v = unit_tet();
         for i in 0..4 {
             let l = barycentric(v[i], &v);
-            for j in 0..4 {
+            for (j, &lj) in l.iter().enumerate() {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((l[j] - expect).abs() < 1e-12, "vertex {i} coord {j}");
+                assert!((lj - expect).abs() < 1e-12, "vertex {i} coord {j}");
             }
         }
     }
@@ -414,7 +437,9 @@ mod tests {
         let v = unit_tet();
         let mut state = 123456789u64;
         let mut nextf = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..500 {
@@ -426,7 +451,11 @@ mod tests {
 
     #[test]
     fn sample_triangle_inside() {
-        let (a, b, c) = (Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0));
+        let (a, b, c) = (
+            Vec3::ZERO,
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 3.0, 0.0),
+        );
         for i in 0..50 {
             for j in 0..50 {
                 let p = sample_triangle(a, b, c, [i as f64 / 49.0, j as f64 / 49.0]);
@@ -452,7 +481,11 @@ mod tests {
 
     #[test]
     fn triangle_helpers() {
-        let (a, b, c) = (Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        let (a, b, c) = (
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
         let n = triangle_area_normal(a, b, c);
         assert!((n.norm() - 0.5).abs() < 1e-15);
         assert!((n.z - 0.5).abs() < 1e-15);

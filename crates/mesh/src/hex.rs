@@ -83,7 +83,16 @@ impl HexMesh {
                 }
             }
         }
-        HexMesh { nx, ny, nz, dx, dy, dz, c2c6, c2c27 }
+        HexMesh {
+            nx,
+            ny,
+            nz,
+            dx,
+            dy,
+            dz,
+            c2c6,
+            c2c27,
+        }
     }
 
     #[inline]
@@ -93,12 +102,19 @@ impl HexMesh {
 
     /// Domain extents.
     pub fn lengths(&self) -> [f64; 3] {
-        [self.nx as f64 * self.dx, self.ny as f64 * self.dy, self.nz as f64 * self.dz]
+        [
+            self.nx as f64 * self.dx,
+            self.ny as f64 * self.dy,
+            self.nz as f64 * self.dz,
+        ]
     }
 
     pub fn bounding_box(&self) -> BoundingBox {
         let [lx, ly, lz] = self.lengths();
-        BoundingBox { lo: Vec3::ZERO, hi: Vec3::new(lx, ly, lz) }
+        BoundingBox {
+            lo: Vec3::ZERO,
+            hi: Vec3::new(lx, ly, lz),
+        }
     }
 
     /// Linear cell id from (i, j, k).

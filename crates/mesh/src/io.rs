@@ -83,13 +83,16 @@ pub fn read_tet_mesh<R: Read>(r: R) -> Result<TetMesh, MeshIoError> {
     }
     let mut it = tokens.into_iter();
     let mut next = |what: &str| -> Result<String, MeshIoError> {
-        it.next().ok_or_else(|| perr(format!("unexpected EOF, wanted {what}")))
+        it.next()
+            .ok_or_else(|| perr(format!("unexpected EOF, wanted {what}")))
     };
 
     if next("magic")? != "oppic-tet-mesh" {
         return Err(perr("bad magic; expected 'oppic-tet-mesh'"));
     }
-    let version: u32 = next("version")?.parse().map_err(|e| perr(format!("version: {e}")))?;
+    let version: u32 = next("version")?
+        .parse()
+        .map_err(|e| perr(format!("version: {e}")))?;
     if version != 1 {
         return Err(perr(format!("unsupported version {version}")));
     }
@@ -97,7 +100,9 @@ pub fn read_tet_mesh<R: Read>(r: R) -> Result<TetMesh, MeshIoError> {
     if next("'nodes'")? != "nodes" {
         return Err(perr("expected 'nodes'"));
     }
-    let n_nodes: usize = next("node count")?.parse().map_err(|e| perr(format!("node count: {e}")))?;
+    let n_nodes: usize = next("node count")?
+        .parse()
+        .map_err(|e| perr(format!("node count: {e}")))?;
     let mut node_pos = Vec::with_capacity(n_nodes);
     for i in 0..n_nodes {
         let mut coord = [0.0f64; 3];
@@ -112,14 +117,21 @@ pub fn read_tet_mesh<R: Read>(r: R) -> Result<TetMesh, MeshIoError> {
     if next("'cells'")? != "cells" {
         return Err(perr("expected 'cells'"));
     }
-    let n_cells: usize = next("cell count")?.parse().map_err(|e| perr(format!("cell count: {e}")))?;
+    let n_cells: usize = next("cell count")?
+        .parse()
+        .map_err(|e| perr(format!("cell count: {e}")))?;
     let mut c2n = Vec::with_capacity(n_cells);
     for i in 0..n_cells {
         let mut nd = [0usize; 4];
         for n in &mut nd {
-            *n = next("node id")?.parse().map_err(|e| perr(format!("cell {i} node: {e}")))?;
+            *n = next("node id")?
+                .parse()
+                .map_err(|e| perr(format!("cell {i} node: {e}")))?;
             if *n >= n_nodes {
-                return Err(perr(format!("cell {i} references node {n} >= {n_nodes}", n = *n)));
+                return Err(perr(format!(
+                    "cell {i} references node {n} >= {n_nodes}",
+                    n = *n
+                )));
             }
         }
         c2n.push(nd);
@@ -130,14 +142,18 @@ pub fn read_tet_mesh<R: Read>(r: R) -> Result<TetMesh, MeshIoError> {
     }
     let mut dims = [0usize; 3];
     for d in &mut dims {
-        *d = next("dim")?.parse().map_err(|e| perr(format!("dims: {e}")))?;
+        *d = next("dim")?
+            .parse()
+            .map_err(|e| perr(format!("dims: {e}")))?;
     }
     if next("'lengths'")? != "lengths" {
         return Err(perr("expected 'lengths'"));
     }
     let mut lengths = [0.0f64; 3];
     for l in &mut lengths {
-        *l = next("length")?.parse().map_err(|e| perr(format!("lengths: {e}")))?;
+        *l = next("length")?
+            .parse()
+            .map_err(|e| perr(format!("lengths: {e}")))?;
     }
 
     Ok(TetMesh::from_cells(node_pos, c2n, dims, lengths))

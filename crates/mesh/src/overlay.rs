@@ -11,7 +11,7 @@
 //! falls back to multi-hop to reach the exact destination. The overlay
 //! trades memory for hop count — the trade-off the paper calls out.
 
-use crate::geometry::{barycentric, bary_inside, BoundingBox, Vec3};
+use crate::geometry::{bary_inside, barycentric, BoundingBox, Vec3};
 use crate::tet::TetMesh;
 
 /// A regular grid over the mesh bounding box mapping points to a good
@@ -119,12 +119,7 @@ impl StructuredOverlay {
         }
     }
 
-    fn clamp_index(
-        bbox: &BoundingBox,
-        cell_size: Vec3,
-        dims: [usize; 3],
-        p: Vec3,
-    ) -> [usize; 3] {
+    fn clamp_index(bbox: &BoundingBox, cell_size: Vec3, dims: [usize; 3], p: Vec3) -> [usize; 3] {
         let rel = p - bbox.lo;
         let f = |x: f64, s: f64, n: usize| -> usize {
             if s <= 0.0 {

@@ -12,9 +12,7 @@
 //! boundaries).
 
 use crate::connectivity::{build_c2c_from_faces, tet_faces, FaceKey};
-use crate::geometry::{
-    p1_gradients, tet_centroid, tet_signed_volume, BoundingBox, Vec3,
-};
+use crate::geometry::{p1_gradients, tet_centroid, tet_signed_volume, BoundingBox, Vec3};
 use std::collections::HashMap;
 
 /// Classification of a boundary face of the duct.
@@ -117,11 +115,15 @@ impl TetMesh {
             for j in 0..ny {
                 for i in 0..nx {
                     // Cube corner node ids; bit 0 → x, bit 1 → y, bit 2 → z.
-                    let corner = |c: usize| {
-                        node_id(i + (c & 1), j + ((c >> 1) & 1), k + ((c >> 2) & 1))
-                    };
+                    let corner =
+                        |c: usize| node_id(i + (c & 1), j + ((c >> 1) & 1), k + ((c >> 2) & 1));
                     for tet in KUHN_TETS {
-                        let mut nd = [corner(tet[0]), corner(tet[1]), corner(tet[2]), corner(tet[3])];
+                        let mut nd = [
+                            corner(tet[0]),
+                            corner(tet[1]),
+                            corner(tet[2]),
+                            corner(tet[3]),
+                        ];
                         // Orient positively.
                         let v = [
                             node_pos[nd[0]],
@@ -158,7 +160,12 @@ impl TetMesh {
         let mut volume = Vec::with_capacity(ncells);
         let mut shape_deriv = Vec::with_capacity(ncells);
         for nd in &c2n {
-            let v = [node_pos[nd[0]], node_pos[nd[1]], node_pos[nd[2]], node_pos[nd[3]]];
+            let v = [
+                node_pos[nd[0]],
+                node_pos[nd[1]],
+                node_pos[nd[2]],
+                node_pos[nd[3]],
+            ];
             let vol = tet_signed_volume(v[0], v[1], v[2], v[3]);
             debug_assert!(vol > 0.0, "negatively oriented tet");
             volume.push(vol);
@@ -172,8 +179,8 @@ impl TetMesh {
         let mut wall_nodes = vec![false; nnodes];
         for (cell, face) in boundary_faces {
             let fnodes = tet_faces(&c2n[cell])[face];
-            let cen = (node_pos[fnodes[0]] + node_pos[fnodes[1]] + node_pos[fnodes[2]])
-                .scale(1.0 / 3.0);
+            let cen =
+                (node_pos[fnodes[0]] + node_pos[fnodes[1]] + node_pos[fnodes[2]]).scale(1.0 / 3.0);
             let kind = if cen.x.abs() < eps {
                 BoundaryKind::Inlet
             } else if (cen.x - lx).abs() < eps {
@@ -186,7 +193,12 @@ impl TetMesh {
                     wall_nodes[n] = true;
                 }
             }
-            boundary.push(BoundaryFace { cell, face, nodes: fnodes, kind });
+            boundary.push(BoundaryFace {
+                cell,
+                face,
+                nodes: fnodes,
+                kind,
+            });
         }
 
         // Lumped node volumes.
@@ -244,7 +256,9 @@ impl TetMesh {
 
     /// All inlet faces (for particle injection).
     pub fn inlet_faces(&self) -> impl Iterator<Item = &BoundaryFace> {
-        self.boundary.iter().filter(|f| f.kind == BoundaryKind::Inlet)
+        self.boundary
+            .iter()
+            .filter(|f| f.kind == BoundaryKind::Inlet)
     }
 
     /// Locate the cell containing point `p` by brute force. O(n_cells);
@@ -272,7 +286,10 @@ impl TetMesh {
                 }
             }
             if self.volume[c] <= 0.0 {
-                errs.push(format!("cell {c} has non-positive volume {}", self.volume[c]));
+                errs.push(format!(
+                    "cell {c} has non-positive volume {}",
+                    self.volume[c]
+                ));
             }
         }
         // c2c symmetry: if a says b is a neighbour, b must list a.
@@ -314,7 +331,7 @@ impl TetMesh {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::geometry::{barycentric, bary_inside};
+    use crate::geometry::{bary_inside, barycentric};
 
     #[test]
     fn duct_counts() {
@@ -356,8 +373,16 @@ mod tests {
     fn boundary_classification() {
         let m = TetMesh::duct(4, 2, 2, 4.0, 1.0, 1.0);
         let inlets = m.inlet_faces().count();
-        let outlets = m.boundary.iter().filter(|f| f.kind == BoundaryKind::Outlet).count();
-        let walls = m.boundary.iter().filter(|f| f.kind == BoundaryKind::Wall).count();
+        let outlets = m
+            .boundary
+            .iter()
+            .filter(|f| f.kind == BoundaryKind::Outlet)
+            .count();
+        let walls = m
+            .boundary
+            .iter()
+            .filter(|f| f.kind == BoundaryKind::Wall)
+            .count();
         // x faces: ny*nz quads * 2 tris each per end.
         assert_eq!(inlets, 2 * 2 * 2);
         assert_eq!(outlets, 2 * 2 * 2);
@@ -381,7 +406,9 @@ mod tests {
         let interior = m
             .node_pos
             .iter()
-            .position(|p| (p.x - 0.5).abs() < 1e-12 && (p.y - 0.5).abs() < 1e-12 && (p.z - 0.5).abs() < 1e-12)
+            .position(|p| {
+                (p.x - 0.5).abs() < 1e-12 && (p.y - 0.5).abs() < 1e-12 && (p.z - 0.5).abs() < 1e-12
+            })
             .unwrap();
         assert!(!m.wall_nodes[interior]);
     }

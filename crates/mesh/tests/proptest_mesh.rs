@@ -1,6 +1,6 @@
 //! Property-based tests on the mesh substrate.
 
-use oppic_mesh::geometry::{barycentric, bary_inside, p1_gradients, sample_tet, tet_signed_volume};
+use oppic_mesh::geometry::{bary_inside, barycentric, p1_gradients, sample_tet, tet_signed_volume};
 use oppic_mesh::{HexMesh, StructuredOverlay, TetMesh, Vec3};
 use proptest::prelude::*;
 

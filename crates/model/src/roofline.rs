@@ -55,7 +55,12 @@ pub struct RooflineChart {
 
 impl RooflineChart {
     pub fn new(machine: impl Into<String>, mem_bw_gbs: f64, peak_gflops: f64) -> Self {
-        RooflineChart { machine: machine.into(), mem_bw_gbs, peak_gflops, points: Vec::new() }
+        RooflineChart {
+            machine: machine.into(),
+            mem_bw_gbs,
+            peak_gflops,
+            points: Vec::new(),
+        }
     }
 
     /// Attainable GFLOP/s at an arithmetic intensity.
@@ -115,7 +120,10 @@ impl RooflineChart {
     pub fn table(&self) -> String {
         let mut s = format!(
             "Roofline: {} (BW {:.0} GB/s, peak {:.0} GFLOP/s, ridge {:.2} F/B)\n",
-            self.machine, self.mem_bw_gbs, self.peak_gflops, self.ridge()
+            self.machine,
+            self.mem_bw_gbs,
+            self.peak_gflops,
+            self.ridge()
         );
         s.push_str(&format!(
             "{:<28} {:>10} {:>12} {:>12} {:>6}  bound\n",
@@ -141,7 +149,13 @@ mod tests {
     use super::*;
 
     fn stats(seconds: f64, bytes: u64, flops: u64) -> KernelStats {
-        KernelStats { calls: 1, seconds, bytes, flops, class: None }
+        KernelStats {
+            calls: 1,
+            seconds,
+            bytes,
+            flops,
+            class: None,
+        }
     }
 
     #[test]
@@ -161,7 +175,9 @@ mod tests {
     fn bandwidth_bound_kernel() {
         let mut c = RooflineChart::new("toy", 100.0, 1000.0);
         // AI = 0.5 F/B, achieving 45 of attainable 50 GFLOP/s.
-        let p = c.place("Move", &stats(1.0, 100_000_000_000, 45_000_000_000)).unwrap();
+        let p = c
+            .place("Move", &stats(1.0, 100_000_000_000, 45_000_000_000))
+            .unwrap();
         assert!((p.ai - 0.45).abs() < 1e-12);
         assert_eq!(p.bound, Boundedness::Bandwidth);
         assert!(p.efficiency() > 0.9);
@@ -171,7 +187,9 @@ mod tests {
     fn compute_bound_kernel() {
         let mut c = RooflineChart::new("toy", 100.0, 1000.0);
         // AI = 100 F/B, achieving 900 of 1000.
-        let p = c.place("dense", &stats(1.0, 10_000_000_000, 1_000_000_000_000)).unwrap();
+        let p = c
+            .place("dense", &stats(1.0, 10_000_000_000, 1_000_000_000_000))
+            .unwrap();
         assert_eq!(p.bound, Boundedness::Compute);
     }
 
@@ -180,7 +198,9 @@ mod tests {
         let mut c = RooflineChart::new("toy", 100.0, 1000.0);
         // AI = 0.5, but only 5 GFLOP/s of attainable 50 — the
         // serialized-atomics signature.
-        let p = c.place("DepositCharge", &stats(1.0, 10_000_000_000, 5_000_000_000)).unwrap();
+        let p = c
+            .place("DepositCharge", &stats(1.0, 10_000_000_000, 5_000_000_000))
+            .unwrap();
         assert_eq!(p.bound, Boundedness::Latency);
     }
 

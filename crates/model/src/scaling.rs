@@ -74,7 +74,10 @@ fn step_time(system: &SystemSpec, w: &WorkloadModel, units: usize) -> f64 {
     let compute = w.compute_s_per_step;
     // Neighbour comm only exists with >1 unit.
     let comm = if units > 1 {
-        system.net_time(w.halo_bytes_per_step + w.migration_bytes_per_step, w.msgs_per_step)
+        system.net_time(
+            w.halo_bytes_per_step + w.migration_bytes_per_step,
+            w.msgs_per_step,
+        )
     } else {
         0.0
     };

@@ -125,10 +125,16 @@ mod tests {
         // (consisting of 32 V100 GPUs) and 5 LUMI-G nodes (consisting
         // of 20 MI250X GPUs) consume roughly 12 kW".
         let kw12 = 12_000.0;
-        assert_eq!((kw12 / SystemSpec::archer2().node_power_w).floor() as usize, 18);
+        assert_eq!(
+            (kw12 / SystemSpec::archer2().node_power_w).floor() as usize,
+            18
+        );
         assert_eq!((kw12 / SystemSpec::bede().node_power_w).floor() as usize, 8);
         assert_eq!(SystemSpec::bede().units_in_power_envelope(kw12), 32);
-        assert_eq!((kw12 / SystemSpec::lumi_g().node_power_w).floor() as usize, 5);
+        assert_eq!(
+            (kw12 / SystemSpec::lumi_g().node_power_w).floor() as usize,
+            5
+        );
         // 5 LUMI nodes = 20 MI250X GPUs = 40 GCDs.
         assert_eq!(SystemSpec::lumi_g().units_in_power_envelope(kw12), 40);
     }

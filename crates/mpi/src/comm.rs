@@ -82,12 +82,16 @@ impl RankCtx {
     /// Point-to-point send to `dst` (buffered, non-blocking).
     pub fn send(&mut self, dst: usize, msg: Message) {
         self.sent_bytes += msg.bytes() as u64;
-        self.to[dst].send(msg).expect("receiver hung up — rank body panicked?");
+        self.to[dst]
+            .send(msg)
+            .expect("receiver hung up — rank body panicked?");
     }
 
     /// Blocking receive of the next message from `src`.
     pub fn recv(&self, src: usize) -> Message {
-        self.from[src].recv().expect("sender hung up — rank body panicked?")
+        self.from[src]
+            .recv()
+            .expect("sender hung up — rank body panicked?")
     }
 
     /// Synchronise all ranks.
@@ -167,7 +171,11 @@ impl RankCtx {
     /// All-to-all variable exchange: `sends[dst]` goes to rank `dst`;
     /// returns `recvs[src]`. Every rank must call this collectively.
     pub fn alltoallv(&mut self, sends: Vec<Message>) -> Vec<Message> {
-        assert_eq!(sends.len(), self.n_ranks, "alltoallv needs one buffer per rank");
+        assert_eq!(
+            sends.len(),
+            self.n_ranks,
+            "alltoallv needs one buffer per rank"
+        );
         // Self-message short-circuits through the channel too (keeps
         // ordering semantics uniform).
         for (dst, m) in sends.into_iter().enumerate() {
@@ -209,14 +217,15 @@ where
     assert!(n_ranks > 0, "world needs at least one rank");
     // channels[src][dst]
     let mut senders: Vec<Vec<Option<Sender<Message>>>> = Vec::with_capacity(n_ranks);
-    let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
-        (0..n_ranks).map(|_| (0..n_ranks).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..n_ranks)
+        .map(|_| (0..n_ranks).map(|_| None).collect())
+        .collect();
     for src in 0..n_ranks {
         let mut row = Vec::with_capacity(n_ranks);
-        for dst in 0..n_ranks {
+        for recv_row in receivers.iter_mut() {
             let (tx, rx) = unbounded();
             row.push(Some(tx));
-            receivers[dst][src] = Some(rx);
+            recv_row[src] = Some(rx);
         }
         senders.push(row);
     }
@@ -231,8 +240,14 @@ where
         .map(|(rank, (to_row, from_row))| RankCtx {
             rank,
             n_ranks,
-            to: to_row.into_iter().map(|s| s.expect("sender wired")).collect(),
-            from: from_row.into_iter().map(|r| r.expect("receiver wired")).collect(),
+            to: to_row
+                .into_iter()
+                .map(|s| s.expect("sender wired"))
+                .collect(),
+            from: from_row
+                .into_iter()
+                .map(|r| r.expect("receiver wired"))
+                .collect(),
             barrier: barrier.clone(),
             window: window.clone(),
             sent_bytes: 0,
@@ -279,9 +294,7 @@ mod tests {
 
     #[test]
     fn allreduce_vec() {
-        let out = world_run(3, |ctx| {
-            ctx.allreduce_vec_sum(&[ctx.rank as f64, 1.0])
-        });
+        let out = world_run(3, |ctx| ctx.allreduce_vec_sum(&[ctx.rank as f64, 1.0]));
         for v in out {
             assert_eq!(v, vec![3.0, 3.0]);
         }

@@ -55,7 +55,10 @@ pub fn migrate_particles(
     // Hole-fill the source store (indices sorted ascending).
     let mut holes: Vec<usize> = leavers.iter().map(|&(i, _, _)| i).collect();
     holes.sort_unstable();
-    debug_assert!(holes.windows(2).all(|w| w[0] < w[1]), "duplicate leaver index");
+    debug_assert!(
+        holes.windows(2).all(|w| w[0] < w[1]),
+        "duplicate leaver index"
+    );
     ps.remove_fill(&holes);
 
     // Unpack arrivals at the end of the dats.
@@ -71,7 +74,11 @@ pub fn migrate_particles(
         }
     }
 
-    MigrationStats { sent: leavers.len(), received, shipped_values }
+    MigrationStats {
+        sent: leavers.len(),
+        received,
+        shipped_values,
+    }
 }
 
 /// Direct-hop global move over the RMA window: push each leaver's
@@ -114,7 +121,11 @@ pub fn global_move_rma(
     // is still draining.
     ctx.barrier();
 
-    MigrationStats { sent: leavers.len(), received, shipped_values }
+    MigrationStats {
+        sent: leavers.len(),
+        received,
+        shipped_values,
+    }
 }
 
 #[cfg(test)]
@@ -226,13 +237,16 @@ mod tests {
         assert_eq!(total, n_ranks * 8);
         for (r, (ps, stats)) in out.iter().enumerate() {
             assert_eq!(stats.sent, 6, "rank {r} sends 6 of its 8");
-            assert_eq!(stats.received, 6, "each rank receives 2 from each of 3 others");
+            assert_eq!(
+                stats.received, 6,
+                "each rank receives 2 from each of 3 others"
+            );
             let tag = ps.col_id("tag").unwrap();
             for i in 0..ps.len() {
                 let e = ps.el(tag, i);
-                if e[0] as usize != *&r {
+                if e[0] as usize != r {
                     // Immigrant: must belong here by the scatter rule.
-                    assert_eq!(e[1] as usize % n_ranks, *&r);
+                    assert_eq!(e[1] as usize % n_ranks, r);
                 }
             }
         }
@@ -244,8 +258,11 @@ mod tests {
             let mut ps = local_store(ctx.rank, 2);
             let dst = (1 - ctx.rank) as u32;
             // Round 1: rank 0 sends particle 0.
-            let leavers: Vec<_> =
-                if ctx.rank == 0 { vec![(0usize, dst, 5i32)] } else { vec![] };
+            let leavers: Vec<_> = if ctx.rank == 0 {
+                vec![(0usize, dst, 5i32)]
+            } else {
+                vec![]
+            };
             global_move_rma(ctx, &mut ps, &leavers);
             // Round 2: nobody sends; windows must be empty.
             let stats = global_move_rma(ctx, &mut ps, &[]);

@@ -44,7 +44,11 @@ impl HaloExchangePlan {
         }
         for (src, cells) in &self.recv {
             let payload = ctx.recv(*src as usize).into_f64();
-            assert_eq!(payload.len(), cells.len() * dim, "halo payload shape mismatch");
+            assert_eq!(
+                payload.len(),
+                cells.len() * dim,
+                "halo payload shape mismatch"
+            );
             for (k, &c) in cells.iter().enumerate() {
                 data[c * dim..(c + 1) * dim].copy_from_slice(&payload[k * dim..(k + 1) * dim]);
             }
@@ -66,7 +70,11 @@ impl HaloExchangePlan {
         }
         for (dst, cells) in &self.send {
             let payload = ctx.recv(*dst as usize).into_f64();
-            assert_eq!(payload.len(), cells.len() * dim, "halo payload shape mismatch");
+            assert_eq!(
+                payload.len(),
+                cells.len() * dim,
+                "halo payload shape mismatch"
+            );
             for (k, &c) in cells.iter().enumerate() {
                 for d in 0..dim {
                     data[c * dim + d] += payload[k * dim + d];
@@ -193,7 +201,10 @@ pub fn build_rank_meshes(
             ghosts: ghost_set,
             global_to_local,
             local_c2c,
-            plan: HaloExchangePlan { send: Vec::new(), recv },
+            plan: HaloExchangePlan {
+                send: Vec::new(),
+                recv,
+            },
         });
     }
 
@@ -212,8 +223,10 @@ pub fn build_rank_meshes(
                 .filter(|&g| cell_rank[g] == r as u32)
                 .collect();
             if !wanted.is_empty() {
-                let local: Vec<usize> =
-                    wanted.iter().map(|g| meshes[r].global_to_local[g]).collect();
+                let local: Vec<usize> = wanted
+                    .iter()
+                    .map(|g| meshes[r].global_to_local[g])
+                    .collect();
                 sends.push((other as u32, local));
             }
         }
@@ -260,10 +273,7 @@ mod tests {
             for &g in &rm.ghosts {
                 assert_ne!(rank[g], rm.rank, "ghost must be foreign-owned");
                 // Each ghost is adjacent to at least one owned cell.
-                let touches = rm
-                    .owned
-                    .iter()
-                    .any(|&c| m.c2c[c].contains(&(g as i32)));
+                let touches = rm.owned.iter().any(|&c| m.c2c[c].contains(&(g as i32)));
                 assert!(touches, "ghost {g} not adjacent to rank {}", rm.rank);
             }
         }
@@ -314,7 +324,9 @@ mod tests {
         let n_ranks = 3;
         let (m, _, meshes) = setup(n_ranks);
         // dat value = global cell id (dim 2: id and id*10).
-        let global: Vec<f64> = (0..m.n_cells()).flat_map(|c| [c as f64, c as f64 * 10.0]).collect();
+        let global: Vec<f64> = (0..m.n_cells())
+            .flat_map(|c| [c as f64, c as f64 * 10.0])
+            .collect();
         let oks = world_run(n_ranks, |ctx| {
             let rm = &meshes[ctx.rank];
             let mut local = rm.localize_dat(&global, 2);
@@ -343,13 +355,13 @@ mod tests {
         let finals = world_run(n_ranks, |ctx| {
             let rm = &meshes[ctx.rank];
             let mut local = vec![0.0; rm.n_local()];
-            for l in rm.n_owned()..rm.n_local() {
-                local[l] = 1.0;
+            for x in &mut local[rm.n_owned()..rm.n_local()] {
+                *x = 1.0;
             }
             rm.plan.reverse_add(ctx, &mut local, 1);
             // Ghost slots zeroed.
-            for l in rm.n_owned()..rm.n_local() {
-                assert_eq!(local[l], 0.0);
+            for x in &local[rm.n_owned()..rm.n_local()] {
+                assert_eq!(*x, 0.0);
             }
             local[..rm.n_owned()].to_vec()
         });

@@ -30,5 +30,7 @@ pub mod solve;
 pub use comm::{world_run, Message, RankCtx};
 pub use exchange::migrate_particles;
 pub use halo::{HaloExchangePlan, RankMesh};
-pub use partition::{directional_partition, graph_growing_partition, rcb_partition, PartitionStats};
+pub use partition::{
+    directional_partition, graph_growing_partition, rcb_partition, PartitionStats,
+};
 pub use solve::{cg_solve_distributed, partition_system, DistributedSystem};

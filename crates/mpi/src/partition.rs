@@ -102,7 +102,13 @@ fn rcb_recurse(
     let right_parts = n_parts - left_parts;
     let split = sorted.len() * left_parts / n_parts;
     rcb_recurse(centroids, &sorted[..split], first_rank, left_parts, rank);
-    rcb_recurse(centroids, &sorted[split..], first_rank + left_parts as u32, right_parts, rank);
+    rcb_recurse(
+        centroids,
+        &sorted[split..],
+        first_rank + left_parts as u32,
+        right_parts,
+        rank,
+    );
 }
 
 /// Greedy graph-growing k-way partition over the cell adjacency:
@@ -135,8 +141,8 @@ pub fn graph_growing_partition(c2c: &[Vec<i32>], n_ranks: usize) -> Vec<u32> {
             let Some(c) = queue.pop_front() else {
                 // Region exhausted (disconnected component): reseed.
                 let mut found = None;
-                for k in next_seed..n {
-                    if rank[k] == u32::MAX {
+                for (k, &rk) in rank.iter().enumerate().take(n).skip(next_seed) {
+                    if rk == u32::MAX {
                         found = Some(k);
                         break;
                     }
@@ -193,7 +199,12 @@ pub fn partition_stats(c2c: &[impl AsRef<[i32]>], rank: &[u32], n_ranks: usize) 
     edge_cut /= 2; // counted from both sides
     let mean = n as f64 / n_ranks as f64;
     let imbalance = sizes.iter().copied().max().unwrap_or(0) as f64 / mean.max(1e-300);
-    PartitionStats { n_ranks, edge_cut, imbalance, halo_cells: halo_pairs.len() }
+    PartitionStats {
+        n_ranks,
+        edge_cut,
+        imbalance,
+        halo_cells: halo_pairs.len(),
+    }
 }
 
 #[cfg(test)]

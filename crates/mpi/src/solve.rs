@@ -90,7 +90,11 @@ pub fn cg_solve_distributed(
     let mut rz = dot(ctx, &r, &z);
 
     let mut res = dot(ctx, &r, &r).sqrt();
-    let mut outcome = CgOutcome { converged: res <= target, iterations: 0, residual: res };
+    let mut outcome = CgOutcome {
+        converged: res <= target,
+        iterations: 0,
+        residual: res,
+    };
     if outcome.converged {
         x_owned.copy_from_slice(&x[..n]);
         return outcome;
@@ -100,7 +104,11 @@ pub fn cg_solve_distributed(
         sys.spmv(ctx, &mut p, &mut ap);
         let p_ap = dot(ctx, &p[..n], &ap);
         if p_ap <= 0.0 {
-            outcome = CgOutcome { converged: false, iterations: it, residual: res };
+            outcome = CgOutcome {
+                converged: false,
+                iterations: it,
+                residual: res,
+            };
             break;
         }
         let alpha = rz / p_ap;
@@ -110,7 +118,11 @@ pub fn cg_solve_distributed(
         }
         res = dot(ctx, &r, &r).sqrt();
         if res <= target {
-            outcome = CgOutcome { converged: true, iterations: it, residual: res };
+            outcome = CgOutcome {
+                converged: true,
+                iterations: it,
+                residual: res,
+            };
             break;
         }
         for i in 0..n {
@@ -122,7 +134,11 @@ pub fn cg_solve_distributed(
         for i in 0..n {
             p[i] = z[i] + beta * p[i];
         }
-        outcome = CgOutcome { converged: false, iterations: it, residual: res };
+        outcome = CgOutcome {
+            converged: false,
+            iterations: it,
+            residual: res,
+        };
     }
 
     x_owned.copy_from_slice(&x[..n]);
@@ -179,12 +195,15 @@ pub fn partition_system(
         systems.push(DistributedSystem {
             matrix: b.build(),
             n_owned: owned.len(),
-            plan: HaloExchangePlan { send: Vec::new(), recv },
+            plan: HaloExchangePlan {
+                send: Vec::new(),
+                recv,
+            },
         });
     }
     // Mirror the send plans, ascending global id (matching recv order).
     let owned_of = |r: usize| -> Vec<usize> { (0..n).filter(|&i| owner[i] == r as u32).collect() };
-    for r in 0..n_ranks {
+    for (r, sys) in systems.iter_mut().enumerate() {
         let my_owned = owned_of(r);
         let index_of: HashMap<usize, usize> =
             my_owned.iter().enumerate().map(|(l, &g)| (g, l)).collect();
@@ -207,7 +226,7 @@ pub fn partition_system(
             }
         }
         sends.sort_by_key(|(dst, _)| *dst);
-        systems[r].plan.send = sends;
+        sys.plan.send = sends;
     }
     systems
 }
@@ -336,8 +355,10 @@ mod tests {
         let systems = partition_system(&a, &owner, ranks);
         let iters = world_run(ranks, |ctx| {
             let sys = &systems[ctx.rank];
-            let my_rhs: Vec<f64> =
-                (0..n).filter(|&i| owner[i] == ctx.rank as u32).map(|i| rhs[i]).collect();
+            let my_rhs: Vec<f64> = (0..n)
+                .filter(|&i| owner[i] == ctx.rank as u32)
+                .map(|i| rhs[i])
+                .collect();
             let mut x = vec![0.0; sys.n_owned];
             let cold = cg_solve_distributed(ctx, sys, &my_rhs, &mut x, CgConfig::default());
             // Re-solve from the converged state: ~0 iterations.

@@ -48,16 +48,15 @@ fn main() {
     for step in 1..=160 {
         let d = dsl.step();
         let r = reference.step();
-        assert_eq!(d.e_field, r.e_field, "DSL and structured must agree exactly");
+        assert_eq!(
+            d.e_field, r.e_field,
+            "DSL and structured must agree exactly"
+        );
         e_trace.push(d.e_field);
         if step % 16 == 0 || step == 1 {
             println!(
                 "{:>5} {:>14.6e} {:>14.6e} {:>14.6e} {:>12}",
-                step,
-                d.e_field,
-                d.b_field,
-                d.kinetic,
-                "exact"
+                step, d.e_field, d.b_field, d.kinetic, "exact"
             );
         }
     }
@@ -68,6 +67,7 @@ fn main() {
         "\nE-field energy growth (late/early): {:.1}x — the two-stream instability",
         late / early
     );
-    dsl.check_invariants().expect("particles inside the periodic box");
+    dsl.check_invariants()
+        .expect("particles inside the periodic box");
     println!("two-stream OK");
 }

@@ -19,7 +19,10 @@ fn main() {
         inject_per_step: 1500,
         inlet_velocity: 1.0,
         dt: 0.08,
-        collisions: Some(CollisionModel { neutral_density: 1.5, cross_section: 1.0 }),
+        collisions: Some(CollisionModel {
+            neutral_density: 1.5,
+            cross_section: 1.0,
+        }),
         policy: op_pic::core::ExecPolicy::Seq, // bit-exactness demo
         ..FemPicConfig::default()
     };
@@ -47,12 +50,16 @@ fn main() {
         }
     }
     let mut snapshot = Vec::new();
-    first.save_checkpoint(&mut snapshot).expect("serialize state");
+    first
+        .save_checkpoint(&mut snapshot)
+        .expect("serialize state");
     println!("\ncheckpoint at step 18: {} bytes", snapshot.len());
 
     // Restart in a fresh process-equivalent and continue.
     let mut resumed = FemPic::new(cfg);
-    resumed.restore_checkpoint(snapshot.as_slice()).expect("restore state");
+    resumed
+        .restore_checkpoint(snapshot.as_slice())
+        .expect("restore state");
     for _ in 0..12 {
         resumed.step();
     }

@@ -26,7 +26,11 @@ fn main() {
         ppc: 16,
         ..CabanaConfig::tiny()
     };
-    println!("CabanaPIC on in-process ranks ({} cells x {} ppc):", cfg.n_cells(), cfg.ppc);
+    println!(
+        "CabanaPIC on in-process ranks ({} cells x {} ppc):",
+        cfg.n_cells(),
+        cfg.ppc
+    );
     println!(
         "{:>6} {:>12} {:>14} {:>10} {:>12} {:>16}",
         "ranks", "particles", "MainLoop (s)", "migrated", "comm (MB)", "total energy"
@@ -59,7 +63,10 @@ fn main() {
         inject_per_step: 1200,
         ..FemPicConfig::tiny()
     };
-    println!("Mini-FEM-PIC on in-process ranks ({} cells):", cfg.n_cells());
+    println!(
+        "Mini-FEM-PIC on in-process ranks ({} cells):",
+        cfg.n_cells()
+    );
     println!(
         "{:>6} {:>12} {:>14} {:>10} {:>12} {:>12}",
         "ranks", "particles", "MainLoop (s)", "migrated", "comm (MB)", "imbalance"

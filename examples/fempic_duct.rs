@@ -54,7 +54,8 @@ fn main() {
             );
         }
     }
-    sim.check_invariants().expect("all particles inside their cells");
+    sim.check_invariants()
+        .expect("all particles inside their cells");
 
     println!("\nkernel breakdown (the Figure 9(a) decomposition):");
     print!("{}", sim.profiler.breakdown_table());

@@ -11,19 +11,21 @@
 //! multi-hop and direct-hop strategies.
 
 use op_pic::core::decl::Registry;
-use op_pic::core::{
-    DepositMethod, ExecPolicy, MoveStatus, ParticleDats,
-};
-use oppic_core::{opp_deposit, opp_par_loop, opp_particle_move};
-use op_pic::mesh::geometry::{barycentric, bary_inside, bary_min_index, sample_tet};
+use op_pic::core::{DepositMethod, ExecPolicy, MoveStatus, ParticleDats};
+use op_pic::mesh::geometry::{bary_inside, bary_min_index, barycentric, sample_tet};
 use op_pic::mesh::{StructuredOverlay, TetMesh, Vec3};
+use oppic_core::{opp_deposit, opp_par_loop, opp_particle_move};
 
 fn main() {
     // ---------------------------------------------------------------
     // 1. Declare the mesh — opp_decl_set / opp_decl_map (Figure 4).
     // ---------------------------------------------------------------
     let mesh = TetMesh::duct(4, 4, 4, 2.0, 1.0, 1.0);
-    println!("duct: {} tet cells, {} nodes", mesh.n_cells(), mesh.n_nodes());
+    println!(
+        "duct: {} tet cells, {} nodes",
+        mesh.n_cells(),
+        mesh.n_nodes()
+    );
 
     // The declaration registry mirrors the paper's API and validates
     // the topology (sizes, arities, map ranges).
@@ -32,10 +34,13 @@ fn main() {
     reg.decl_set("cells", mesh.n_cells()).unwrap();
     reg.decl_particle_set("particles", "cells", 0).unwrap();
     let c2n_flat: Vec<i32> = mesh.c2n.iter().flatten().map(|&n| n as i32).collect();
-    reg.decl_map("cell_to_nodes_map", "cells", "nodes", 4, Some(&c2n_flat)).unwrap();
+    reg.decl_map("cell_to_nodes_map", "cells", "nodes", 4, Some(&c2n_flat))
+        .unwrap();
     let c2c_flat: Vec<i32> = mesh.c2c.iter().flatten().copied().collect();
-    reg.decl_map("cell_to_cell_map", "cells", "cells", 4, Some(&c2c_flat)).unwrap();
-    reg.decl_map("particles_to_cells_index", "particles", "cells", 1, None).unwrap();
+    reg.decl_map("cell_to_cell_map", "cells", "cells", 4, Some(&c2c_flat))
+        .unwrap();
+    reg.decl_map("particles_to_cells_index", "particles", "cells", 1, None)
+        .unwrap();
     reg.decl_dat("node_charge", "nodes", 1).unwrap();
     reg.decl_dat("cell_value", "cells", 1).unwrap();
     reg.decl_dat("pos", "particles", 3).unwrap();
@@ -45,9 +50,7 @@ fn main() {
     // 2. A loop over mesh cells with indirect reads (Figure 5, top).
     // ---------------------------------------------------------------
     let policy = ExecPolicy::Par;
-    let node_x = op_pic::core::Dat::from_fn("node x", mesh.n_nodes(), 1, |n, _| {
-        mesh.node_pos[n].x
-    });
+    let node_x = op_pic::core::Dat::from_fn("node x", mesh.n_nodes(), 1, |n, _| mesh.node_pos[n].x);
     let mut cell_value = op_pic::core::Dat::zeros("cell value", mesh.n_cells(), 1);
     let c2n = &mesh.c2n;
     // The paper-style macro front-end (Figure 5): indirect reads are
@@ -111,7 +114,10 @@ fn main() {
 
     // Direct-hop flavour: seed the search from a structured overlay.
     let overlay = StructuredOverlay::build(&mesh, [16, 16, 16]);
-    println!("direct-hop overlay: {} bytes of bookkeeping", overlay.memory_bytes());
+    println!(
+        "direct-hop overlay: {} bytes of bookkeeping",
+        overlay.memory_bytes()
+    );
 
     // ---------------------------------------------------------------
     // 5. Double-indirect increment (Figure 5, bottom): deposit charge
@@ -123,14 +129,14 @@ fn main() {
     let cells = ps.cells();
     let pos_col = ps.col(pos);
     opp_deposit!(policy, DepositMethod::SegmentedReduction, "DepositCharge",
-        ps.len() => &mut node_charge; |i, dep| {
-            let c = cells[i] as usize;
-            let p = Vec3::from_slice(&pos_col[i * 3..i * 3 + 3]);
-            let w = barycentric(p, &mesh.cell_vertices(c));
-            for k in 0..4 {
-                dep.add(mesh.c2n[c][k], q * w[k]);
-            }
-        });
+    ps.len() => &mut node_charge; |i, dep| {
+        let c = cells[i] as usize;
+        let p = Vec3::from_slice(&pos_col[i * 3..i * 3 + 3]);
+        let w = barycentric(p, &mesh.cell_vertices(c));
+        for (&node, &wk) in mesh.c2n[c].iter().zip(&w) {
+            dep.add(node, q * wk);
+        }
+    });
     let total: f64 = node_charge.iter().sum();
     println!(
         "deposit: total node charge {:.4} == {} particles x {q} = {:.4}",

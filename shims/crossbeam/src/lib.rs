@@ -1,0 +1,35 @@
+//! Workspace-local shim of `crossbeam::channel` over `std::sync::mpsc`.
+//! The communicator only needs unbounded MPSC channels with blocking
+//! `recv`, which std provides directly (`mpsc::Sender` is `Sync` since
+//! Rust 1.72, so contexts holding senders can cross scoped threads).
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Unbounded channel, crossbeam-style constructor name.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        std::thread::spawn(move || {
+            tx.send(41).unwrap();
+            tx.send(1).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn recv_after_sender_drop_errors() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

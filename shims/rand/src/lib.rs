@@ -1,0 +1,153 @@
+//! Workspace-local shim of the `rand` trait surface OP-PIC uses:
+//! [`RngCore`], [`SeedableRng`] (with the SplitMix64 `seed_from_u64`
+//! expansion), and [`Rng::gen`] for the types the apps draw
+//! (`f64`, `bool`, unsigned ints, and fixed-size f64 arrays).
+//!
+//! Streams are NOT bit-compatible with crates.io `rand`; the workspace
+//! only relies on determinism within this implementation.
+
+/// Minimal generator core.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, including the byte-seed entry point and the
+/// SplitMix64-expanded `seed_from_u64` convenience.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion, as upstream rand does.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Value-level sampling used by [`Rng::gen`] (the `Standard`
+/// distribution of upstream rand).
+pub trait StandardSample {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<T: StandardSample + Default + Copy, const N: usize> StandardSample for [T; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::sample(rng);
+        }
+        out
+    }
+}
+
+/// User-facing extension trait (`rng.gen()`), blanket-implemented for
+/// every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    fn gen_range(&mut self, range: std::ops::Range<f64>) -> f64 {
+        range.start + (range.end - range.start) * self.gen::<f64>()
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_samples_stay_in_unit_interval() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn array_sampling_fills_every_slot() {
+        let mut rng = Counter(7);
+        let a: [f64; 6] = rng.gen();
+        // Six consecutive draws are overwhelmingly distinct.
+        for i in 0..6 {
+            for j in i + 1..6 {
+                assert_ne!(a[i], a[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_expands_deterministically() {
+        struct ByteSeeded([u8; 32]);
+        impl SeedableRng for ByteSeeded {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                ByteSeeded(seed)
+            }
+        }
+        let a = ByteSeeded::seed_from_u64(123).0;
+        let b = ByteSeeded::seed_from_u64(123).0;
+        let c = ByteSeeded::seed_from_u64(124).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,383 @@
+//! Splittable parallel iterators.
+//!
+//! A [`ParallelIterator`] here is an index-addressable sequence that
+//! can be `split_at` into two disjoint halves and drained as a plain
+//! sequential [`Iterator`]. Consumers (`for_each`, `sum`, `fold`,
+//! `collect`) cut the sequence into one contiguous piece per worker
+//! thread (budget from [`crate::current_num_threads`]) and run each
+//! piece on a `std::thread::scope` thread, preserving piece order for
+//! order-sensitive consumers.
+
+use std::ops::Range;
+
+/// The core splittable-iterator abstraction.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Remaining items.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Drain sequentially.
+    fn into_seq(self) -> Self::Seq;
+
+    // ---- adapters -------------------------------------------------
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    // ---- consumers ------------------------------------------------
+
+    fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(Self::Item) + Sync + Send,
+    {
+        run_pieces(self, |piece| piece.into_seq().for_each(&op));
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        run_pieces(self, |piece| piece.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Per-piece fold; combine the piece accumulators with
+    /// [`FoldPieces::reduce`].
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> FoldPieces<T>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, Self::Item) -> T + Sync + Send,
+    {
+        let pieces = run_pieces(self, |piece| piece.into_seq().fold(identity(), &fold_op));
+        FoldPieces { pieces }
+    }
+
+    /// Direct reduction (rayon's `reduce` on a parallel iterator).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        run_pieces(self, |piece| piece.into_seq().fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        run_pieces(self, |piece| piece.into_seq().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Accumulators of a [`ParallelIterator::fold`], one per piece, in
+/// sequence order.
+pub struct FoldPieces<T> {
+    pieces: Vec<T>,
+}
+
+impl<T> FoldPieces<T> {
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.pieces.into_iter().fold(identity(), op)
+    }
+}
+
+/// Split `iter` into at most `k` contiguous pieces of near-equal size.
+fn split_into<I: ParallelIterator>(iter: I, k: usize, out: &mut Vec<I>) {
+    if k <= 1 || iter.len() <= 1 {
+        out.push(iter);
+        return;
+    }
+    let left_k = k / 2;
+    let split = iter.len() * left_k / k;
+    let (a, b) = iter.split_at(split);
+    split_into(a, left_k, out);
+    split_into(b, k - left_k, out);
+}
+
+/// Run `f` over each piece (one scoped thread per piece when the
+/// budget allows), returning results in piece order.
+fn run_pieces<I, R, F>(iter: I, f: F) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let budget = crate::current_num_threads().max(1).min(iter.len().max(1));
+    if budget <= 1 {
+        return vec![f(iter)];
+    }
+    let mut pieces = Vec::with_capacity(budget);
+    split_into(iter, budget, &mut pieces);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pieces
+            .into_iter()
+            .map(|piece| {
+                let f = &f;
+                scope.spawn(move || f(piece))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+// -------------------------------------------------------------------
+// Adapters
+// -------------------------------------------------------------------
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = std::iter::Zip<Range<usize>, I::Seq>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        let lo = self.offset;
+        let hi = lo + self.base.len();
+        (lo..hi).zip(self.base.into_seq())
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a0, a1) = self.a.split_at(index);
+        let (b0, b1) = self.b.split_at(index);
+        (Zip { a: a0, b: b0 }, Zip { a: a1, b: b1 })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+// -------------------------------------------------------------------
+// Sources: integer ranges
+// -------------------------------------------------------------------
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A splittable integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq = Range<$t>;
+
+            fn len(&self) -> usize {
+                if self.range.end <= self.range.start {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+    )*};
+}
+
+impl_range_iter!(usize, u32, u64, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::{ParallelSlice, ParallelSliceMut};
+
+    #[test]
+    fn for_each_covers_every_index_once() {
+        let hits: Vec<std::sync::atomic::AtomicU32> = (0..1000)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        (0..1000usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(hits
+            .iter()
+            .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_sum_matches_serial() {
+        let serial: usize = (0..10_000usize).map(|i| i * 2).sum();
+        let par: usize = (0..10_000usize).into_par_iter().map(|i| i * 2).sum();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn zip_enumerate_track_indices() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let mut b = vec![0.0f64; 500];
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .enumerate()
+            .for_each(|(i, (bi, ai))| {
+                *bi = ai + i as f64;
+            });
+        for (i, v) in b.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn fold_reduce_concatenates_in_order_per_piece() {
+        let collected: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, i| {
+                acc.push(i);
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        let expect: Vec<usize> = (0..100).collect();
+        assert_eq!(collected, expect);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..1234usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v.len(), 1234);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        (0..0usize)
+            .into_par_iter()
+            .for_each(|_| panic!("must not run"));
+        let s: f64 = (5..5u64).into_par_iter().map(|_| 1.0f64).sum();
+        assert_eq!(s, 0.0);
+    }
+}

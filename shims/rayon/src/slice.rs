@@ -1,0 +1,226 @@
+//! Parallel views over slices: `par_iter`, `par_iter_mut`,
+//! `par_chunks`, `par_chunks_mut`, and the parallel sorts.
+//!
+//! Chunked iterators split on *chunk* boundaries, so a zip of two
+//! `par_chunks_mut` with different chunk sizes stays element-aligned
+//! (chunk `i` of each side always pairs up), exactly as under rayon.
+
+use crate::iter::ParallelIterator;
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (ParIter { slice: a }, ParIter { slice: b })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (ParIterMut { slice: a }, ParIterMut { slice: b })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at(at);
+        (
+            ParChunks {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ParChunks {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(at);
+        (
+            ParChunksMut {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ParChunksMut {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+/// Read-side slice extensions (`&self`).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+    fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+
+    fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParChunks { slice: self, chunk }
+    }
+}
+
+/// Write-side slice extensions (`&mut self`).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+    /// Sequential under the shim: sorting is not a scaling bottleneck
+    /// for the workloads here, and `slice::sort_unstable` is allocation
+    /// free.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, chunk }
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_unstable_by(cmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iter::ParallelIterator;
+
+    #[test]
+    fn chunks_mut_writes_disjoint_windows() {
+        let mut v = vec![0.0f64; 90]; // 30 elements of dim 3
+        v.par_chunks_mut(3).enumerate().for_each(|(i, w)| {
+            w[0] = i as f64;
+            w[2] = -(i as f64);
+        });
+        for i in 0..30 {
+            assert_eq!(v[3 * i], i as f64);
+            assert_eq!(v[3 * i + 2], -(i as f64));
+        }
+    }
+
+    #[test]
+    fn ragged_tail_chunk_is_preserved() {
+        let v: Vec<u32> = (0..10).collect();
+        let sizes: Vec<usize> = v.par_chunks(4).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn zip_of_different_dims_stays_aligned() {
+        let mut a = vec![0.0f64; 30]; // dim 3
+        let mut b = [0.0f64; 10]; // dim 1
+        a.par_chunks_mut(3)
+            .zip(b.par_chunks_mut(1))
+            .enumerate()
+            .for_each(|(i, (ai, bi))| {
+                ai[1] = i as f64;
+                bi[0] = 10.0 * i as f64;
+            });
+        assert_eq!(a[3 * 7 + 1], 7.0);
+        assert_eq!(b[7], 70.0);
+    }
+
+    #[test]
+    fn par_sorts_sort() {
+        let mut v = vec![5, 1, 4, 2, 3];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+        let mut w = [(2u32, 0.5f64), (1, 0.25), (2, 0.125)];
+        w.par_sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(w[0].0, 1);
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`device`] — the SIMT device cost model (the CUDA/HIP substitute).
 //! * [`mpi`] — the in-process distributed runtime (the MPI substitute).
 //! * [`model`] — machine models, rooflines, scaling/power projections.
+//! * [`analyzer`] — the loop-plan checker: static descriptor
+//!   validation, shadow race detection, map-invariant audits.
 //! * [`fempic`] / [`cabana`] — the paper's two applications.
 //!
 //! ```
@@ -22,6 +24,7 @@
 //! assert_eq!(d.n_particles, 50);
 //! sim.check_invariants().unwrap();
 //! ```
+pub use oppic_analyzer as analyzer;
 pub use oppic_cabana as cabana;
 pub use oppic_core as core;
 pub use oppic_device as device;

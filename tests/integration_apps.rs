@@ -53,7 +53,10 @@ fn fempic_full_strategy_matrix_is_consistent() {
         let d = sim.run(6);
         (d.n_particles, d.total_charge)
     };
-    for strategy in [MoveStrategy::MultiHop, MoveStrategy::DirectHop { overlay_res: 12 }] {
+    for strategy in [
+        MoveStrategy::MultiHop,
+        MoveStrategy::DirectHop { overlay_res: 12 },
+    ] {
         for method in [
             DepositMethod::ScatterArrays,
             DepositMethod::Atomics,
@@ -152,7 +155,10 @@ fn cabana_sorting_does_not_change_physics() {
         let db = b.step();
         // Deposition order changes, so compare with tolerance.
         let scale = da.total().abs().max(1e-30);
-        assert!((da.total() - db.total()).abs() / scale < 1e-10, "step {step}");
+        assert!(
+            (da.total() - db.total()).abs() / scale < 1e-10,
+            "step {step}"
+        );
     }
     assert_eq!(a.ps.len(), b.ps.len());
 }

@@ -7,10 +7,13 @@ use op_pic::core::{
     deposit_loop, move_loop, move_loop_direct_hop, DepositMethod, ExecPolicy, MoveConfig,
     MoveStatus, ParticleDats,
 };
-use op_pic::mesh::geometry::{barycentric, bary_inside, bary_min_index, sample_tet};
+use op_pic::mesh::geometry::{bary_inside, bary_min_index, barycentric, sample_tet};
 use op_pic::mesh::{StructuredOverlay, TetMesh, Vec3};
 
-fn duct_with_particles(n_particles: usize, seed: u64) -> (TetMesh, ParticleDats, op_pic::core::ColId) {
+fn duct_with_particles(
+    n_particles: usize,
+    seed: u64,
+) -> (TetMesh, ParticleDats, op_pic::core::ColId) {
     let mesh = TetMesh::duct(4, 3, 3, 2.0, 1.0, 1.0);
     let mut ps = ParticleDats::new();
     let pos = ps.decl_dat("pos", 3);
@@ -33,10 +36,7 @@ fn duct_with_particles(n_particles: usize, seed: u64) -> (TetMesh, ParticleDats,
 
 /// The move kernel used by several tests: barycentric walk with
 /// boundary removal.
-fn walk<'m>(
-    mesh: &'m TetMesh,
-    pos: &'m [f64],
-) -> impl Fn(usize, usize) -> MoveStatus + Sync + 'm {
+fn walk<'m>(mesh: &'m TetMesh, pos: &'m [f64]) -> impl Fn(usize, usize) -> MoveStatus + Sync + 'm {
     move |i, cell| {
         let p = Vec3::from_slice(&pos[i * 3..i * 3 + 3]);
         let l = barycentric(p, &mesh.cell_vertices(cell));
@@ -60,8 +60,10 @@ fn registry_accepts_a_real_mesh() {
     reg.decl_particle_set("p", "cells", 0).unwrap();
     let c2n: Vec<i32> = mesh.c2n.iter().flatten().map(|&n| n as i32).collect();
     let c2c: Vec<i32> = mesh.c2c.iter().flatten().copied().collect();
-    reg.decl_map("c2n", "cells", "nodes", 4, Some(&c2n)).unwrap();
-    reg.decl_map("c2c", "cells", "cells", 4, Some(&c2c)).unwrap();
+    reg.decl_map("c2n", "cells", "nodes", 4, Some(&c2n))
+        .unwrap();
+    reg.decl_map("c2c", "cells", "cells", 4, Some(&c2c))
+        .unwrap();
     reg.decl_map("p2c", "p", "cells", 1, None).unwrap();
     assert_eq!(reg.map("c2n").unwrap().arity, 4);
 }
@@ -77,15 +79,20 @@ fn scrambled_cells_recover_via_multihop() {
         *c = (*c + 1 + (i as i32 % 7)) % n_cells;
     }
     let (cells, pos_col) = ps.cells_mut_with_col(pos);
-    let r = move_loop(&ExecPolicy::Par, MoveConfig::default(), cells, walk(&mesh, pos_col));
+    let r = move_loop(
+        &ExecPolicy::Par,
+        MoveConfig::default(),
+        cells,
+        walk(&mesh, pos_col),
+    );
     assert!(r.removed.is_empty(), "all particles are inside the mesh");
     // Each particle ends in a cell that contains it (could be the
     // twin across a shared face for boundary-exact points).
-    for i in 0..ps.len() {
+    for (i, t) in truth.iter().enumerate() {
         let p = Vec3::from_slice(ps.el(pos, i));
         let c = ps.cells()[i] as usize;
         let l = barycentric(p, &mesh.cell_vertices(c));
-        assert!(bary_inside(&l, 1e-8), "particle {i}: truth {}", truth[i]);
+        assert!(bary_inside(&l, 1e-8), "particle {i}: truth {t}");
     }
 }
 
@@ -103,11 +110,22 @@ fn direct_hop_and_multi_hop_land_identically() {
     }
 
     let (cells_a, pos_a) = ps_a.cells_mut_with_col(pos);
-    move_loop(&ExecPolicy::Seq, MoveConfig::default(), cells_a, walk(&mesh, pos_a));
+    move_loop(
+        &ExecPolicy::Seq,
+        MoveConfig::default(),
+        cells_a,
+        walk(&mesh, pos_a),
+    );
 
     let (cells_b, pos_b) = ps_b.cells_mut_with_col(pos);
     let seed = |i: usize| overlay.locate(Vec3::from_slice(&pos_b[i * 3..i * 3 + 3]));
-    let r_dh = move_loop_direct_hop(&ExecPolicy::Seq, MoveConfig::default(), cells_b, seed, walk(&mesh, pos_b));
+    let r_dh = move_loop_direct_hop(
+        &ExecPolicy::Seq,
+        MoveConfig::default(),
+        cells_b,
+        seed,
+        walk(&mesh, pos_b),
+    );
 
     // Both strategies must produce containing cells; on shared faces
     // they may differ, so compare by containment, not equality.
@@ -134,15 +152,18 @@ fn all_deposit_methods_agree_on_a_real_mesh() {
             let c = cells[i] as usize;
             let p = Vec3::from_slice(&pos_col[i * 3..i * 3 + 3]);
             let w = barycentric(p, &mesh.cell_vertices(c));
-            for k in 0..4 {
-                dep.add(mesh.c2n[c][k], q * w[k]);
+            for (&node, &wk) in mesh.c2n[c].iter().zip(&w) {
+                dep.add(node, q * wk);
             }
         });
         node_charge
     };
     let reference = deposit_with(DepositMethod::Serial, &ExecPolicy::Seq);
     let total: f64 = reference.iter().sum();
-    assert!((total - ps.len() as f64 * q).abs() < 1e-9, "partition of unity");
+    assert!(
+        (total - ps.len() as f64 * q).abs() < 1e-9,
+        "partition of unity"
+    );
     for method in [
         DepositMethod::ScatterArrays,
         DepositMethod::Atomics,
@@ -165,9 +186,17 @@ fn hole_filling_composes_with_move_removal() {
     }
     let before = ps.len();
     let (cells, pos_col) = ps.cells_mut_with_col(pos);
-    let r = move_loop(&ExecPolicy::Par, MoveConfig::default(), cells, walk(&mesh, pos_col));
+    let r = move_loop(
+        &ExecPolicy::Par,
+        MoveConfig::default(),
+        cells,
+        walk(&mesh, pos_col),
+    );
     let removed = r.removed.len();
-    assert!(removed > 0, "some particles must exit a 2.0-long duct after +0.6");
+    assert!(
+        removed > 0,
+        "some particles must exit a 2.0-long duct after +0.6"
+    );
     ps.remove_fill(&r.removed);
     assert_eq!(ps.len(), before - removed);
     // Survivors all inside.

@@ -5,7 +5,7 @@ use op_pic::core::{
     deposit_loop, move_loop, DepositMethod, ExecPolicy, MoveConfig, MoveStatus, ParticleDats,
 };
 use op_pic::linalg::{cg_solve, CgConfig, CsrBuilder};
-use op_pic::mesh::geometry::{barycentric, bary_inside, sample_tet};
+use op_pic::mesh::geometry::{bary_inside, barycentric, sample_tet};
 use op_pic::mesh::{StructuredOverlay, TetMesh, Vec3};
 use op_pic::mpi::comm::world_run;
 use op_pic::mpi::exchange::migrate_particles;
@@ -133,8 +133,8 @@ proptest! {
                 }
             }
         }
-        for i in 0..n {
-            b.add(i, i, row_sums[i] + 1.0 + rnd());
+        for (i, &rs) in row_sums.iter().enumerate() {
+            b.add(i, i, rs + 1.0 + rnd());
         }
         let a = b.build();
         let x_true: Vec<f64> = (0..n).map(|_| rnd() * 2.0 - 1.0).collect();
