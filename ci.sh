@@ -24,4 +24,15 @@ echo "== fempic --validate / cabana --validate"
 ./target/release/fempic --validate >/dev/null
 ./target/release/cabana --validate >/dev/null
 
+echo "== --validate with the cell-locality engine (sorted segments / per-step sort)"
+# Exercises the analyzer's fresh-index precondition: the SortedSegments
+# plan must carry an index-freshness attestation and the CSR index
+# audit must pass.
+./target/release/fempic configs/fempic_sorted.cfg --validate >/dev/null
+./target/release/cabana configs/cabana_sorted.cfg --validate >/dev/null
+
+echo "== bench smoke"
+cargo bench --offline --workspace --no-run --quiet
+OPPIC_SCALE=0.02 OPPIC_STEPS=2 ./target/release/ablation_deposit_strategies >/dev/null
+
 echo "CI OK"

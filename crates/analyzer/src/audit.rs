@@ -123,6 +123,93 @@ pub fn audit_particle_cells(name: &str, cells: &[i32], n_cells: usize) -> Vec<Di
     out
 }
 
+/// Audit a CSR cell index against the particle→cell column it claims
+/// to describe: offsets must be monotone, cover exactly `0..n`, and
+/// every particle inside segment `c` must actually sit in cell `c`.
+/// This is the invariant `SortedSegments` and the segment-batched
+/// gather loops stake their race-freedom on.
+pub fn audit_cell_index(
+    name: &str,
+    cell_start: &[usize],
+    cells: &[i32],
+    n_cells: usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if cell_start.len() != n_cells + 1 {
+        out.push(Diagnostic::error(
+            "index/shape",
+            name.to_string(),
+            format!(
+                "index has {} offsets, expected {} cells + 1",
+                cell_start.len(),
+                n_cells
+            ),
+        ));
+        return out;
+    }
+    if cell_start[0] != 0 || *cell_start.last().unwrap() != cells.len() {
+        out.push(Diagnostic::error(
+            "index/partition",
+            name.to_string(),
+            format!(
+                "offsets span {}..{}, must span 0..{} to partition the store",
+                cell_start[0],
+                cell_start.last().unwrap(),
+                cells.len()
+            ),
+        ));
+        return out;
+    }
+    if let Some(c) = (0..n_cells).find(|&c| cell_start[c] > cell_start[c + 1]) {
+        out.push(Diagnostic::error(
+            "index/partition",
+            name.to_string(),
+            format!(
+                "offsets decrease at cell {c}: {} > {}",
+                cell_start[c],
+                cell_start[c + 1]
+            ),
+        ));
+        return out;
+    }
+    let mut bad = 0usize;
+    for c in 0..n_cells {
+        let seg = cell_start[c]..cell_start[c + 1];
+        for (p, &cell) in cells[seg.clone()].iter().enumerate() {
+            let p = p + seg.start;
+            if cell != c as i32 {
+                bad += 1;
+                if bad <= CITE_LIMIT {
+                    out.push(Diagnostic::error(
+                        "index/mismatch",
+                        name.to_string(),
+                        format!("particle {p} lies in segment {c} but its cell column says {cell}"),
+                    ));
+                }
+            }
+        }
+    }
+    if bad > CITE_LIMIT {
+        out.push(Diagnostic::error(
+            "index/mismatch",
+            name.to_string(),
+            format!("...and {} more misplaced particles", bad - CITE_LIMIT),
+        ));
+    }
+    if out.is_empty() {
+        out.push(Diagnostic::info(
+            "index/ok",
+            name.to_string(),
+            format!(
+                "{} particles partitioned over {} cells, segments agree with the cell column",
+                cells.len(),
+                n_cells
+            ),
+        ));
+    }
+    out
+}
+
 /// Audit a cell coloring against the target-sharing relation it must
 /// respect (wraps [`oppic_core::deposit::coloring_is_valid`], adding
 /// round statistics).
@@ -235,6 +322,48 @@ mod tests {
         let diags = audit_particle_cells("p2c", &[0, 4, 2], 4);
         assert!(
             diags.iter().any(|d| d.code == "pmap/out-of-range"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn fresh_cell_index_is_clean() {
+        // 4 particles sorted into cells [0, 0, 2, 3] over 4 cells.
+        let cells = [0, 0, 2, 3];
+        let start = [0usize, 2, 2, 3, 4];
+        let diags = audit_cell_index("p2c-index", &start, &cells, 4);
+        assert!(!has_error(&diags), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "index/ok"), "{diags:?}");
+    }
+
+    #[test]
+    fn cell_index_shape_and_partition_violations() {
+        let cells = [0, 0, 2, 3];
+        // Wrong offset count.
+        let diags = audit_cell_index("idx", &[0, 2, 4], &cells, 4);
+        assert!(diags.iter().any(|d| d.code == "index/shape"), "{diags:?}");
+        // Last offset does not reach n.
+        let diags = audit_cell_index("idx", &[0, 2, 2, 3, 3], &cells, 4);
+        assert!(
+            diags.iter().any(|d| d.code == "index/partition"),
+            "{diags:?}"
+        );
+        // Non-monotone offsets.
+        let diags = audit_cell_index("idx", &[0, 3, 2, 3, 4], &cells, 4);
+        assert!(
+            diags.iter().any(|d| d.code == "index/partition"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn cell_index_disagreeing_with_cell_column_is_an_error() {
+        // Segment 1 claims particle 1, but the column says cell 0.
+        let cells = [0, 0, 2, 3];
+        let start = [0usize, 1, 2, 3, 4];
+        let diags = audit_cell_index("idx", &start, &cells, 4);
+        assert!(
+            diags.iter().any(|d| d.code == "index/mismatch"),
             "{diags:?}"
         );
     }

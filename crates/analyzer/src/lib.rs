@@ -29,7 +29,9 @@ pub mod diag;
 pub mod shadow;
 pub mod static_check;
 
-pub use audit::{audit_coloring, audit_mesh_map, audit_particle_cells, audit_report};
+pub use audit::{
+    audit_cell_index, audit_coloring, audit_mesh_map, audit_particle_cells, audit_report,
+};
 pub use diag::{Diagnostic, Report, Severity};
 pub use shadow::{shadow_record, AccessKind, Race, RaceOptions, Schedule, ShadowCtx, ShadowRun};
 pub use static_check::{check_plan, check_plans};
@@ -66,13 +68,32 @@ pub fn self_test() -> Vec<(&'static str, bool)> {
     );
     // ...and the same loop with a real strategy accepted.
     let safe = LoopPlan::new(
-        deposit_decl,
+        deposit_decl.clone(),
         &ExecPolicy::Par,
         RaceStrategy::Deposit(DepositMethod::ScatterArrays),
     );
     check(
         "static: the same plan with scatter arrays is clean",
         check_plan(&safe, None).is_empty(),
+    );
+
+    // Pass 1b: the cell-locality engine's plan rule — SortedSegments
+    // with no fresh-index attestation is a data race in waiting.
+    let ss = RaceStrategy::Deposit(DepositMethod::SortedSegments);
+    let stale = LoopPlan::new(deposit_decl.clone(), &ExecPolicy::Par, ss);
+    check(
+        "static: parallel SortedSegments without a fresh cell index is an Error",
+        check_plan(&stale, None)
+            .iter()
+            .any(|d| d.code == "plan/stale-index" && d.severity == Severity::Error),
+    );
+    let attested =
+        LoopPlan::new(deposit_decl.clone(), &ExecPolicy::Par, ss).with_index_freshness(true);
+    check(
+        "static: the same plan attesting a fresh index is clean",
+        !check_plan(&attested, None)
+            .iter()
+            .any(|d| d.code == "plan/stale-index"),
     );
 
     // Pass 2: shadow replay of a 2-cell deposit sharing one node.
@@ -118,6 +139,19 @@ pub fn self_test() -> Vec<(&'static str, bool)> {
             .is_empty(),
     );
 
+    // Pass 2b: the sorted-segments owner-computes schedule is race-free
+    // on the owned dat even where all-parallel conflicts.
+    check(
+        "shadow: owner-computes accepts the segment schedule as race-free",
+        run.detect_races(
+            Schedule::OwnerComputes {
+                owned: "node_charge",
+            },
+            &RaceOptions::default(),
+        )
+        .is_empty(),
+    );
+
     // Pass 3: map audits.
     let good_map = [0, 1, 1, 2];
     check(
@@ -138,6 +172,18 @@ pub fn self_test() -> Vec<(&'static str, bool)> {
         audit_particle_cells("p2c", &[0, -1, 2], 3)
             .iter()
             .any(|d| d.code == "pmap/dangling"),
+    );
+    check(
+        "audit: a CSR cell index agreeing with the cell column is clean",
+        !audit_cell_index("p2c-index", &[0, 2, 4], &[0, 0, 1, 1], 2)
+            .iter()
+            .any(|d| d.severity == Severity::Error),
+    );
+    check(
+        "audit: a CSR segment disagreeing with the cell column is an Error",
+        audit_cell_index("p2c-index", &[0, 2, 4], &[0, 1, 1, 1], 2)
+            .iter()
+            .any(|d| d.code == "index/mismatch"),
     );
 
     // Satellite: per-argument descriptor validation.

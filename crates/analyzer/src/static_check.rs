@@ -41,6 +41,29 @@ pub fn check_plan(plan: &LoopPlan, reg: Option<&Registry>) -> Vec<Diagnostic> {
         ));
     }
 
+    // SortedSegments is only race-free when particles are grouped by
+    // cell: the plan must attest a fresh CSR cell index at dispatch
+    // time. Without it the plain `+=` per segment has no ownership
+    // argument and races exactly like a strategy-less deposit.
+    if plan.parallel
+        && plan.race_strategy == RaceStrategy::Deposit(DepositMethod::SortedSegments)
+        && plan.index_fresh != Some(true)
+    {
+        out.push(Diagnostic::error(
+            "plan/stale-index",
+            name.clone(),
+            match plan.index_fresh {
+                None => "SortedSegments under a parallel policy with no cell-index \
+                         freshness attestation (call with_index_freshness after \
+                         sort_by_cell)"
+                    .to_string(),
+                _ => "SortedSegments under a parallel policy on a stale CSR cell \
+                      index; re-sort (sort_by_cell) before the deposit"
+                    .to_string(),
+            },
+        ));
+    }
+
     // An indirect WRITE / RW from a particle loop scatters plain
     // stores through a dynamic map — nondeterministic even with a
     // deposit strategy (those only make *increments* safe).
@@ -346,6 +369,42 @@ mod tests {
                 "{strat:?}: {diags:?}"
             );
         }
+    }
+
+    #[test]
+    fn sorted_segments_without_fresh_index_is_an_error() {
+        let strat = RaceStrategy::Deposit(DepositMethod::SortedSegments);
+        // No attestation at all.
+        let plan = LoopPlan::new(deposit_decl(), &ExecPolicy::Par, strat);
+        let diags = check_plan(&plan, Some(&fem_registry()));
+        assert!(
+            diags.iter().any(|d| d.code == "plan/stale-index"
+                && d.severity == crate::diag::Severity::Error),
+            "{diags:?}"
+        );
+        // Explicitly stale.
+        let plan =
+            LoopPlan::new(deposit_decl(), &ExecPolicy::Par, strat).with_index_freshness(false);
+        let diags = check_plan(&plan, Some(&fem_registry()));
+        assert!(
+            diags.iter().any(|d| d.code == "plan/stale-index"),
+            "{diags:?}"
+        );
+        // Fresh index: clean.
+        let plan =
+            LoopPlan::new(deposit_decl(), &ExecPolicy::Par, strat).with_index_freshness(true);
+        let diags = check_plan(&plan, Some(&fem_registry()));
+        assert!(
+            !diags.iter().any(|d| d.code == "plan/stale-index"),
+            "{diags:?}"
+        );
+        // Sequential execution is the serial fold regardless of index.
+        let plan = LoopPlan::new(deposit_decl(), &ExecPolicy::Seq, strat);
+        let diags = check_plan(&plan, Some(&fem_registry()));
+        assert!(
+            !diags.iter().any(|d| d.code == "plan/stale-index"),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Criterion microbench: the four deposit strategies across contention
-//! levels (the Section 3.3 design space).
+//! Criterion microbench: the deposit strategies across contention
+//! levels (the Section 3.3 design space), plus the cell-locality
+//! engine's sorted-segments executor across ppc regimes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use oppic_core::{deposit_loop, DepositMethod, ExecPolicy};
+use oppic_core::{
+    deposit_loop, deposit_loop_sorted, invert_cell_targets, DepositMethod, ExecPolicy, ParticleDats,
+};
 
 fn bench_deposit(c: &mut Criterion) {
     let n = 100_000usize;
@@ -40,6 +43,67 @@ fn bench_deposit(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sorted-segments over a fresh CSR index vs the scatter-array
+/// baseline on the same (sorted) store, per mean ppc.
+fn bench_deposit_sorted(c: &mut Criterion) {
+    let n_cells = 2048usize;
+    let n_targets = 4096usize;
+    let c2n: Vec<[usize; 4]> = (0..n_cells)
+        .map(|c| {
+            let h = c.wrapping_mul(2654435761);
+            [
+                h % n_targets,
+                (h + 1) % n_targets,
+                (h + 2) % n_targets,
+                (h + 3) % n_targets,
+            ]
+        })
+        .collect();
+    let inv = invert_cell_targets(&c2n, n_targets);
+    let mut g = c.benchmark_group("deposit_sorted");
+    for &ppc in &[8usize, 64] {
+        let n = n_cells * ppc;
+        g.throughput(Throughput::Elements(n as u64));
+        let cells: Vec<i32> = (0..n)
+            .map(|i| (i.wrapping_mul(2654435761) % n_cells) as i32)
+            .collect();
+        let mut ps = ParticleDats::new();
+        let wid = ps.decl_dat("w", 4);
+        ps.inject_into(&cells);
+        for (i, w) in ps.col_mut(wid).iter_mut().enumerate() {
+            *w = (i % 17) as f64 * 0.0625;
+        }
+        ps.sort_by_cell(n_cells);
+        let idx = ps.cell_index().expect("fresh after sort").to_vec();
+        let scells = ps.cells().to_vec();
+        let w = ps.col(wid).to_vec();
+        g.bench_with_input(BenchmarkId::new("ss", ppc), &ppc, |b, _| {
+            let mut buf = vec![0.0f64; n_targets];
+            b.iter(|| {
+                deposit_loop_sorted(&ExecPolicy::Par, &idx, &inv, &mut buf, |p, s| w[p * 4 + s])
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("sa", ppc), &ppc, |b, _| {
+            let mut buf = vec![0.0f64; n_targets];
+            b.iter(|| {
+                deposit_loop(
+                    &ExecPolicy::Par,
+                    DepositMethod::ScatterArrays,
+                    n,
+                    &mut buf,
+                    |i, dep| {
+                        let c = scells[i] as usize;
+                        for (k, &t) in c2n[c].iter().enumerate() {
+                            dep.add(t, w[i * 4 + k]);
+                        }
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
 fn short() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -49,6 +113,6 @@ fn short() -> Criterion {
 criterion_group! {
     name = benches;
     config = short();
-    targets = bench_deposit
+    targets = bench_deposit, bench_deposit_sorted
 }
 criterion_main!(benches);

@@ -1,17 +1,23 @@
 //! Ablation (Section 3.3 / 4.1.1): race-handling strategies for the
 //! double-indirect charge deposit — scatter arrays (SA), safe atomics
-//! (AT), unsafe atomics (UA), segmented reduction (SR).
+//! (AT), unsafe atomics (UA), segmented reduction (SR), and the
+//! cell-locality engine's sorted segments (SS).
 //!
-//! Three views:
+//! Four views:
 //! 1. host wall-times of the real strategies across a contention sweep
 //!    (few targets = the serialization pathology);
 //! 2. end-to-end Mini-FEM-PIC runtime per strategy;
 //! 3. modeled GPU deposit times, reproducing "standard atomics (AT) on
 //!    AMD GPUs perform significantly worse, over 200× slower than UA
-//!    or SR".
+//!    or SR";
+//! 4. sorted (SS over a fresh CSR cell index) vs unsorted (SA/AT)
+//!    deposit across particle-per-cell regimes, recorded to
+//!    `results/BENCH_ablation_deposit_sorted.json`.
 
-use oppic_bench::report::{banner, steps};
-use oppic_core::{deposit_loop, DepositMethod, ExecPolicy};
+use oppic_bench::report::{banner, scale_factor, steps};
+use oppic_core::{
+    deposit_loop, deposit_loop_sorted, invert_cell_targets, DepositMethod, ExecPolicy, ParticleDats,
+};
 use oppic_device::{analyze_warps, AtomicFlavor, DeviceSpec};
 use oppic_fempic::{FemPic, FemPicConfig};
 use std::time::Instant;
@@ -140,4 +146,143 @@ fn main() {
          magnitude slower than UA/SR under contention (the >200x finding), while\n\
          NVIDIA atomics stay competitive; SR ≈ UA with a small constant overhead."
     );
+
+    // ---- 4. cell-locality engine: sorted vs unsorted deposit ----
+    cell_locality_sweep();
+}
+
+/// Deterministic LCG (the sweep must not depend on platform RNG).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Sorted-segments over a fresh CSR cell index versus the unsorted
+/// scatter-array / atomic paths, across mean particles-per-cell
+/// regimes on a synthetic FEM-like mesh (every cell scatters into 4
+/// of `n_targets` node slots, as the tet-weighting deposit does).
+fn cell_locality_sweep() {
+    let sf = scale_factor(1.0);
+    let n_cells = ((24_000.0 * sf) as usize).max(64);
+    let n_targets = ((50_000.0 * sf) as usize).max(32);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = 3usize;
+
+    // Synthetic cells→nodes relation: 4 distinct pseudo-random targets
+    // per cell.
+    let mut seed = 0x5EEDu64;
+    let c2n: Vec<[usize; 4]> = (0..n_cells)
+        .map(|_| {
+            let mut t = [0usize; 4];
+            let mut k = 0;
+            while k < 4 {
+                let cand = (lcg(&mut seed) as usize) % n_targets;
+                if !t[..k].contains(&cand) {
+                    t[k] = cand;
+                    k += 1;
+                }
+            }
+            t
+        })
+        .collect();
+    let inv = invert_cell_targets(&c2n, n_targets);
+
+    println!(
+        "\n--- cell-locality: sorted segments vs unsorted deposit ---\n\
+         {n_cells} cells -> {n_targets} targets, 4 adds/particle, {threads} threads, best of {reps} (ms)"
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "ppc", "particles", "SA(unsort)", "AT(unsort)", "SS(sorted)", "sort"
+    );
+
+    let mut json_rows = Vec::new();
+    for ppc in [8usize, 64, 256] {
+        let n = n_cells * ppc;
+        // Random (unsorted) cell assignment + per-particle weights.
+        let cells: Vec<i32> = (0..n)
+            .map(|_| ((lcg(&mut seed) as usize) % n_cells) as i32)
+            .collect();
+        let mut ps = ParticleDats::new();
+        let wid = ps.decl_dat("w", 4);
+        ps.inject_into(&cells);
+        for (i, w) in ps.col_mut(wid).iter_mut().enumerate() {
+            *w = 0.25 + ((i % 13) as f64) * 0.03125;
+        }
+
+        let time_best = |f: &mut dyn FnMut() -> f64| -> (f64, f64) {
+            let mut best = f64::INFINITY;
+            let mut total = 0.0;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                total = f();
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            (best, total)
+        };
+
+        // Unsorted paths: the store as injected.
+        let pcells = ps.cells().to_vec();
+        let w = ps.col(wid).to_vec();
+        let unsorted = |method: DepositMethod| {
+            time_best(&mut || {
+                let mut buf = vec![0.0f64; n_targets];
+                deposit_loop(&ExecPolicy::Par, method, n, &mut buf, |i, dep| {
+                    let c = pcells[i] as usize;
+                    for (k, &t) in c2n[c].iter().enumerate() {
+                        dep.add(t, w[i * 4 + k]);
+                    }
+                });
+                buf.iter().sum()
+            })
+        };
+        let (sa_ms, sa_total) = unsorted(DepositMethod::ScatterArrays);
+        let (at_ms, at_total) = unsorted(DepositMethod::Atomics);
+
+        // Sorted path: rebuild the CSR index, then sorted segments.
+        let t0 = Instant::now();
+        ps.sort_by_cell(n_cells);
+        let sort_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let cell_start = ps.cell_index().expect("fresh after sort").to_vec();
+        let ws = ps.col(wid);
+        let (ss_ms, ss_total) = time_best(&mut || {
+            let mut buf = vec![0.0f64; n_targets];
+            deposit_loop_sorted(&ExecPolicy::Par, &cell_start, &inv, &mut buf, |p, s| {
+                ws[p * 4 + s]
+            });
+            buf.iter().sum()
+        });
+
+        assert!(
+            (sa_total - ss_total).abs() < 1e-6 * sa_total.abs().max(1.0)
+                && (at_total - ss_total).abs() < 1e-6 * at_total.abs().max(1.0),
+            "strategies must agree numerically"
+        );
+        println!("{ppc:>6} {n:>10} {sa_ms:>12.3} {at_ms:>12.3} {ss_ms:>12.3} {sort_ms:>10.3}");
+        json_rows.push(format!(
+            "    {{\"ppc\": {ppc}, \"n_particles\": {n}, \"ms\": {{\"scatter_arrays\": {sa_ms:.4}, \
+             \"atomics\": {at_ms:.4}, \"sorted_segments\": {ss_ms:.4}, \"sort\": {sort_ms:.4}}}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"ablation_deposit_strategies/cell_locality\",\n  \
+         \"n_cells\": {n_cells},\n  \"n_targets\": {n_targets},\n  \"threads\": {threads},\n  \
+         \"adds_per_particle\": 4,\n  \"best_of\": {reps},\n  \"regimes\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    if sf < 1.0 {
+        println!("\nOPPIC_SCALE={sf} < 1: smoke run, not recording results/");
+        return;
+    }
+    let path = std::path::Path::new("results");
+    if std::fs::create_dir_all(path).is_ok() {
+        let file = path.join("BENCH_ablation_deposit_sorted.json");
+        match std::fs::write(&file, &json) {
+            Ok(()) => println!("\nrecorded {}", file.display()),
+            Err(e) => eprintln!("could not record {}: {e}", file.display()),
+        }
+    }
 }

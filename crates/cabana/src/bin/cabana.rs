@@ -3,10 +3,13 @@
 //! mesh from `nx ny nz` at runtime; so does this).
 //!
 //! Config keys: `nx ny nz ppc v0 perturbation modes dt charge mass
-//! steps parallel structured sort_every report_every seed`.
+//! steps parallel structured sort_every sort_dirty report_every seed`
+//! (`sort_every` / `sort_dirty` drive the cell-locality engine's CSR
+//! index rebuild cadence; a fresh index makes `Move_Deposit` gather
+//! segment-batched).
 
 use oppic_cabana::{CabanaConfig, CabanaPic, StructuredCabana};
-use oppic_core::{ExecPolicy, Params};
+use oppic_core::{ExecPolicy, Params, SortPolicy};
 
 const KNOWN: &[&str] = &[
     "nx",
@@ -23,11 +26,12 @@ const KNOWN: &[&str] = &[
     "parallel",
     "structured",
     "sort_every",
+    "sort_dirty",
     "report_every",
     "seed",
 ];
 
-fn config_from(params: &Params) -> Result<(CabanaConfig, usize, usize, usize, bool), String> {
+fn config_from(params: &Params) -> Result<(CabanaConfig, usize, usize, bool), String> {
     params.check_known(KNOWN)?;
     let nx = params.get_usize("nx", 16)?;
     let ny = params.get_usize("ny", 8)?;
@@ -54,21 +58,30 @@ fn config_from(params: &Params) -> Result<(CabanaConfig, usize, usize, usize, bo
         },
         seed: params.get_usize("seed", 0xCAB4A)? as u64,
         record_visits: false,
+        sort_policy: {
+            let every = params.get_usize("sort_every", 0)?;
+            let dirty = params.get_f64("sort_dirty", 0.0)?;
+            if every > 0 {
+                SortPolicy::EveryN(every)
+            } else if dirty > 0.0 {
+                SortPolicy::DirtyFraction(dirty)
+            } else {
+                SortPolicy::Never
+            }
+        },
     };
     if cfg.ppc < 2 || !cfg.ppc.is_multiple_of(2) {
         return Err("ppc must be an even number >= 2 (two beams)".into());
     }
     let steps = params.get_usize("steps", 100)?;
-    let sort_every = params.get_usize("sort_every", 0)?;
     let report_every = params.get_usize("report_every", 10)?.max(1);
     let structured = params.get_bool("structured", false)?;
-    Ok((cfg, steps, sort_every, report_every, structured))
+    Ok((cfg, steps, report_every, structured))
 }
 
 fn run<T: oppic_cabana::Topology>(
     mut sim: oppic_cabana::CabanaEngine<T>,
     steps: usize,
-    sort_every: usize,
     report_every: usize,
 ) {
     println!(
@@ -81,10 +94,6 @@ fn run<T: oppic_cabana::Topology>(
     );
     let t0 = std::time::Instant::now();
     for s in 1..=steps {
-        if sort_every > 0 && s % sort_every == 0 {
-            let nc = sim.geom.n_cells();
-            sim.ps.sort_by_cell(nc);
-        }
         let d = sim.step();
         if s % report_every == 0 || s == steps {
             println!(
@@ -133,20 +142,14 @@ fn main() {
         }),
         None => Params::default(),
     };
-    let (cfg, steps, sort_every, report_every, structured) =
-        config_from(&params).unwrap_or_else(|e| {
-            eprintln!("config error: {e}");
-            std::process::exit(2);
-        });
+    let (cfg, steps, report_every, structured) = config_from(&params).unwrap_or_else(|e| {
+        eprintln!("config error: {e}");
+        std::process::exit(2);
+    });
     match (structured, validate) {
         (true, true) => run_validation(StructuredCabana::new_structured(cfg), steps),
         (false, true) => run_validation(CabanaPic::new_dsl(cfg), steps),
-        (true, false) => run(
-            StructuredCabana::new_structured(cfg),
-            steps,
-            sort_every,
-            report_every,
-        ),
-        (false, false) => run(CabanaPic::new_dsl(cfg), steps, sort_every, report_every),
+        (true, false) => run(StructuredCabana::new_structured(cfg), steps, report_every),
+        (false, false) => run(CabanaPic::new_dsl(cfg), steps, report_every),
     }
 }

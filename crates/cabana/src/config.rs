@@ -5,7 +5,7 @@
 //! study stretches `nz` to 1920. Units are normalised: `c = ε₀ = μ₀ =
 //! 1`, electron charge-to-mass `q/m = −1`.
 
-use oppic_core::ExecPolicy;
+use oppic_core::{ExecPolicy, SortPolicy};
 
 /// Full configuration for both the DSL and the structured versions.
 #[derive(Debug, Clone)]
@@ -37,6 +37,12 @@ pub struct CabanaConfig {
     /// Record per-particle visited-cell counts each `Move_Deposit`
     /// (GPU divergence analysis; off by default).
     pub record_visits: bool,
+    /// When to rebuild the CSR cell index with a particle sort (the
+    /// cell-locality engine). A fresh index lets `Move_Deposit` run
+    /// segment-batched: the 3×3×3 field stencil around each home cell
+    /// is gathered once per cell segment instead of 16 loads per
+    /// particle.
+    pub sort_policy: SortPolicy,
 }
 
 impl Default for CabanaConfig {
@@ -58,6 +64,7 @@ impl Default for CabanaConfig {
             policy: ExecPolicy::Par,
             seed: 0xCAB4A,
             record_visits: false,
+            sort_policy: SortPolicy::Never,
         }
     }
 }

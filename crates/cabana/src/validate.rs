@@ -8,8 +8,8 @@
 
 use crate::engine::{CabanaEngine, Topology};
 use oppic_analyzer::{
-    audit_mesh_map, audit_particle_cells, check_plans, shadow_record, Diagnostic, RaceOptions,
-    Report, Schedule, ShadowRun,
+    audit_cell_index, audit_mesh_map, audit_particle_cells, check_plans, shadow_record, Diagnostic,
+    RaceOptions, Report, Schedule, ShadowRun,
 };
 use oppic_core::access::{Access, ArgDecl, LoopDecl};
 use oppic_core::decl::Registry;
@@ -141,6 +141,17 @@ impl<T: Topology> CabanaEngine<T> {
         // no boundary sentinels allowed.
         report.extend(audit_mesh_map("c2c", &c2c, nc, 6, nc, false));
         report.extend(audit_particle_cells("p2c", self.ps.cells(), nc));
+        // Whenever the CSR cell index claims freshness the
+        // segment-batched mover trusts it blindly — cross-check it
+        // against the live cell column.
+        if self.ps.index_is_fresh() {
+            report.extend(audit_cell_index(
+                "p2c-index",
+                self.ps.cell_index_raw().expect("fresh index has offsets"),
+                self.ps.cells(),
+                nc,
+            ));
+        }
         report
     }
 
@@ -238,6 +249,33 @@ mod tests {
         let dsl = CabanaPic::new_dsl(CabanaConfig::tiny());
         let structured = StructuredCabana::new_structured(CabanaConfig::tiny());
         assert_eq!(dsl.materialise_c2c(), structured.materialise_c2c());
+    }
+
+    #[test]
+    fn fresh_cell_index_is_audited_and_clean() {
+        let mut sim = StructuredCabana::new_structured(CabanaConfig::tiny());
+        sim.run(3);
+        let nc = sim.geom.n_cells();
+        sim.ps.sort_by_cell(nc);
+        let report = sim.validate_all();
+        assert!(!report.has_errors(), "{report}");
+        assert!(!report.with_code("index/ok").is_empty(), "{report}");
+    }
+
+    #[test]
+    fn cell_index_audit_catches_a_lying_index() {
+        let mut sim = CabanaPic::new_dsl(CabanaConfig::tiny());
+        sim.run(2);
+        let nc = sim.geom.n_cells();
+        sim.ps.sort_by_cell(nc);
+        let last = sim.ps.len() - 1;
+        assert_ne!(sim.ps.cells()[0], sim.ps.cells()[last]);
+        sim.ps.cells_mut().swap(0, last);
+        sim.ps.refine_dirty(0); // claim nothing changed
+        assert!(sim.ps.index_is_fresh());
+        let report = sim.audit_maps();
+        assert!(report.has_errors());
+        assert!(!report.with_code("index/mismatch").is_empty(), "{report}");
     }
 
     #[test]

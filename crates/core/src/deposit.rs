@@ -12,12 +12,32 @@
 //! * **segmented reduction** (GPU, Figure 3) — store `(key, value)`
 //!   pairs, sort by key, reduce by key, scatter.
 //!
-//! All strategies are exposed through one executor, [`deposit_loop`];
-//! the kernel receives a [`Depositor`] and calls
+//! This repo adds a fourth strategy the paper's periodic particle sort
+//! makes possible: **sorted segments**
+//! ([`DepositMethod::SortedSegments`]). When the particle store is
+//! cell-sorted and its CSR cell index is *fresh* (see
+//! `ParticleDats::cell_index`), the deposit is re-expressed
+//! owner-computes: the loop parallelises over *target elements*, and
+//! each target folds the contributions of its cells' particle segments
+//! in exactly the serial order (cells ascending, particles ascending
+//! within a segment, map slots ascending within a particle). Plain
+//! `+=`, zero atomics, zero per-thread scatter memory — and because
+//! each target replays the serial left-fold verbatim, the result is
+//! **bit-identical to [`DepositMethod::Serial`]**, a property none of
+//! the other parallel strategies have. The freshness precondition is
+//! enforced by the planner (`plan/stale-index`) and executors run it
+//! through [`deposit_loop_sorted`], which takes the CSR index and a
+//! [`TargetInverse`] (target → owning (cell, slot) pairs) instead of
+//! the generic scattering kernel.
+//!
+//! All scattering strategies are exposed through one executor,
+//! [`deposit_loop`]; the kernel receives a [`Depositor`] and calls
 //! [`Depositor::add`] for each contribution. Every strategy computes
 //! the same sums (up to floating-point associativity; segmented
 //! reduction is made *deterministic* by totally ordering equal keys by
-//! value bits before reducing).
+//! value bits before reducing). [`AutoTuner`] picks among
+//! ScatterArrays / Atomics / SortedSegments per loop from runtime
+//! stats (particles per cell, dirty fraction, thread count).
 
 use crate::parloop::ExecPolicy;
 use rayon::prelude::*;
@@ -41,10 +61,29 @@ pub enum DepositMethod {
     /// store(key,value) → sort_by_key → reduce_by_key (the paper's SR,
     /// Figure 3).
     SegmentedReduction,
+    /// Owner-computes over cell segments of a **cell-sorted** store:
+    /// parallel over targets, each folding its segments in serial
+    /// order. Bit-identical to `Serial`; requires a fresh CSR cell
+    /// index and runs through [`deposit_loop_sorted`], not the generic
+    /// [`deposit_loop`].
+    SortedSegments,
 }
 
 impl DepositMethod {
-    pub const ALL: [DepositMethod; 5] = [
+    pub const ALL: [DepositMethod; 6] = [
+        DepositMethod::Serial,
+        DepositMethod::ScatterArrays,
+        DepositMethod::Atomics,
+        DepositMethod::UnsafeAtomics,
+        DepositMethod::SegmentedReduction,
+        DepositMethod::SortedSegments,
+    ];
+
+    /// The strategies the generic [`deposit_loop`] executor can run —
+    /// everything except [`DepositMethod::SortedSegments`], which
+    /// needs the CSR index and target-inverse structure of
+    /// [`deposit_loop_sorted`].
+    pub const GENERIC: [DepositMethod; 5] = [
         DepositMethod::Serial,
         DepositMethod::ScatterArrays,
         DepositMethod::Atomics,
@@ -70,6 +109,7 @@ impl DepositMethod {
             DepositMethod::Atomics => "AT",
             DepositMethod::UnsafeAtomics => "UA",
             DepositMethod::SegmentedReduction => "SR",
+            DepositMethod::SortedSegments => "SS",
         }
     }
 }
@@ -198,6 +238,267 @@ where
         DepositMethod::SegmentedReduction => {
             policy.run(|| segmented_reduction(policy, n, target, &kernel))
         }
+        DepositMethod::SortedSegments => panic!(
+            "SortedSegments cannot run through the generic deposit_loop: it needs the \
+             fresh CSR cell index and a TargetInverse — use deposit_loop_sorted"
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sorted segments — the cell-locality engine's owner-computes deposit.
+// ---------------------------------------------------------------------
+
+/// CSR inverse of a cell→targets relation: for each target, the
+/// `(cell, slot)` pairs that reach it, grouped by cell in ascending
+/// `(cell, slot)` order. Built once per mesh by
+/// [`invert_cell_targets`]; `slot` is the index into the cell's target
+/// list, so the deposit kernel can recompute the per-slot weight.
+#[derive(Debug, Clone, Default)]
+pub struct TargetInverse {
+    offsets: Vec<usize>,
+    entries: Vec<(u32, u32)>,
+}
+
+impl TargetInverse {
+    /// Number of targets covered.
+    pub fn n_targets(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The `(cell, slot)` pairs reaching target `t`, cell-ascending.
+    #[inline]
+    pub fn entries_of(&self, t: usize) -> &[(u32, u32)] {
+        &self.entries[self.offsets[t]..self.offsets[t + 1]]
+    }
+}
+
+/// Invert a cell→targets relation (e.g. the cells→nodes map) into the
+/// target→(cell, slot) CSR form [`deposit_loop_sorted`] consumes.
+pub fn invert_cell_targets<C: AsRef<[usize]>>(
+    cell_targets: &[C],
+    n_targets: usize,
+) -> TargetInverse {
+    let mut offsets = vec![0usize; n_targets + 1];
+    for ts in cell_targets {
+        for &t in ts.as_ref() {
+            offsets[t + 1] += 1;
+        }
+    }
+    for t in 0..n_targets {
+        offsets[t + 1] += offsets[t];
+    }
+    let mut cursor = offsets.clone();
+    let mut entries = vec![(0u32, 0u32); offsets[n_targets]];
+    // Cells ascending, slots ascending: each target's entry list comes
+    // out already grouped and sorted, which is what replays the serial
+    // fold order.
+    for (c, ts) in cell_targets.iter().enumerate() {
+        for (s, &t) in ts.as_ref().iter().enumerate() {
+            entries[cursor[t]] = (c as u32, s as u32);
+            cursor[t] += 1;
+        }
+    }
+    TargetInverse { offsets, entries }
+}
+
+/// The `SortedSegments` executor. `cell_start` must be the **fresh**
+/// CSR cell index of a cell-sorted particle store
+/// (`ParticleDats::cell_index`); `inv` the inverse of the same
+/// cell→targets relation the serial kernel scatters through. The
+/// kernel returns the contribution of particle `p` through slot `s` of
+/// its cell's target list.
+///
+/// Each target element is owned by exactly one task, which folds its
+/// contributions in the order the serial loop would have applied them
+/// (cells ascending; particles ascending within a segment; slots
+/// ascending within a particle) starting from the target's existing
+/// value — so the result is bit-identical to [`DepositMethod::Serial`]
+/// for any initial target contents. Panics if the index does not
+/// cover the inverse's cells (a stale-index symptom).
+pub fn deposit_loop_sorted<F>(
+    policy: &ExecPolicy,
+    cell_start: &[usize],
+    inv: &TargetInverse,
+    target: &mut [f64],
+    kernel: F,
+) -> DepositStats
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    assert_eq!(
+        target.len(),
+        inv.n_targets(),
+        "target length must match the inverse map"
+    );
+    let fold_target = |t: usize, out: &mut f64| {
+        let mut acc = *out;
+        let entries = inv.entries_of(t);
+        let mut k = 0;
+        while k < entries.len() {
+            let cell = entries[k].0 as usize;
+            let mut end = k;
+            while end < entries.len() && entries[end].0 as usize == cell {
+                end += 1;
+            }
+            let slots = &entries[k..end];
+            let (lo, hi) = (cell_start[cell], cell_start[cell + 1]);
+            if let [(_, s)] = slots {
+                // Overwhelmingly common case (a cell reaches each of
+                // its targets through one slot): a tight segment scan.
+                let s = *s as usize;
+                for p in lo..hi {
+                    acc += kernel(p, s);
+                }
+            } else {
+                for p in lo..hi {
+                    for &(_, s) in slots {
+                        acc += kernel(p, s as usize);
+                    }
+                }
+            }
+            k = end;
+        }
+        *out = acc;
+    };
+    policy.run(|| {
+        if policy.is_parallel() {
+            target
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(t, out)| fold_target(t, out));
+        } else {
+            for (t, out) in target.iter_mut().enumerate() {
+                fold_target(t, out);
+            }
+        }
+    });
+    DepositStats::default()
+}
+
+// ---------------------------------------------------------------------
+// Adaptive strategy selection.
+// ---------------------------------------------------------------------
+
+/// Runtime stats the auto-tuner decides from.
+#[derive(Debug, Clone, Copy)]
+pub struct TunerInput {
+    pub n_particles: usize,
+    pub n_cells: usize,
+    pub n_targets: usize,
+    /// `ParticleDats::dirty_fraction` — how stale the cell index is.
+    pub dirty_fraction: f64,
+    /// `ParticleDats::index_is_fresh`.
+    pub index_fresh: bool,
+    /// `ExecPolicy::threads` for the loop's policy.
+    pub threads: usize,
+}
+
+impl TunerInput {
+    pub fn mean_ppc(&self) -> f64 {
+        if self.n_cells == 0 {
+            0.0
+        } else {
+            self.n_particles as f64 / self.n_cells as f64
+        }
+    }
+}
+
+/// One auto-tuner verdict: the method to run and whether a cell sort
+/// should be performed first (to make `SortedSegments` legal).
+#[derive(Debug, Clone)]
+pub struct TunerDecision {
+    pub method: DepositMethod,
+    pub sort_first: bool,
+    /// One-line rationale, traced through the profiler by callers.
+    pub reason: String,
+}
+
+/// Picks a deposit strategy per loop from runtime statistics. The
+/// heuristics (thresholds ablated in `ablation_deposit_strategies`):
+/// single-threaded runs take the serial reference path; dense
+/// populations (mean particles-per-cell ≥ [`AutoTuner::SS_MIN_PPC`])
+/// amortise a sort and take the bit-reproducible `SortedSegments`
+/// path, as long as the index is fresh or cheap to refresh (dirty
+/// fraction ≤ [`AutoTuner::SORT_MAX_DIRTY`]); small targets favour
+/// scatter arrays (private copies are cheap); everything else falls
+/// back to atomics.
+#[derive(Debug, Clone, Default)]
+pub struct AutoTuner {
+    decisions: Vec<TunerDecision>,
+}
+
+impl AutoTuner {
+    /// Minimum mean particles-per-cell before a sort+sorted-segments
+    /// deposit beats scattering (the segment loop needs enough work
+    /// per cell to amortise the inverse-map walk).
+    pub const SS_MIN_PPC: f64 = 16.0;
+    /// Above this dirty fraction a rebuild-for-deposit is assumed not
+    /// to pay for itself within one loop.
+    pub const SORT_MAX_DIRTY: f64 = 0.5;
+    /// Targets-per-thread below which thread-private scatter arrays
+    /// stay cache-resident.
+    pub const SA_MAX_TARGETS_PER_THREAD: usize = 1 << 16;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decide a strategy for one deposit loop.
+    pub fn choose(&mut self, input: TunerInput) -> TunerDecision {
+        let ppc = input.mean_ppc();
+        let d = if input.threads <= 1 {
+            TunerDecision {
+                method: DepositMethod::Serial,
+                sort_first: false,
+                reason: "single thread: serial reference path".into(),
+            }
+        } else if input.index_fresh && ppc >= Self::SS_MIN_PPC {
+            TunerDecision {
+                method: DepositMethod::SortedSegments,
+                sort_first: false,
+                reason: format!("index fresh, mean ppc {ppc:.1}: sorted segments"),
+            }
+        } else if ppc >= Self::SS_MIN_PPC && input.dirty_fraction <= Self::SORT_MAX_DIRTY {
+            TunerDecision {
+                method: DepositMethod::SortedSegments,
+                sort_first: true,
+                reason: format!(
+                    "mean ppc {ppc:.1}, dirty {:.0}%: sort then sorted segments",
+                    input.dirty_fraction * 100.0
+                ),
+            }
+        } else if input.n_targets <= Self::SA_MAX_TARGETS_PER_THREAD * input.threads {
+            TunerDecision {
+                method: DepositMethod::ScatterArrays,
+                sort_first: false,
+                reason: format!(
+                    "{} targets fit thread-private copies: scatter arrays",
+                    input.n_targets
+                ),
+            }
+        } else {
+            TunerDecision {
+                method: DepositMethod::Atomics,
+                sort_first: false,
+                reason: format!(
+                    "sparse ({ppc:.1} ppc) and {} targets too large to scatter: atomics",
+                    input.n_targets
+                ),
+            }
+        };
+        self.decisions.push(d.clone());
+        d
+    }
+
+    /// All decisions taken so far, oldest first.
+    pub fn decisions(&self) -> &[TunerDecision] {
+        &self.decisions
+    }
+
+    /// The most recent decision.
+    pub fn last(&self) -> Option<&TunerDecision> {
+        self.decisions.last()
     }
 }
 
@@ -480,7 +781,7 @@ mod tests {
         let len = 64; // small target => heavy contention
         let reference = run_method(DepositMethod::Serial, &ExecPolicy::Seq, n, len);
         let total: f64 = reference.iter().sum();
-        for method in DepositMethod::ALL {
+        for method in DepositMethod::GENERIC {
             for policy in [ExecPolicy::Seq, ExecPolicy::Par] {
                 let got = run_method(method, &policy, n, len);
                 let got_total: f64 = got.iter().sum();
@@ -538,7 +839,7 @@ mod tests {
 
     #[test]
     fn deposit_accumulates_onto_existing_values() {
-        for method in DepositMethod::ALL {
+        for method in DepositMethod::GENERIC {
             let mut target = vec![10.0, 20.0];
             deposit_loop(&ExecPolicy::Par, method, 4, &mut target, |i, d| {
                 d.add(i % 2, 1.0);
@@ -567,7 +868,7 @@ mod tests {
 
     #[test]
     fn empty_loop_is_noop() {
-        for method in DepositMethod::ALL {
+        for method in DepositMethod::GENERIC {
             let mut target = vec![1.0, 2.0];
             deposit_loop(&ExecPolicy::Par, method, 0, &mut target, |_, d| {
                 d.add(0, 9.9)
@@ -688,5 +989,164 @@ mod tests {
         assert_eq!(DepositMethod::UnsafeAtomics.label(), "UA");
         assert_eq!(DepositMethod::SegmentedReduction.label(), "SR");
         assert_eq!(DepositMethod::ScatterArrays.label(), "SA");
+        assert_eq!(DepositMethod::SortedSegments.label(), "SS");
+    }
+
+    // ---- sorted segments -----------------------------------------------
+
+    /// Cell-sorted synthetic population: `ppc(c)` particles per cell,
+    /// returning (cell per particle, CSR offsets).
+    fn sorted_population(n_cells: usize, ppc: impl Fn(usize) -> usize) -> (Vec<i32>, Vec<usize>) {
+        let mut cells = Vec::new();
+        let mut start = vec![0usize; n_cells + 1];
+        for c in 0..n_cells {
+            for _ in 0..ppc(c) {
+                cells.push(c as i32);
+            }
+            start[c + 1] = cells.len();
+        }
+        (cells, start)
+    }
+
+    /// Pseudo-random but deterministic contribution of particle `p`
+    /// through slot `s`.
+    fn contribution(p: usize, s: usize) -> f64 {
+        let h = (p as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(s as u64);
+        0.1 + (h % 1000) as f64 * 1e-3
+    }
+
+    #[test]
+    fn sorted_segments_bit_identical_to_serial_across_seeds() {
+        // Duplicate targets within one cell (cell 2 lists node 3
+        // twice) exercise the slots-within-particle fold order.
+        let mesh: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2],
+            vec![1, 2, 4],
+            vec![3, 3, 5],
+            vec![0, 5, 6],
+            vec![2, 4, 6],
+        ];
+        let n_targets = 7;
+        let inv = invert_cell_targets(&mesh, n_targets);
+        for seed in 0..6usize {
+            let (cells, start) = sorted_population(mesh.len(), |c| (c * 7 + seed * 3) % 23);
+            let n = cells.len();
+            // Serial reference through the generic scattering executor,
+            // starting from nonzero values to check the fold base case.
+            let init: Vec<f64> = (0..n_targets).map(|t| t as f64 * 0.5 - 1.0).collect();
+            let mut reference = init.clone();
+            deposit_loop(
+                &ExecPolicy::Seq,
+                DepositMethod::Serial,
+                n,
+                &mut reference,
+                |p, dep| {
+                    let c = cells[p] as usize;
+                    for (s, &t) in mesh[c].iter().enumerate() {
+                        dep.add(t, contribution(p, s));
+                    }
+                },
+            );
+            for policy in [ExecPolicy::Seq, ExecPolicy::Par] {
+                let mut got = init.clone();
+                deposit_loop_sorted(&policy, &start, &inv, &mut got, contribution);
+                assert_eq!(got, reference, "seed {seed} under {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_segments_is_schedule_independent() {
+        let mesh: Vec<[usize; 4]> = (0..64).map(|c| [c, c + 1, c + 2, c + 3]).collect();
+        let inv = invert_cell_targets(&mesh, 67);
+        let (_, start) = sorted_population(64, |c| 5 + c % 9);
+        let runs: Vec<Vec<f64>> = (0..4)
+            .map(|_| {
+                let mut t = vec![0.0; 67];
+                deposit_loop_sorted(&ExecPolicy::Par, &start, &inv, &mut t, contribution);
+                t
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r, &runs[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deposit_loop_sorted")]
+    fn generic_executor_rejects_sorted_segments() {
+        let mut target = vec![0.0; 4];
+        deposit_loop(
+            &ExecPolicy::Par,
+            DepositMethod::SortedSegments,
+            10,
+            &mut target,
+            |_, d| d.add(0, 1.0),
+        );
+    }
+
+    #[test]
+    fn target_inverse_covers_the_relation() {
+        let mesh: Vec<Vec<usize>> = vec![vec![0, 2], vec![2, 1], vec![1, 0]];
+        let inv = invert_cell_targets(&mesh, 3);
+        assert_eq!(inv.n_targets(), 3);
+        assert_eq!(inv.entries_of(0), &[(0, 0), (2, 1)]);
+        assert_eq!(inv.entries_of(1), &[(1, 1), (2, 0)]);
+        assert_eq!(inv.entries_of(2), &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn auto_tuner_heuristics() {
+        let mut tuner = AutoTuner::new();
+        let base = TunerInput {
+            n_particles: 64_000,
+            n_cells: 500,
+            n_targets: 700,
+            dirty_fraction: 0.0,
+            index_fresh: true,
+            threads: 8,
+        };
+        // Fresh index, dense: sorted segments without a sort.
+        let d = tuner.choose(base);
+        assert_eq!(d.method, DepositMethod::SortedSegments);
+        assert!(!d.sort_first);
+
+        // Stale but nearly sorted: sort first, then sorted segments.
+        let d = tuner.choose(TunerInput {
+            index_fresh: false,
+            dirty_fraction: 0.05,
+            ..base
+        });
+        assert_eq!(d.method, DepositMethod::SortedSegments);
+        assert!(d.sort_first);
+
+        // Too stale to re-sort per loop, small target: scatter arrays.
+        let d = tuner.choose(TunerInput {
+            index_fresh: false,
+            dirty_fraction: 0.9,
+            ..base
+        });
+        assert_eq!(d.method, DepositMethod::ScatterArrays);
+
+        // Sparse population, huge target: atomics.
+        let d = tuner.choose(TunerInput {
+            n_particles: 4_000,
+            n_cells: 4_000,
+            n_targets: 60_000_000,
+            dirty_fraction: 0.9,
+            index_fresh: false,
+            threads: 8,
+        });
+        assert_eq!(d.method, DepositMethod::Atomics);
+
+        // One thread: serial, whatever the stats say.
+        let d = tuner.choose(TunerInput { threads: 1, ..base });
+        assert_eq!(d.method, DepositMethod::Serial);
+
+        assert_eq!(tuner.decisions().len(), 5);
+        assert_eq!(tuner.last().unwrap().method, DepositMethod::Serial);
+        assert!(!tuner.last().unwrap().reason.is_empty());
     }
 }

@@ -49,16 +49,17 @@ pub use checkpoint::{BinReader, BinWriter};
 pub use dat::Dat;
 pub use decl::Registry;
 pub use deposit::{
-    coloring_is_valid, deposit_loop, deposit_loop_colored, greedy_color_cells, DepositMethod,
-    Depositor,
+    coloring_is_valid, deposit_loop, deposit_loop_colored, deposit_loop_sorted, greedy_color_cells,
+    invert_cell_targets, AutoTuner, DepositMethod, Depositor, TargetInverse, TunerDecision,
+    TunerInput,
 };
 pub use move_engine::{move_loop, move_loop_direct_hop, MoveConfig, MoveResult, MoveStatus};
 pub use params::Params;
 pub use parloop::{
     par_loop_direct1, par_loop_direct2, par_loop_direct3, par_loop_direct4, par_loop_gather,
-    par_loop_slices1, par_loop_slices2, par_loop_slices2_cells, par_loop_slices3, par_reduce_sum,
-    ExecPolicy,
+    par_loop_segments2, par_loop_segments2_cells, par_loop_slices1, par_loop_slices2,
+    par_loop_slices2_cells, par_loop_slices3, par_reduce_sum, ExecPolicy,
 };
-pub use particles::{ColId, ParticleDats};
+pub use particles::{ColId, ParticleDats, SortPolicy};
 pub use plan::{LoopPlan, PlanRegistry, RaceStrategy};
 pub use profile::{KernelClass, Profiler};

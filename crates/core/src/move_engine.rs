@@ -85,6 +85,10 @@ pub struct MoveResult {
     /// Final cells outside `0..n_cells` (only counted when
     /// [`MoveConfig::n_cells`] is set; always 0 for a correct kernel).
     pub out_of_range: u64,
+    /// Surviving particles whose final cell differs from the cell the
+    /// chase started in — together with `removed.len()`, the measured
+    /// figure for `ParticleDats::refine_dirty`.
+    pub moved: u64,
 }
 
 impl MoveResult {
@@ -168,6 +172,7 @@ where
     let max_chain = AtomicU64::new(0);
     let aborted = AtomicU64::new(0);
     let out_of_range = AtomicU64::new(0);
+    let moved = AtomicU64::new(0);
     use std::sync::atomic::AtomicU32;
     let chain_log: Vec<AtomicU32> = if cfg.record_chains {
         (0..cells.len()).map(|_| AtomicU32::new(0)).collect()
@@ -221,7 +226,12 @@ where
             for (i, c) in cells.iter_mut().enumerate() {
                 let start = seed(i, c);
                 match chase(i, start) {
-                    Some(final_cell) => *c = final_cell as i32,
+                    Some(final_cell) => {
+                        if final_cell as i32 != *c {
+                            moved.fetch_add(1, Ordering::Relaxed);
+                        }
+                        *c = final_cell as i32;
+                    }
                     None => removed.push(i),
                 }
             }
@@ -234,7 +244,12 @@ where
                 .fold(Vec::new, |mut acc, (i, c)| {
                     let start = seed(i, c);
                     match chase(i, start) {
-                        Some(final_cell) => *c = final_cell as i32,
+                        Some(final_cell) => {
+                            if final_cell as i32 != *c {
+                                moved.fetch_add(1, Ordering::Relaxed);
+                            }
+                            *c = final_cell as i32;
+                        }
                         None => acc.push(i),
                     }
                     acc
@@ -243,10 +258,21 @@ where
                     a.append(&mut b);
                     a
                 });
-            removed.par_sort_unstable();
+            // Rayon's fold/reduce usually concatenates ascending chunk
+            // results in order; skip the sort when that already holds.
+            if !removed.is_sorted() {
+                removed.par_sort_unstable();
+            }
             removed
         }),
     };
+
+    // `ParticleDats::remove_fill` consumes this list assuming sorted
+    // unique ascending indices.
+    debug_assert!(
+        removed.windows(2).all(|w| w[0] < w[1]),
+        "removal list must be strictly ascending"
+    );
 
     Ok(MoveResult {
         removed,
@@ -255,6 +281,7 @@ where
         aborted: aborted.into_inner(),
         chains: chain_log.into_iter().map(AtomicU32::into_inner).collect(),
         out_of_range: out_of_range.into_inner(),
+        moved: moved.into_inner(),
     })
 }
 
@@ -295,6 +322,8 @@ mod tests {
             assert_eq!(r.max_chain, 9);
             assert_eq!(r.aborted, 0);
             assert!((r.mean_visits(5) - 4.6).abs() < 1e-12);
+            // Particles 0, 3 and 4 changed cell; 1 and 2 stayed put.
+            assert_eq!(r.moved, 3);
         }
     }
 
@@ -455,5 +484,6 @@ mod tests {
         assert_eq!(ra.total_visits, rb.total_visits);
         assert_eq!(ra.removed, rb.removed);
         assert_eq!(ra.max_chain, rb.max_chain);
+        assert_eq!(ra.moved, rb.moved);
     }
 }

@@ -362,6 +362,108 @@ pub fn par_loop_slices2_cells<F>(
     }
 }
 
+/// Segment-batched two-column particle loop over a **fresh** CSR cell
+/// index (`ParticleDats::cell_index`): the kernel runs once per
+/// non-empty cell segment and receives `(cell, first_particle,
+/// column-0 segment slice, column-1 segment slice)`. Cell-level data
+/// (fields, geometry) can then be loaded once per segment instead of
+/// once per particle — the cell-locality engine's gather counterpart
+/// to the sorted-segments deposit. Parallelism is over segments, so
+/// iterations stay race-free by slice disjointness.
+pub fn par_loop_segments2<F>(
+    policy: &ExecPolicy,
+    cell_start: &[usize],
+    (dim0, s0): (usize, &mut [f64]),
+    (dim1, s1): (usize, &mut [f64]),
+    f: F,
+) where
+    F: Fn(usize, usize, &mut [f64], &mut [f64]) + Sync,
+{
+    let n = *cell_start.last().expect("cell index must be non-empty");
+    assert_eq!(s0.len(), n * dim0, "column 0 does not match the index");
+    assert_eq!(s1.len(), n * dim1, "column 1 does not match the index");
+    // Carve both columns into per-segment disjoint windows.
+    let mut segs: Vec<(usize, usize, &mut [f64], &mut [f64])> =
+        Vec::with_capacity(cell_start.len() - 1);
+    let mut rest0 = s0;
+    let mut rest1 = s1;
+    for c in 0..cell_start.len() - 1 {
+        let count = cell_start[c + 1] - cell_start[c];
+        if count == 0 {
+            continue;
+        }
+        let (w0, r0) = rest0.split_at_mut(count * dim0);
+        let (w1, r1) = rest1.split_at_mut(count * dim1);
+        rest0 = r0;
+        rest1 = r1;
+        segs.push((c, cell_start[c], w0, w1));
+    }
+    match policy {
+        ExecPolicy::Seq => {
+            for (c, lo, w0, w1) in segs {
+                f(c, lo, w0, w1);
+            }
+        }
+        _ => policy.run(|| {
+            segs.par_iter_mut()
+                .for_each(|(c, lo, w0, w1)| f(*c, *lo, w0, w1));
+        }),
+    }
+}
+
+/// [`par_loop_segments2`] plus the mutable cell column — for fused
+/// mover kernels (CabanaPIC's `Move_Deposit`) that gather through the
+/// fresh CSR index *and* relocate particles in the same pass. The
+/// kernel receives `(cell, first_particle, col-0 window, col-1 window,
+/// cell-id window)`; cell-id writes go through the window, so the
+/// caller must mark the store dirty (the indexed accessors on
+/// `ParticleDats` do this automatically).
+/// One cell segment's working set: `(cell, first_particle, col-0
+/// window, col-1 window, cell-id window)`.
+type SegWindow<'a> = (usize, usize, &'a mut [f64], &'a mut [f64], &'a mut [i32]);
+
+pub fn par_loop_segments2_cells<F>(
+    policy: &ExecPolicy,
+    cell_start: &[usize],
+    (dim0, s0): (usize, &mut [f64]),
+    (dim1, s1): (usize, &mut [f64]),
+    cells: &mut [i32],
+    f: F,
+) where
+    F: Fn(usize, usize, &mut [f64], &mut [f64], &mut [i32]) + Sync,
+{
+    let n = *cell_start.last().expect("cell index must be non-empty");
+    assert_eq!(s0.len(), n * dim0, "column 0 does not match the index");
+    assert_eq!(s1.len(), n * dim1, "column 1 does not match the index");
+    assert_eq!(cells.len(), n, "cell column does not match the index");
+    let mut segs: Vec<SegWindow<'_>> = Vec::with_capacity(cell_start.len() - 1);
+    let (mut rest0, mut rest1, mut restc) = (s0, s1, cells);
+    for c in 0..cell_start.len() - 1 {
+        let count = cell_start[c + 1] - cell_start[c];
+        if count == 0 {
+            continue;
+        }
+        let (w0, r0) = rest0.split_at_mut(count * dim0);
+        let (w1, r1) = rest1.split_at_mut(count * dim1);
+        let (wc, rc) = restc.split_at_mut(count);
+        rest0 = r0;
+        rest1 = r1;
+        restc = rc;
+        segs.push((c, cell_start[c], w0, w1, wc));
+    }
+    match policy {
+        ExecPolicy::Seq => {
+            for (c, lo, w0, w1, wc) in segs {
+                f(c, lo, w0, w1, wc);
+            }
+        }
+        _ => policy.run(|| {
+            segs.par_iter_mut()
+                .for_each(|(c, lo, w0, w1, wc)| f(*c, *lo, w0, w1, wc));
+        }),
+    }
+}
+
 /// Gather loop: writes one dat on the iteration set, reading anything
 /// else through the kernel closure (e.g. indirect reads via maps —
 /// `compute_electric_field` in Figure 5 gathers node potentials through
@@ -534,6 +636,91 @@ mod tests {
             );
             assert_eq!(d[2 * 5], 5.0 + 10.0);
         }
+    }
+
+    #[test]
+    fn segment_loop_matches_per_particle_loop() {
+        // 4 cells with 0/3/1/2 particles; per-cell factor applied to
+        // dim-2 column 0, particle index recorded in column 1.
+        let cell_start = [0usize, 0, 3, 4, 6];
+        let factors = [10.0, 20.0, 30.0, 40.0];
+        for pol in policies() {
+            let mut a: Vec<f64> = (0..12).map(|v| v as f64).collect();
+            let mut b = vec![0.0; 6];
+            par_loop_segments2(
+                &pol,
+                &cell_start,
+                (2, &mut a),
+                (1, &mut b),
+                |cell, lo, av, bv| {
+                    let factor = factors[cell]; // hoisted per segment
+                    for (k, (ac, bc)) in av.chunks_mut(2).zip(bv.chunks_mut(1)).enumerate() {
+                        ac[0] *= factor;
+                        bc[0] = (lo + k) as f64;
+                    }
+                },
+            );
+            let mut expect_a: Vec<f64> = (0..12).map(|v| v as f64).collect();
+            for c in 0..4 {
+                for p in cell_start[c]..cell_start[c + 1] {
+                    expect_a[p * 2] *= factors[c];
+                }
+            }
+            assert_eq!(a, expect_a, "{pol:?}");
+            assert_eq!(b, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], "{pol:?}");
+        }
+    }
+
+    #[test]
+    fn segment_cells_loop_relocates_and_matches() {
+        // Same partition as above, plus per-window cell relocation:
+        // every particle of cell 1 hops to cell 2.
+        let cell_start = [0usize, 0, 3, 4, 6];
+        for pol in policies() {
+            let mut a: Vec<f64> = (0..12).map(|v| v as f64).collect();
+            let mut b = vec![0.0; 6];
+            let mut cells: Vec<i32> = vec![1, 1, 1, 2, 3, 3];
+            par_loop_segments2_cells(
+                &pol,
+                &cell_start,
+                (2, &mut a),
+                (1, &mut b),
+                &mut cells,
+                |cell, lo, av, bv, cw| {
+                    for (k, ((ac, bc), cl)) in av
+                        .chunks_mut(2)
+                        .zip(bv.chunks_mut(1))
+                        .zip(cw.iter_mut())
+                        .enumerate()
+                    {
+                        assert_eq!(*cl as usize, cell, "window matches home cell");
+                        ac[1] = cell as f64;
+                        bc[0] = (lo + k) as f64;
+                        if cell == 1 {
+                            *cl = 2;
+                        }
+                    }
+                },
+            );
+            assert_eq!(cells, vec![2, 2, 2, 2, 3, 3], "{pol:?}");
+            assert_eq!(b, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], "{pol:?}");
+            assert_eq!((a[1], a[7], a[9]), (1.0, 2.0, 3.0), "{pol:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the index")]
+    fn segment_loop_rejects_mismatched_columns() {
+        let cell_start = [0usize, 2];
+        let mut a = vec![0.0; 3]; // wrong: 2 particles * dim 2 = 4
+        let mut b = vec![0.0; 2];
+        par_loop_segments2(
+            &ExecPolicy::Seq,
+            &cell_start,
+            (2, &mut a),
+            (1, &mut b),
+            |_, _, _, _| {},
+        );
     }
 
     #[test]

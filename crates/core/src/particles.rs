@@ -16,6 +16,37 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ColId(usize);
 
+/// When to rebuild the cell index (the paper's periodic particle sort,
+/// made configurable). Freshness is a hard *precondition* only for
+/// `DepositMethod::SortedSegments`; for everything else sorting is a
+/// locality optimisation and this policy trades its cost against the
+/// gather/deposit speedup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SortPolicy {
+    /// Never rebuild (the index simply stays stale).
+    Never,
+    /// Rebuild whenever the index is stale.
+    Always,
+    /// Rebuild on steps that are multiples of `n` (0 behaves like
+    /// [`SortPolicy::Never`]).
+    EveryN(usize),
+    /// Rebuild once at least this fraction of particles is dirty.
+    DirtyFraction(f64),
+}
+
+impl SortPolicy {
+    /// Should a stale index be rebuilt now? `dirty`/`n` come from
+    /// [`ParticleDats::dirty_count`] and [`ParticleDats::len`].
+    pub fn should_sort(&self, step: usize, dirty: usize, n: usize) -> bool {
+        match *self {
+            SortPolicy::Never => false,
+            SortPolicy::Always => true,
+            SortPolicy::EveryN(k) => k > 0 && step.is_multiple_of(k),
+            SortPolicy::DirtyFraction(f) => n > 0 && dirty as f64 >= f * n as f64,
+        }
+    }
+}
+
 /// A set of particles with named f64 columns and a cell-index column.
 ///
 /// ```
@@ -39,7 +70,29 @@ pub struct ParticleDats {
     /// Start of the most recent injection batch (for
     /// `OPP_ITERATE_INJECTED` loops).
     injected_from: usize,
+    /// CSR cell index: when fresh, `cell_start[c]..cell_start[c + 1]`
+    /// is the contiguous particle range of cell `c`. Built by
+    /// [`ParticleDats::sort_by_cell`]; empty until the first sort.
+    cell_start: Vec<usize>,
+    /// Known count of cell/slot mutations since the index was built
+    /// (injection, removal, unpacking, permutation).
+    dirty: usize,
+    /// A raw mutable cell-map borrow was handed out and has not been
+    /// accounted yet — the index must be treated as fully stale until
+    /// [`ParticleDats::refine_dirty`] reports the measured change.
+    cells_exposed: bool,
+    /// Scratch reused across sorts (counting cursors, the permutation,
+    /// and one column/cell buffer for the out-of-place permute).
+    scratch_counts: Vec<usize>,
+    scratch_perm: Vec<usize>,
+    scratch_col: Vec<f64>,
+    scratch_cell: Vec<i32>,
 }
+
+/// The fused mover's working set: the fresh CSR index, two mutable
+/// columns, and the mutable cell map
+/// ([`ParticleDats::cols_mut2_cells_mut_with_index`]).
+pub type IndexedCells<'a> = (&'a [usize], &'a mut [f64], &'a mut [f64], &'a mut [i32]);
 
 impl ParticleDats {
     pub fn new() -> Self {
@@ -147,12 +200,14 @@ impl ParticleDats {
 
     #[inline]
     pub fn cells_mut(&mut self) -> &mut [i32] {
+        self.cells_exposed = true;
         &mut self.cell
     }
 
     /// Mutable cell map together with an immutable column — the move
     /// kernel's typical working set (reads positions, updates cells).
     pub fn cells_mut_with_col(&mut self, id: ColId) -> (&mut [i32], &[f64]) {
+        self.cells_exposed = true;
         (&mut self.cell, &self.cols[id.0])
     }
 
@@ -176,11 +231,125 @@ impl ParticleDats {
         a: ColId,
         b: ColId,
     ) -> (&mut [f64], &mut [f64], &mut [i32]) {
+        self.cells_exposed = true;
         let [ca, cb] = self
             .cols
             .get_disjoint_mut([a.0, b.0])
             .expect("cols_mut2_with_cells_mut requires distinct in-range columns");
         (ca, cb, &mut self.cell)
+    }
+
+    // ---- cell-locality index -------------------------------------------
+
+    /// The CSR cell index, or `None` while it is stale (or was never
+    /// built). When `Some`, `idx[c]..idx[c + 1]` is exactly the
+    /// particle range of cell `c` and particles are sorted by cell.
+    #[inline]
+    pub fn cell_index(&self) -> Option<&[usize]> {
+        if self.index_is_fresh() {
+            Some(&self.cell_start)
+        } else {
+            None
+        }
+    }
+
+    /// Two distinct mutable columns together with the fresh CSR cell
+    /// index — the segment-batched gather loop's working set
+    /// ([`crate::par_loop_segments2`]). `None` while the index is
+    /// stale, so callers fall back to the per-particle path.
+    pub fn cols_mut2_with_index(
+        &mut self,
+        a: ColId,
+        b: ColId,
+    ) -> Option<(&[usize], &mut [f64], &mut [f64])> {
+        if !self.index_is_fresh() {
+            return None;
+        }
+        let [ca, cb] = self
+            .cols
+            .get_disjoint_mut([a.0, b.0])
+            .expect("cols_mut2_with_index requires distinct in-range columns");
+        Some((&self.cell_start, ca, cb))
+    }
+
+    /// [`Self::cols_mut2_with_index`] plus the *mutable* cell map
+    /// ([`IndexedCells`]) —
+    /// the fused mover's working set when it gathers segment-batched
+    /// through the fresh index ([`crate::par_loop_segments2_cells`]).
+    /// Handing out the raw cell column marks the store all-dirty, as
+    /// with [`Self::cols_mut2_with_cells_mut`]; the returned index
+    /// stays valid for the duration of the borrow, and the caller
+    /// reports the measured relocation count via
+    /// [`Self::refine_dirty`] afterwards.
+    pub fn cols_mut2_cells_mut_with_index(
+        &mut self,
+        a: ColId,
+        b: ColId,
+    ) -> Option<IndexedCells<'_>> {
+        if !self.index_is_fresh() {
+            return None;
+        }
+        self.cells_exposed = true;
+        let [ca, cb] = self
+            .cols
+            .get_disjoint_mut([a.0, b.0])
+            .expect("cols_mut2_cells_mut_with_index requires distinct in-range columns");
+        Some((&self.cell_start, ca, cb, &mut self.cell))
+    }
+
+    /// The last-built CSR offsets regardless of freshness (audits
+    /// cross-check these against the live cell column).
+    pub fn cell_index_raw(&self) -> Option<&[usize]> {
+        (!self.cell_start.is_empty()).then_some(&self.cell_start[..])
+    }
+
+    /// Particle count of cell `c` per the (fresh or stale) index.
+    pub fn cell_count(&self, c: usize) -> usize {
+        self.cell_start[c + 1] - self.cell_start[c]
+    }
+
+    /// True when the index was built and no mutation has touched the
+    /// store since.
+    #[inline]
+    pub fn index_is_fresh(&self) -> bool {
+        !self.cell_start.is_empty() && self.dirty_count() == 0
+    }
+
+    /// Upper bound on the number of particles whose cell or slot has
+    /// changed since the index was built. A raw mutable cell-map
+    /// borrow counts as "all of them" until [`refine_dirty`] reports
+    /// the measured figure.
+    ///
+    /// [`refine_dirty`]: ParticleDats::refine_dirty
+    pub fn dirty_count(&self) -> usize {
+        if self.cells_exposed {
+            self.n
+        } else {
+            self.dirty.min(self.n)
+        }
+    }
+
+    /// `dirty_count` as a fraction of the population (0 when empty).
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.dirty_count() as f64 / self.n as f64
+        }
+    }
+
+    /// Replace the conservative all-dirty estimate from a raw mutable
+    /// cell-map borrow with a measured change count (e.g. the move
+    /// engine's relocated + removed totals). `changed` must be an
+    /// upper bound on how many cell entries the borrow actually
+    /// rewrote; the counter stays monotone otherwise.
+    pub fn refine_dirty(&mut self, changed: usize) {
+        self.cells_exposed = false;
+        self.dirty = self.dirty.saturating_add(changed);
+    }
+
+    fn mark_dirty(&mut self, k: usize) {
+        self.dirty = self.dirty.saturating_add(k);
     }
 
     /// Inject `count` new particles, all starting in `cell` (callers
@@ -194,6 +363,7 @@ impl ParticleDats {
         }
         self.cell.resize(self.n, cell);
         self.injected_from = from;
+        self.mark_dirty(count);
         from..self.n
     }
 
@@ -206,6 +376,7 @@ impl ParticleDats {
         }
         self.cell.extend_from_slice(cells);
         self.injected_from = from;
+        self.mark_dirty(cells.len());
         from..self.n
     }
 
@@ -262,44 +433,73 @@ impl ParticleDats {
         }
         self.cell.truncate(keep);
         self.injected_from = self.injected_from.min(keep);
+        self.mark_dirty(holes.len());
     }
 
     /// Apply a permutation: element `i` of the result is element
     /// `perm[i]` of the current state. `perm` must be a bijection.
     pub fn apply_permutation(&mut self, perm: &[usize]) {
+        self.permute_with_scratch(perm);
+        let moved = self.n;
+        self.mark_dirty(moved);
+    }
+
+    /// The out-of-place permute, staging through the persistent
+    /// scratch buffers instead of allocating per call. Does *not*
+    /// touch the dirty counter — `sort_by_cell` permutes and then
+    /// declares the index fresh, `apply_permutation` marks all dirty.
+    fn permute_with_scratch(&mut self, perm: &[usize]) {
         assert_eq!(perm.len(), self.n, "permutation length mismatch");
         for (col, &dim) in self.cols.iter_mut().zip(&self.dims) {
-            let mut next = vec![0.0; col.len()];
+            self.scratch_col.clear();
+            self.scratch_col.resize(col.len(), 0.0);
             for (i, &p) in perm.iter().enumerate() {
-                next[i * dim..(i + 1) * dim].copy_from_slice(&col[p * dim..(p + 1) * dim]);
+                self.scratch_col[i * dim..(i + 1) * dim]
+                    .copy_from_slice(&col[p * dim..(p + 1) * dim]);
             }
-            *col = next;
+            std::mem::swap(col, &mut self.scratch_col);
         }
-        let mut next_cell = vec![0i32; self.n];
+        self.scratch_cell.clear();
+        self.scratch_cell.resize(self.n, 0);
         for (i, &p) in perm.iter().enumerate() {
-            next_cell[i] = self.cell[p];
+            self.scratch_cell[i] = self.cell[p];
         }
-        self.cell = next_cell;
+        std::mem::swap(&mut self.cell, &mut self.scratch_cell);
     }
 
     /// Sort particles by cell index (counting sort — the auxiliary
-    /// particle-sort API the paper mentions improves locality).
+    /// particle-sort API the paper mentions improves locality). The
+    /// sort is stable, so equal-cell particles keep their relative
+    /// order. As a side effect the CSR cell index is rebuilt and
+    /// declared fresh; the counting pass *is* the index build, so
+    /// freshness costs nothing extra.
     pub fn sort_by_cell(&mut self, n_cells: usize) {
-        let mut counts = vec![0usize; n_cells + 1];
+        self.cell_start.clear();
+        self.cell_start.resize(n_cells + 1, 0);
         for &c in &self.cell {
             debug_assert!(c >= 0 && (c as usize) < n_cells, "cell index out of range");
-            counts[c as usize + 1] += 1;
+            self.cell_start[c as usize + 1] += 1;
         }
         for k in 0..n_cells {
-            counts[k + 1] += counts[k];
+            self.cell_start[k + 1] += self.cell_start[k];
         }
-        let mut perm = vec![0usize; self.n];
+        // Counting cursors start as a copy of the offsets; after the
+        // placement pass they have advanced to the segment ends.
+        self.scratch_counts.clear();
+        self.scratch_counts.extend_from_slice(&self.cell_start);
+        let mut perm = std::mem::take(&mut self.scratch_perm);
+        perm.clear();
+        perm.resize(self.n, 0);
         for i in 0..self.n {
             let c = self.cell[i] as usize;
-            perm[counts[c]] = i;
-            counts[c] += 1;
+            perm[self.scratch_counts[c]] = i;
+            self.scratch_counts[c] += 1;
         }
-        self.apply_permutation(&perm);
+        self.permute_with_scratch(&perm);
+        self.scratch_perm = perm;
+        self.dirty = 0;
+        self.cells_exposed = false;
+        debug_assert!(self.cell.is_sorted(), "counting sort left cells unsorted");
     }
 
     /// Deterministic pseudo-random shuffle (the paper's "periodic
@@ -346,6 +546,7 @@ impl ParticleDats {
         }
         self.cell.push(cell);
         self.n += 1;
+        self.mark_dirty(1);
         self.n - 1
     }
 
@@ -358,14 +559,11 @@ impl ParticleDats {
     /// Copy the dat *schema* (names/dims, no data) — ranks in the
     /// distributed runtime clone this to agree on the wire layout.
     pub fn clone_schema(&self) -> ParticleDats {
-        ParticleDats {
-            n: 0,
-            names: self.names.clone(),
-            dims: self.dims.clone(),
-            cols: self.dims.iter().map(|_| Vec::new()).collect(),
-            cell: Vec::new(),
-            injected_from: 0,
-        }
+        let mut ps = ParticleDats::new();
+        ps.names = self.names.clone();
+        ps.dims = self.dims.clone();
+        ps.cols = self.dims.iter().map(|_| Vec::new()).collect();
+        ps
     }
 }
 
@@ -557,5 +755,121 @@ mod tests {
         let (ps, _, _) = store_with(10);
         // pos 3*8 + charge 1*8 per particle + 4 bytes cell.
         assert_eq!(ps.bytes(), 10 * (32 + 4));
+    }
+
+    #[test]
+    fn cell_index_partitions_after_sort() {
+        let (mut ps, _, _) = store_with(23);
+        assert!(ps.cell_index().is_none(), "no index before first sort");
+        ps.sort_by_cell(5);
+        let idx = ps.cell_index().expect("fresh after sort");
+        assert_eq!(idx.len(), 6);
+        assert_eq!(idx[0], 0);
+        assert_eq!(idx[5], 23);
+        for c in 0..5 {
+            for i in idx[c]..idx[c + 1] {
+                assert_eq!(ps.cells()[i], c as i32);
+            }
+            assert_eq!(ps.cell_count(c), idx[c + 1] - idx[c]);
+        }
+    }
+
+    #[test]
+    fn mutations_stale_the_index() {
+        let (mut ps, _, _) = store_with(20);
+        ps.sort_by_cell(5);
+        assert!(ps.index_is_fresh());
+
+        ps.inject(3, 2);
+        assert_eq!(ps.dirty_count(), 3);
+        assert!(ps.cell_index().is_none());
+
+        ps.sort_by_cell(5);
+        ps.remove_fill(&[0, 5]);
+        assert_eq!(ps.dirty_count(), 2);
+
+        ps.sort_by_cell(5);
+        ps.unpack_one(&vec![0.0; ps.dofs()], 1);
+        assert_eq!(ps.dirty_count(), 1);
+
+        ps.sort_by_cell(5);
+        ps.shuffle(7);
+        assert!(ps.dirty_count() > 0);
+    }
+
+    #[test]
+    fn exposed_cell_map_is_all_dirty_until_refined() {
+        let (mut ps, pos, _) = store_with(12);
+        ps.sort_by_cell(5);
+        let (cells, _) = ps.cells_mut_with_col(pos);
+        cells[0] = 4;
+        assert_eq!(ps.dirty_count(), 12, "raw borrow: worst case");
+        ps.refine_dirty(1);
+        assert_eq!(ps.dirty_count(), 1, "measured change replaces it");
+        assert!((ps.dirty_fraction() - 1.0 / 12.0).abs() < 1e-12);
+        ps.sort_by_cell(5);
+        assert!(ps.index_is_fresh());
+    }
+
+    #[test]
+    fn indexed_cells_mut_borrow_marks_all_dirty() {
+        let (mut ps, pos, q) = store_with(12);
+        assert!(
+            ps.cols_mut2_cells_mut_with_index(pos, q).is_none(),
+            "stale index refuses the fused-mover borrow"
+        );
+        ps.sort_by_cell(5);
+        {
+            let (idx, _, _, cells) = ps
+                .cols_mut2_cells_mut_with_index(pos, q)
+                .expect("fresh after sort");
+            assert_eq!(*idx.last().unwrap(), cells.len());
+            cells[0] = 3; // a relocation through the fused mover
+        }
+        assert_eq!(ps.dirty_count(), 12, "raw cell borrow: worst case");
+        ps.refine_dirty(1);
+        assert_eq!(ps.dirty_count(), 1, "measured relocations replace it");
+    }
+
+    #[test]
+    fn sort_policies_decide_as_documented() {
+        assert!(!SortPolicy::Never.should_sort(10, 100, 100));
+        assert!(SortPolicy::Always.should_sort(1, 0, 100));
+        assert!(SortPolicy::EveryN(5).should_sort(10, 1, 100));
+        assert!(!SortPolicy::EveryN(5).should_sort(11, 1, 100));
+        assert!(!SortPolicy::EveryN(0).should_sort(0, 1, 100));
+        assert!(SortPolicy::DirtyFraction(0.25).should_sort(3, 25, 100));
+        assert!(!SortPolicy::DirtyFraction(0.25).should_sort(3, 24, 100));
+        assert!(!SortPolicy::DirtyFraction(0.25).should_sort(3, 0, 0));
+    }
+
+    #[test]
+    fn repeated_sorts_reuse_scratch_and_stay_stable() {
+        let (mut ps, pos, q) = store_with(40);
+        for round in 0..4 {
+            // Perturb some cells through the accounted-for mutators.
+            ps.cells_mut()[round * 3] = 4 - (round as i32);
+            ps.refine_dirty(1);
+            // Stability oracle: per cell, ids in current array order.
+            let mut expect: Vec<Vec<i64>> = vec![Vec::new(); 5];
+            for i in 0..ps.len() {
+                expect[ps.cells()[i] as usize].push(ps.el(pos, i)[0] as i64);
+            }
+            ps.sort_by_cell(5);
+            assert!(ps.index_is_fresh());
+            assert!(ps.cells().is_sorted());
+            let idx = ps.cell_index().unwrap().to_vec();
+            for c in 0..5 {
+                let got: Vec<i64> = (idx[c]..idx[c + 1])
+                    .map(|i| ps.el(pos, i)[0] as i64)
+                    .collect();
+                assert_eq!(got, expect[c], "stable order broken in cell {c}");
+            }
+            // Identity payloads must survive every round.
+            for i in 0..ps.len() {
+                let id = ps.el(pos, i)[0];
+                assert_eq!(ps.el(q, i)[0], 100.0 + id);
+            }
+        }
     }
 }

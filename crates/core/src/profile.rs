@@ -56,6 +56,9 @@ impl KernelStats {
 #[derive(Debug, Default)]
 pub struct Profiler {
     inner: Mutex<HashMap<String, KernelStats>>,
+    /// One-line decision traces (kernel name, message) in emission
+    /// order — the auto-tuner's audit trail.
+    traces: Mutex<Vec<(String, String)>>,
 }
 
 impl Profiler {
@@ -112,9 +115,21 @@ impl Profiler {
         self.inner.lock().values().map(|s| s.seconds).sum()
     }
 
+    /// Record a one-line decision trace against a kernel name (e.g.
+    /// the deposit auto-tuner's per-loop strategy choice).
+    pub fn trace(&self, name: &str, line: impl Into<String>) {
+        self.traces.lock().push((name.to_string(), line.into()));
+    }
+
+    /// All decision traces in emission order.
+    pub fn traces(&self) -> Vec<(String, String)> {
+        self.traces.lock().clone()
+    }
+
     /// Clear all statistics (between benchmark repetitions).
     pub fn reset(&self) {
         self.inner.lock().clear();
+        self.traces.lock().clear();
     }
 
     /// Render the paper-style runtime breakdown table.
@@ -140,6 +155,34 @@ impl Profiler {
             ));
         }
         s.push_str(&format!("{:<28} {:>8} {:>12.4}\n", "TOTAL", "", total));
+        let traces = self.traces();
+        if !traces.is_empty() {
+            // Collapse consecutive identical decisions ("chose SS" ×50)
+            // so per-step traces stay one line per *change*.
+            s.push_str("decision trace:\n");
+            let mut run: Option<(&(String, String), usize)> = None;
+            let emit = |entry: &(String, String), count: usize, s: &mut String| {
+                let (kernel, line) = entry;
+                if count > 1 {
+                    s.push_str(&format!("  {kernel}: {line} (x{count})\n"));
+                } else {
+                    s.push_str(&format!("  {kernel}: {line}\n"));
+                }
+            };
+            for t in &traces {
+                match run {
+                    Some((prev, c)) if prev == t => run = Some((prev, c + 1)),
+                    Some((prev, c)) => {
+                        emit(prev, c, &mut s);
+                        run = Some((t, 1));
+                    }
+                    None => run = Some((t, 1)),
+                }
+            }
+            if let Some((prev, c)) = run {
+                emit(prev, c, &mut s);
+            }
+        }
         s
     }
 }
@@ -206,9 +249,22 @@ mod tests {
     fn reset_clears() {
         let p = Profiler::new();
         p.record("k", Duration::from_millis(1));
+        p.trace("k", "chose atomics");
         p.reset();
         assert!(p.get("k").is_none());
         assert_eq!(p.total_seconds(), 0.0);
+        assert!(p.traces().is_empty());
+    }
+
+    #[test]
+    fn traces_keep_emission_order() {
+        let p = Profiler::new();
+        p.trace("DepositCharge", "step 1: scatter arrays");
+        p.trace("DepositCharge", "step 2: sorted segments");
+        let t = p.traces();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].1, "step 1: scatter arrays");
+        assert!(t[1].1.contains("sorted segments"));
     }
 
     #[test]

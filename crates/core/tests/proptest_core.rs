@@ -150,6 +150,125 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Cell-locality engine: the CSR cell index and the sorted-segments
+// executor.
+
+use oppic_core::{deposit_loop_sorted, invert_cell_targets};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any interleaving of injections, hole-filled removals,
+    /// raw cell reassignments and rebuilds, a final `sort_by_cell`
+    /// leaves a fresh index whose offsets exactly partition `0..n`
+    /// and agree with the live cell column.
+    #[test]
+    fn csr_index_survives_interleaved_mutations(
+        n_cells in 1usize..12,
+        init in prop::collection::vec(0usize..12, 0..40),
+        ops in prop::collection::vec((0u8..4, 0usize..64, 0usize..12), 0..25),
+    ) {
+        let mut ps = ParticleDats::new();
+        let _w = ps.decl_dat("w", 2);
+        let init: Vec<i32> = init.iter().map(|&c| (c % n_cells) as i32).collect();
+        ps.inject_into(&init);
+        for (kind, a, b) in ops {
+            match kind {
+                0 => {
+                    ps.inject(a % 7 + 1, (b % n_cells) as i32);
+                }
+                1 => {
+                    if !ps.is_empty() {
+                        // Up to two distinct ascending victims.
+                        let i = a % ps.len();
+                        let j = b % ps.len();
+                        let mut victims = vec![i.min(j)];
+                        if i != j { victims.push(i.max(j)); }
+                        ps.remove_fill(&victims);
+                    }
+                }
+                2 => {
+                    if !ps.is_empty() {
+                        let i = a % ps.len();
+                        ps.cells_mut()[i] = (b % n_cells) as i32;
+                        ps.refine_dirty(1);
+                    }
+                }
+                _ => ps.sort_by_cell(n_cells),
+            }
+        }
+        ps.sort_by_cell(n_cells);
+        prop_assert!(ps.index_is_fresh());
+        let idx = ps.cell_index().expect("fresh after rebuild").to_vec();
+        prop_assert_eq!(idx.len(), n_cells + 1);
+        prop_assert_eq!(idx[0], 0);
+        prop_assert_eq!(idx[n_cells], ps.len());
+        prop_assert!(idx.windows(2).all(|w| w[0] <= w[1]), "monotone offsets");
+        for c in 0..n_cells {
+            for i in idx[c]..idx[c + 1] {
+                prop_assert_eq!(ps.cells()[i], c as i32, "cell column agreement");
+            }
+        }
+    }
+
+    /// `SortedSegments` over a freshly sorted store is bit-identical
+    /// (exact f64 equality) to the serial deposit, for random meshes,
+    /// random particle placements, random weights, random non-zero
+    /// initial target contents, and both executors.
+    #[test]
+    fn sorted_segments_bit_identical_to_serial(
+        n_cells in 1usize..20,
+        n_targets in 1usize..25,
+        particle_cells in prop::collection::vec(0usize..20, 0..120),
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut rnd = move |m: usize| {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+            (state % m.max(1) as u64) as usize
+        };
+        // Random cell→targets relation, 1–4 slots per cell (repeats
+        // allowed — slot order is part of the fold-order contract).
+        let mesh: Vec<Vec<usize>> = (0..n_cells)
+            .map(|_| (0..rnd(4) + 1).map(|_| rnd(n_targets)).collect())
+            .collect();
+        let inv = invert_cell_targets(&mesh, n_targets);
+
+        let cells: Vec<i32> = particle_cells.iter().map(|&c| (c % n_cells) as i32).collect();
+        let mut ps = ParticleDats::new();
+        let _w = ps.decl_dat("w", 1);
+        ps.inject_into(&cells);
+        ps.sort_by_cell(n_cells);
+        let idx = ps.cell_index().expect("fresh after sort").to_vec();
+        let sorted_cells = ps.cells().to_vec();
+
+        let weight = |p: usize, s: usize| {
+            let h = (p as u64 + 3).wrapping_mul(s as u64 + 7).wrapping_mul(seed | 1);
+            ((h % 2000) as f64 - 1000.0) * 1e-3
+        };
+        let init: Vec<f64> = (0..n_targets).map(|t| (t * 7 + 1) as f64 * 0.5).collect();
+
+        let mut reference = init.clone();
+        deposit_loop(
+            &ExecPolicy::Seq,
+            DepositMethod::Serial,
+            sorted_cells.len(),
+            &mut reference,
+            |p, dep| {
+                for (s, &t) in mesh[sorted_cells[p] as usize].iter().enumerate() {
+                    dep.add(t, weight(p, s));
+                }
+            },
+        );
+        for policy in [ExecPolicy::Seq, ExecPolicy::Par] {
+            let mut got = init.clone();
+            deposit_loop_sorted(&policy, &idx, &inv, &mut got, weight);
+            prop_assert_eq!(&got, &reference, "policy {:?}", policy);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Analyzer cross-checks (dev-dependency on oppic-analyzer): the shadow
 // race detector and the plan checker must agree with the executors'
 // own semantics on arbitrary meshes.

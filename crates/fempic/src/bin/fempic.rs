@@ -5,9 +5,11 @@
 //! mesh (`nx ny nz lx ly lz`), physics (`charge mass inlet_velocity
 //! wall_potential epsilon0 dt thermal_fraction`), run control (`steps
 //! inject_per_step seed`), backend (`parallel deposit move coloring
-//! integrator overlay_res`).
+//! integrator overlay_res`), cell-locality engine (`sort_every
+//! sort_dirty` — gather-side CSR index rebuild cadence; `deposit =
+//! ss` for sorted segments, `deposit = auto` for the auto-tuner).
 
-use oppic_core::{DepositMethod, ExecPolicy, Params};
+use oppic_core::{DepositMethod, ExecPolicy, Params, SortPolicy};
 use oppic_fempic::{FemPic, FemPicConfig, Integrator, MoveStrategy};
 
 const KNOWN: &[&str] = &[
@@ -36,6 +38,8 @@ const KNOWN: &[&str] = &[
     "report_every",
     "neutral_density",
     "cross_section",
+    "sort_every",
+    "sort_dirty",
 ];
 
 fn config_from(params: &Params) -> Result<(FemPicConfig, usize, usize), String> {
@@ -68,7 +72,20 @@ fn config_from(params: &Params) -> Result<(FemPicConfig, usize, usize), String> 
             "at" => DepositMethod::Atomics,
             "ua" => DepositMethod::UnsafeAtomics,
             "sr" => DepositMethod::SegmentedReduction,
-            other => return Err(format!("deposit = {other:?}: use seq/sa/at/ua/sr")),
+            "ss" | "auto" => DepositMethod::SortedSegments,
+            other => return Err(format!("deposit = {other:?}: use seq/sa/at/ua/sr/ss/auto")),
+        },
+        auto_tune: params.get_str("deposit", "sa") == "auto",
+        sort_policy: {
+            let every = params.get_usize("sort_every", 0)?;
+            let dirty = params.get_f64("sort_dirty", 0.0)?;
+            if every > 0 {
+                SortPolicy::EveryN(every)
+            } else if dirty > 0.0 {
+                SortPolicy::DirtyFraction(dirty)
+            } else {
+                SortPolicy::Never
+            }
         },
         move_strategy: match params.get_str("move", "mh").as_str() {
             "mh" => MoveStrategy::MultiHop,

@@ -3,7 +3,7 @@
 //! this struct is its typed equivalent.
 
 use crate::collisions::CollisionModel;
-use oppic_core::{DepositMethod, ExecPolicy};
+use oppic_core::{DepositMethod, ExecPolicy, SortPolicy};
 
 /// Particle pusher (Section 2, step 3: the paper names leap-frog as
 /// the scheme in use, with Velocity Verlet as an alternative for the
@@ -74,6 +74,16 @@ pub struct FemPicConfig {
     /// (Section 3.3's third CPU option; forces a per-step particle
     /// sort — "introducing an overhead").
     pub coloring: bool,
+    /// When to rebuild the CSR cell index with a particle sort (the
+    /// cell-locality engine). Independent of `coloring`, which always
+    /// sorts, and of `deposit = SortedSegments`, which sorts whenever
+    /// the index is stale at deposit time.
+    pub sort_policy: SortPolicy,
+    /// Let the deposit [`oppic_core::AutoTuner`] pick the method (and
+    /// whether to sort first) per step from runtime statistics,
+    /// overriding `deposit`. Decisions are traced through the
+    /// profiler.
+    pub auto_tune: bool,
     /// Particle pusher.
     pub integrator: Integrator,
     /// Optional Monte-Carlo collisions against a neutral background
@@ -104,6 +114,8 @@ impl Default for FemPicConfig {
             seed: 0x0FF1CE,
             record_move_chains: false,
             coloring: false,
+            sort_policy: SortPolicy::Never,
+            auto_tune: false,
             integrator: Integrator::Leapfrog,
             collisions: None,
         }

@@ -9,11 +9,12 @@
 use crate::config::{FemPicConfig, Integrator, MoveStrategy};
 use crate::fields::FemSolver;
 use oppic_core::move_engine::{move_loop, move_loop_direct_hop, MoveConfig, MoveResult};
-use oppic_core::parloop::{par_loop_slices1, par_loop_slices2};
+use oppic_core::parloop::{par_loop_segments2, par_loop_slices1, par_loop_slices2};
 use oppic_core::profile::{KernelClass, Profiler};
 use oppic_core::{
-    deposit_loop, deposit_loop_colored, greedy_color_cells, ColId, Dat, Depositor, MoveStatus,
-    ParticleDats,
+    deposit_loop, deposit_loop_colored, deposit_loop_sorted, greedy_color_cells,
+    invert_cell_targets, AutoTuner, ColId, Dat, DepositMethod, Depositor, MoveStatus, ParticleDats,
+    TargetInverse, TunerInput,
 };
 use oppic_mesh::geometry::{bary_inside, bary_min_index, barycentric, sample_triangle};
 use oppic_mesh::{StructuredOverlay, TetMesh, Vec3};
@@ -70,6 +71,15 @@ pub struct FemPic {
     pub(crate) cell_colors: Option<(Vec<u32>, usize)>,
     /// Last move result (benchmark introspection).
     pub last_move: MoveResult,
+    /// node → (cell, slot) inverse of `c2n`, built lazily for the
+    /// sorted-segments deposit (the mesh is static, so once is enough).
+    target_inverse: Option<TargetInverse>,
+    /// Per-step deposit strategy selector (used when
+    /// `cfg.auto_tune`); its decision log doubles as the trace source.
+    pub tuner: AutoTuner,
+    /// The deposit method the next `deposit_charge` will run — either
+    /// `cfg.deposit` or the auto-tuner's last pick.
+    pub(crate) active_deposit: DepositMethod,
 }
 
 impl FemPic {
@@ -130,6 +140,7 @@ impl FemPic {
             })
         });
 
+        let active_deposit = cfg.deposit;
         FemPic {
             cfg,
             mesh,
@@ -147,6 +158,9 @@ impl FemPic {
             step_no: 0,
             cell_colors,
             last_move: MoveResult::default(),
+            target_inverse: None,
+            tuner: AutoTuner::default(),
+            active_deposit,
         }
     }
 
@@ -206,36 +220,53 @@ impl FemPic {
         let dt = self.cfg.dt;
         let ef = &self.efield;
         let integrator = self.cfg.integrator;
-        let (pos, vel, cells) = self.ps.cols_mut2_with_cells(self.pos, self.vel);
-        par_loop_slices2(&self.cfg.policy, (3, pos), (3, vel), |i, x, v| {
-            let c = cells[i] as usize;
-            let e = ef.el(c);
-            match integrator {
-                Integrator::Leapfrog => {
-                    // kick, then drift with v^{n+1/2}.
-                    v[0] += qm_dt * e[0];
-                    v[1] += qm_dt * e[1];
-                    v[2] += qm_dt * e[2];
-                    x[0] += dt * v[0];
-                    x[1] += dt * v[1];
-                    x[2] += dt * v[2];
-                }
-                Integrator::VelocityVerlet => {
-                    // half kick, drift, half kick. The field is
-                    // constant per cell over the step (electro-
-                    // static), so both half kicks use e.
-                    v[0] += 0.5 * qm_dt * e[0];
-                    v[1] += 0.5 * qm_dt * e[1];
-                    v[2] += 0.5 * qm_dt * e[2];
-                    x[0] += dt * v[0];
-                    x[1] += dt * v[1];
-                    x[2] += dt * v[2];
-                    v[0] += 0.5 * qm_dt * e[0];
-                    v[1] += 0.5 * qm_dt * e[1];
-                    v[2] += 0.5 * qm_dt * e[2];
-                }
+        let push = |e: &[f64], x: &mut [f64], v: &mut [f64]| match integrator {
+            Integrator::Leapfrog => {
+                // kick, then drift with v^{n+1/2}.
+                v[0] += qm_dt * e[0];
+                v[1] += qm_dt * e[1];
+                v[2] += qm_dt * e[2];
+                x[0] += dt * v[0];
+                x[1] += dt * v[1];
+                x[2] += dt * v[2];
             }
-        });
+            Integrator::VelocityVerlet => {
+                // half kick, drift, half kick. The field is
+                // constant per cell over the step (electro-
+                // static), so both half kicks use e.
+                v[0] += 0.5 * qm_dt * e[0];
+                v[1] += 0.5 * qm_dt * e[1];
+                v[2] += 0.5 * qm_dt * e[2];
+                x[0] += dt * v[0];
+                x[1] += dt * v[1];
+                x[2] += dt * v[2];
+                v[0] += 0.5 * qm_dt * e[0];
+                v[1] += 0.5 * qm_dt * e[1];
+                v[2] += 0.5 * qm_dt * e[2];
+            }
+        };
+        if let Some((cell_start, pos, vel)) = self.ps.cols_mut2_with_index(self.pos, self.vel) {
+            // Cell-locality fast path: particles are grouped by cell,
+            // so the per-cell field is loaded once per segment instead
+            // of once per particle.
+            par_loop_segments2(
+                &self.cfg.policy,
+                cell_start,
+                (3, pos),
+                (3, vel),
+                |c, _first, xs, vs| {
+                    let e = ef.el(c);
+                    for (x, v) in xs.chunks_mut(3).zip(vs.chunks_mut(3)) {
+                        push(e, x, v);
+                    }
+                },
+            );
+        } else {
+            let (pos, vel, cells) = self.ps.cols_mut2_with_cells(self.pos, self.vel);
+            par_loop_slices2(&self.cfg.policy, (3, pos), (3, vel), |i, x, v| {
+                push(ef.el(cells[i] as usize), x, v);
+            });
+        }
         let bytes = (self.ps.len() * (3 + 3 + 3 + 3 + 3) * 8 + self.ps.len() * 4) as u64;
         let flops = (self.ps.len() * 12) as u64;
         self.profiler.add_traffic("CalcPosVel", bytes, flops);
@@ -294,6 +325,10 @@ impl FemPic {
 
         let removed = result.removed.len();
         self.ps.remove_fill(&result.removed);
+        // The raw cell-map borrow above pessimised the CSR index to
+        // all-dirty; report the measured relocation count instead
+        // (hole-filling already accounted for itself).
+        self.ps.refine_dirty(result.moved as usize);
         self.last_move = result;
 
         // With the `validate` feature the dynamic particle→cell map is
@@ -304,14 +339,75 @@ impl FemPic {
         removed
     }
 
+    /// The cell-locality engine's deposit-side sort stage: pick the
+    /// step's deposit method (config, or the auto-tuner's choice) and
+    /// rebuild the CSR cell index when the coloring scheme, the
+    /// tuner, or the sorted-segments freshness precondition demands
+    /// one. The gather-side [`oppic_core::SortPolicy`] sort runs
+    /// separately, right after injection.
+    fn prepare_deposit(&mut self) {
+        let mut method = self.cfg.deposit;
+        let mut sort_first = false;
+        if self.cfg.auto_tune {
+            let d = self.tuner.choose(TunerInput {
+                n_particles: self.ps.len(),
+                n_cells: self.mesh.n_cells(),
+                n_targets: self.mesh.n_nodes(),
+                dirty_fraction: self.ps.dirty_fraction(),
+                index_fresh: self.ps.index_is_fresh(),
+                threads: self.cfg.policy.threads(),
+            });
+            // No step number in the line: the breakdown table collapses
+            // runs of identical decisions into one "(xN)" trace.
+            self.profiler.trace(
+                "DepositCharge",
+                format!(
+                    "auto-tuned to {}{} — {}",
+                    d.method.label(),
+                    if d.sort_first { " (sort first)" } else { "" },
+                    d.reason
+                ),
+            );
+            method = d.method;
+            sort_first = d.sort_first;
+        }
+        let need_sort = self.cfg.coloring
+            || sort_first
+            || (method == DepositMethod::SortedSegments && !self.ps.index_is_fresh());
+        if need_sort {
+            let t0 = std::time::Instant::now();
+            let n_cells = self.mesh.n_cells();
+            self.ps.sort_by_cell(n_cells);
+            self.profiler.record("SortParticles", t0.elapsed());
+        }
+        self.active_deposit = method;
+    }
+
     /// `DepositCharge`: compute the barycentric weights at the final
     /// position (the `lc` particle dat) and scatter `q·λ_k` onto the
     /// four cell nodes — the double-indirect increment handled by the
     /// configured [`oppic_core::DepositMethod`].
     pub fn deposit_charge(&mut self) {
-        // Weighting pass: lc <- barycentric(pos, cell).
+        // Weighting pass: lc <- barycentric(pos, cell). With a fresh
+        // CSR index the four cell vertices are fetched once per
+        // segment instead of once per particle.
         let mesh = &self.mesh;
+        if let Some((cell_start, lc_col, pos_col)) = self.ps.cols_mut2_with_index(self.lc, self.pos)
         {
+            par_loop_segments2(
+                &self.cfg.policy,
+                cell_start,
+                (4, lc_col),
+                (3, pos_col),
+                |c, _first, ws, xs| {
+                    let verts = mesh.cell_vertices(c);
+                    for (w, x) in ws.chunks_mut(4).zip(xs.chunks(3)) {
+                        let l = barycentric(Vec3::from_slice(x), &verts);
+                        w.copy_from_slice(&l);
+                    }
+                },
+            );
+        } else {
             let (lc_col, pos_col, cells) = self.ps.cols_mut2_with_cells(self.lc, self.pos);
             let pos_ref: &[f64] = pos_col;
             par_loop_slices1(&self.cfg.policy, 4, lc_col, |i, w| {
@@ -349,10 +445,29 @@ impl FemPic {
                 )
                 .expect("particles are sorted before the colored deposit");
             }
+            None if self.active_deposit == DepositMethod::SortedSegments => {
+                // Owner-computes gather over the fresh CSR index: each
+                // node folds its own contributions in serial order —
+                // bit-identical to the Serial method, zero atomics.
+                let cell_start = self
+                    .ps
+                    .cell_index()
+                    .expect("SortedSegments requires a fresh CSR cell index (sort_by_cell)");
+                let inv = self
+                    .target_inverse
+                    .get_or_insert_with(|| invert_cell_targets(c2n, mesh.n_nodes()));
+                deposit_loop_sorted(
+                    &self.cfg.policy,
+                    cell_start,
+                    inv,
+                    self.node_charge.raw_mut(),
+                    |p, k| q * lc[p * 4 + k],
+                );
+            }
             None => {
                 deposit_loop(
                     &self.cfg.policy,
-                    self.cfg.deposit,
+                    self.active_deposit,
                     n,
                     self.node_charge.raw_mut(),
                     kernel,
@@ -398,6 +513,19 @@ impl FemPic {
         self.profiler.record("Inject", t0.elapsed());
         self.profiler.classify("Inject", KernelClass::Inject);
 
+        // Gather-side sort (cell-locality engine): regrouping here
+        // lets CalcPosVel and the weighting pass run segment-batched.
+        if self
+            .cfg
+            .sort_policy
+            .should_sort(self.step_no, self.ps.dirty_count(), self.ps.len())
+        {
+            let t0 = std::time::Instant::now();
+            let n_cells = self.mesh.n_cells();
+            self.ps.sort_by_cell(n_cells);
+            self.profiler.record("SortParticles", t0.elapsed());
+        }
+
         let t0 = std::time::Instant::now();
         self.calc_pos_vel();
         self.profiler.record("CalcPosVel", t0.elapsed());
@@ -422,14 +550,10 @@ impl FemPic {
         self.profiler.record("Move", t0.elapsed());
         self.profiler.classify("Move", KernelClass::Move);
 
-        if self.cfg.coloring {
-            // The coloring scheme requires cell-sorted particles — the
-            // overhead the paper attributes to this option.
-            let t0 = std::time::Instant::now();
-            let n_cells = self.mesh.n_cells();
-            self.ps.sort_by_cell(n_cells);
-            self.profiler.record("SortParticles", t0.elapsed());
-        }
+        // The coloring scheme and the sorted-segments deposit require
+        // cell-sorted particles — the overhead the paper attributes to
+        // those options; the auto-tuner may also ask for a sort here.
+        self.prepare_deposit();
 
         let t0 = std::time::Instant::now();
         self.deposit_charge();
@@ -718,6 +842,104 @@ mod extension_tests {
         // The sort overhead is actually recorded.
         assert!(colored.profiler.get("SortParticles").is_some());
         assert!(standard.profiler.get("SortParticles").is_none());
+    }
+
+    #[test]
+    fn sorted_segments_deposit_is_bit_identical_to_serial() {
+        // On the *same* freshly sorted store, the owner-computes
+        // sorted-segments deposit must replay the Serial fold order
+        // exactly — strict f64 equality, not a tolerance.
+        let mut cfg = FemPicConfig::tiny();
+        cfg.inject_per_step = 150;
+        let mut sim = FemPic::new(cfg);
+        sim.run(5);
+        sim.ps.sort_by_cell(sim.mesh.n_cells());
+        assert!(sim.ps.index_is_fresh());
+
+        sim.active_deposit = DepositMethod::Serial;
+        sim.deposit_charge();
+        let base = sim.node_charge.raw().to_vec();
+
+        sim.active_deposit = DepositMethod::SortedSegments;
+        for policy in [ExecPolicy::Seq, ExecPolicy::Par] {
+            let label = format!("{policy:?}");
+            sim.cfg.policy = policy;
+            sim.deposit_charge();
+            assert_eq!(sim.node_charge.raw(), &base[..], "{label}");
+        }
+    }
+
+    #[test]
+    fn sorted_segments_runs_the_full_pipeline() {
+        // End-to-end: the engine sorts before every deposit (the move
+        // stales the index each step) and the physics matches the
+        // serial baseline to summation-order tolerance.
+        let mut serial_cfg = FemPicConfig::tiny();
+        serial_cfg.inject_per_step = 120;
+        let mut ss_cfg = serial_cfg.clone();
+        ss_cfg.deposit = DepositMethod::SortedSegments;
+        ss_cfg.policy = ExecPolicy::Par;
+
+        let mut a = FemPic::new(serial_cfg);
+        let mut b = FemPic::new(ss_cfg);
+        for _ in 0..6 {
+            let da = a.step();
+            let db = b.step();
+            assert_eq!(da.n_particles, db.n_particles);
+            assert_eq!(da.removed, db.removed);
+            assert!((da.total_charge - db.total_charge).abs() < 1e-9);
+        }
+        for (x, y) in a.node_charge.raw().iter().zip(b.node_charge.raw()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+        // The precondition sort is actually recorded.
+        assert!(b.profiler.get("SortParticles").is_some());
+        assert!(a.profiler.get("SortParticles").is_none());
+    }
+
+    #[test]
+    fn auto_tuner_traces_its_decisions() {
+        let mut cfg = FemPicConfig::tiny();
+        cfg.auto_tune = true;
+        cfg.policy = ExecPolicy::Par;
+        cfg.inject_per_step = 200;
+        let mut sim = FemPic::new(cfg);
+        let d = sim.run(4);
+        assert!(d.n_particles > 0);
+        sim.check_invariants().unwrap();
+        let traces = sim.profiler.traces();
+        assert_eq!(traces.len(), 4, "one decision per step: {traces:?}");
+        assert!(traces.iter().all(|(k, _)| k == "DepositCharge"));
+        assert_eq!(sim.tuner.decisions().len(), 4);
+        // Charge is conserved whatever the tuner picked.
+        let expect = d.n_particles as f64 * sim.cfg.charge;
+        assert!((d.total_charge - expect).abs() < 1e-9 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn gather_side_sort_policy_enables_segment_batching() {
+        // Sorting every step after injection keeps physics identical
+        // to the never-sorted baseline up to deposit summation order
+        // (the particle *array order* differs, so compare per-node
+        // charge and counts, not raw columns).
+        let mut base_cfg = FemPicConfig::tiny();
+        base_cfg.inject_per_step = 100;
+        let mut sorted_cfg = base_cfg.clone();
+        sorted_cfg.sort_policy = oppic_core::SortPolicy::Always;
+
+        let mut a = FemPic::new(base_cfg);
+        let mut b = FemPic::new(sorted_cfg);
+        for _ in 0..5 {
+            let da = a.step();
+            let db = b.step();
+            assert_eq!(da.n_particles, db.n_particles);
+            assert_eq!(da.removed, db.removed);
+            assert!((da.total_charge - db.total_charge).abs() < 1e-9);
+        }
+        assert!(b.profiler.get("SortParticles").is_some());
+        for (x, y) in a.node_charge.raw().iter().zip(b.node_charge.raw()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
     }
 
     #[test]

@@ -4,13 +4,13 @@
 
 use crate::sim::FemPic;
 use oppic_analyzer::{
-    audit_coloring, audit_mesh_map, audit_particle_cells, check_plans, shadow_record, Diagnostic,
-    RaceOptions, Report, Schedule, ShadowRun,
+    audit_cell_index, audit_coloring, audit_mesh_map, audit_particle_cells, check_plans,
+    shadow_record, Diagnostic, RaceOptions, Report, Schedule, ShadowRun,
 };
 use oppic_core::access::{Access, ArgDecl, LoopDecl};
 use oppic_core::decl::Registry;
 use oppic_core::plan::{LoopPlan, PlanRegistry, RaceStrategy};
-use oppic_core::ExecPolicy;
+use oppic_core::{DepositMethod, ExecPolicy};
 
 impl FemPic {
     /// The paper's Figure 4 declarations for this app: sets, maps and
@@ -49,7 +49,7 @@ impl FemPic {
         let deposit_strategy = if self.cfg.coloring {
             RaceStrategy::Colored
         } else {
-            RaceStrategy::Deposit(self.cfg.deposit)
+            RaceStrategy::Deposit(self.active_deposit)
         };
         let mut plans = PlanRegistry::new();
         // Inject fills freshly appended particles — sequential by
@@ -85,7 +85,7 @@ impl FemPic {
             ),
             policy,
         ));
-        plans.register(LoopPlan::new(
+        let mut deposit_plan = LoopPlan::new(
             LoopDecl::new(
                 "DepositCharge",
                 "particles",
@@ -97,7 +97,14 @@ impl FemPic {
             ),
             policy,
             deposit_strategy,
-        ));
+        );
+        if deposit_strategy == RaceStrategy::Deposit(DepositMethod::SortedSegments) {
+            // The sorted-segments deposit must attest the CSR index
+            // freshness it dispatches with; the engine sorts right
+            // before the deposit, so this holds after any step.
+            deposit_plan = deposit_plan.with_index_freshness(self.ps.index_is_fresh());
+        }
+        plans.register(deposit_plan);
         // The field-solve group runs in the FEM solver (sequential CG).
         plans.register(LoopPlan::direct(
             LoopDecl::new(
@@ -121,6 +128,17 @@ impl FemPic {
         let c2c: Vec<i32> = self.mesh.c2c.iter().flatten().copied().collect();
         report.extend(audit_mesh_map("c2c", &c2c, nc, 4, nc, true));
         report.extend(audit_particle_cells("p2c", self.ps.cells(), nc));
+        if self.ps.index_is_fresh() {
+            // A store claiming a fresh CSR index must actually be
+            // partitioned by it — the contract SortedSegments and the
+            // segment-batched gathers rely on.
+            report.extend(audit_cell_index(
+                "p2c-index",
+                self.ps.cell_index_raw().expect("fresh index has offsets"),
+                self.ps.cells(),
+                nc,
+            ));
+        }
         if let Some((colors, n_colors)) = &self.cell_colors {
             let targets: Vec<&[usize]> = self.mesh.c2n.iter().map(|nd| nd.as_slice()).collect();
             report.extend(audit_coloring(
@@ -169,8 +187,16 @@ impl FemPic {
                 )
             }
             (None, true) => {
-                let method = self.cfg.deposit;
-                if !method.is_race_safe(true) {
+                let method = self.active_deposit;
+                if method == DepositMethod::SortedSegments {
+                    // Owner-computes: each node folds its own
+                    // contributions serially — the increments need no
+                    // synchronisation at all on the owned dat.
+                    run.detect_races(
+                        Schedule::OwnerComputes { owned: charge_dat },
+                        &RaceOptions::default(),
+                    )
+                } else if !method.is_race_safe(true) {
                     // Serial method: the executor ignores the parallel
                     // policy, so the effective schedule is sequential.
                     run.detect_races(Schedule::Sequential, &RaceOptions::default())
@@ -255,6 +281,7 @@ mod tests {
         for (coloring, deposit, parallel) in [
             (false, DepositMethod::ScatterArrays, true),
             (false, DepositMethod::Atomics, true),
+            (false, DepositMethod::SortedSegments, true),
             (true, DepositMethod::Serial, true),
             (false, DepositMethod::Serial, false),
         ] {
@@ -300,6 +327,51 @@ mod tests {
         let report = check_plans(&plans, Some(&sim.decl_registry()));
         assert!(report.has_errors());
         assert_eq!(report.with_code("plan/racy-inc").len(), 1);
+    }
+
+    #[test]
+    fn sorted_segments_plan_without_fresh_index_is_caught() {
+        // Mutating the store after the step's sort stales the index;
+        // the static pass must flag the SortedSegments plan.
+        let mut cfg = FemPicConfig::tiny();
+        cfg.deposit = DepositMethod::SortedSegments;
+        cfg.policy = ExecPolicy::Par;
+        let mut sim = FemPic::new(cfg);
+        sim.run(2);
+        assert!(sim.ps.index_is_fresh(), "the engine sorts before SS");
+        assert!(!sim.validate_all().has_errors());
+
+        sim.ps.inject(10, 0); // stale the index
+        let report = check_plans(&sim.loop_plans(), Some(&sim.decl_registry()));
+        assert!(report.has_errors(), "{report}");
+        assert_eq!(report.with_code("plan/stale-index").len(), 1, "{report}");
+    }
+
+    #[test]
+    fn cell_index_audit_flags_a_corrupted_index() {
+        let mut cfg = FemPicConfig::tiny();
+        cfg.deposit = DepositMethod::SortedSegments;
+        cfg.policy = ExecPolicy::Par;
+        let mut sim = FemPic::new(cfg);
+        sim.run(2);
+        assert!(!sim.audit_maps().has_errors());
+        // Swap two particles' cells behind the index's back, then
+        // clear the dirtiness the accessor recorded: the store now
+        // *claims* freshness the audit must disprove.
+        let c0 = sim.ps.cells()[0];
+        let last = sim.ps.len() - 1;
+        let cl = sim.ps.cells()[last];
+        assert_ne!(c0, cl, "tiny run keeps a spread of cells");
+        {
+            let cells = sim.ps.cells_mut();
+            cells[0] = cl;
+            cells[last] = c0;
+        }
+        sim.ps.refine_dirty(0); // lie: "nothing changed"
+        assert!(sim.ps.index_is_fresh());
+        let report = sim.audit_maps();
+        assert!(report.has_errors(), "{report}");
+        assert!(!report.with_code("index/mismatch").is_empty(), "{report}");
     }
 
     #[test]
