@@ -31,6 +31,14 @@ echo "== --validate with the cell-locality engine (sorted segments / per-step so
 ./target/release/fempic configs/fempic_sorted.cfg --validate >/dev/null
 ./target/release/cabana configs/cabana_sorted.cfg --validate >/dev/null
 
+echo "== telemetry smoke (sink -> audit -> report)"
+# A validated run writes a JSONL event stream; the analyzer's offline
+# audit and the report tool must both accept it.
+./target/release/fempic --validate --telemetry /tmp/oppic_ci_telemetry.jsonl >/dev/null
+./target/release/oppic-analyzer --audit-telemetry /tmp/oppic_ci_telemetry.jsonl >/dev/null
+./target/release/oppic-report /tmp/oppic_ci_telemetry.jsonl >/dev/null
+rm -f /tmp/oppic_ci_telemetry.jsonl
+
 echo "== bench smoke"
 cargo bench --offline --workspace --no-run --quiet
 OPPIC_SCALE=0.02 OPPIC_STEPS=2 ./target/release/ablation_deposit_strategies >/dev/null

@@ -1,8 +1,9 @@
 //! `oppic-analyzer` — command-line front-end of the loop-plan checker.
 //!
-//! Currently the binary runs the built-in self-test (CI's smoke check
-//! of all three analysis passes); applications embed the library
-//! directly via their `--validate` flags.
+//! The binary runs the built-in self-test (CI's smoke check of the
+//! plan/shadow/map passes) and the offline telemetry-stream audit;
+//! applications embed the library directly via their `--validate`
+//! flags.
 
 use std::process::ExitCode;
 
@@ -29,15 +30,37 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("--audit-telemetry") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("oppic-analyzer: --audit-telemetry requires a JSONL file path");
+                return ExitCode::FAILURE;
+            };
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("oppic-analyzer: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = oppic_analyzer::audit_telemetry(&src);
+            println!("{report}");
+            if report.has_errors() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
         Some("--help") | None => {
             println!(
                 "oppic-analyzer: loop-plan checker for the OP-PIC DSL\n\
                  \n\
                  Usage:\n\
-                 \x20 oppic-analyzer --self-test   run all three analysis passes on canned plans\n\
+                 \x20 oppic-analyzer --self-test                run the plan/shadow/map passes on canned plans\n\
+                 \x20 oppic-analyzer --audit-telemetry <file>   audit a telemetry JSONL event stream\n\
                  \n\
                  Applications run the analyzer on their own plans via\n\
-                 `fempic --validate` / `cabana --validate`."
+                 `fempic --validate` / `cabana --validate`; telemetry\n\
+                 streams come from their `--telemetry <file>` flag."
             );
             ExitCode::SUCCESS
         }

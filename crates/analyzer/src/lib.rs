@@ -20,6 +20,9 @@
 //! 3. **Map-invariant audits** ([`audit`]) — bounds/validity checks
 //!    for static mesh maps, the dynamic particle→cell map after
 //!    move/hole-fill, and deposit colorings.
+//! 4. **Telemetry audit** ([`telemetry_audit`]) — offline replay of a
+//!    telemetry JSONL event stream (`--telemetry` runs): span/path
+//!    coherence, step ordering, and per-step counter invariants.
 //!
 //! All passes report [`diag::Diagnostic`]s on an Info/Warn/Error
 //! lattice; only errors fail a `--validate` run.
@@ -28,6 +31,7 @@ pub mod audit;
 pub mod diag;
 pub mod shadow;
 pub mod static_check;
+pub mod telemetry_audit;
 
 pub use audit::{
     audit_cell_index, audit_coloring, audit_mesh_map, audit_particle_cells, audit_report,
@@ -35,6 +39,7 @@ pub use audit::{
 pub use diag::{Diagnostic, Report, Severity};
 pub use shadow::{shadow_record, AccessKind, Race, RaceOptions, Schedule, ShadowCtx, ShadowRun};
 pub use static_check::{check_plan, check_plans};
+pub use telemetry_audit::audit_telemetry;
 
 use oppic_core::access::{Access, ArgDecl, LoopDecl};
 use oppic_core::deposit::{greedy_color_cells, DepositMethod};

@@ -1,0 +1,374 @@
+//! Pass 4: telemetry event-stream audit.
+//!
+//! The telemetry subsystem (`oppic_core::telemetry`) emits one JSON
+//! Lines record per span close / step summary / run footer. This pass
+//! replays such a stream offline and checks the structural invariants
+//! the writer is supposed to maintain:
+//!
+//! - every line parses as a JSON object with a known `type`;
+//! - the first record is a `run_header` with a supported schema;
+//! - span records are internally coherent (`depth` matches the
+//!   `path`, the `name` is the path's last segment, durations are
+//!   non-negative);
+//! - `step` summaries carry strictly increasing step indices;
+//! - counter invariants hold per step: particles relocated by the
+//!   mover never exceed the alive population, and the alive gauge is
+//!   continuous (`alive_k = alive_{k-1} + injected - removed`);
+//! - the `run_footer` reports zero open spans and an event count that
+//!   matches the stream.
+//!
+//! Used by `oppic-analyzer --audit-telemetry <file>` and by the
+//! applications' golden tests.
+
+use crate::diag::{Diagnostic, Report};
+use oppic_core::json::{self, Json};
+
+/// Schema versions this audit knows how to interpret.
+const SUPPORTED_SCHEMA: u64 = 1;
+
+/// Audit a telemetry JSONL stream (the full file contents).
+pub fn audit_telemetry(src: &str) -> Report {
+    let mut report = Report::new();
+    let mut events: Vec<(usize, Json)> = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json::parse(line) {
+            Ok(v @ Json::Obj(_)) => events.push((i + 1, v)),
+            Ok(_) => report.push(Diagnostic::error(
+                "telemetry/parse",
+                format!("line {}", i + 1),
+                "record is not a JSON object",
+            )),
+            Err(e) => report.push(Diagnostic::error(
+                "telemetry/parse",
+                format!("line {}", i + 1),
+                e,
+            )),
+        }
+    }
+    if events.is_empty() {
+        report.push(Diagnostic::error(
+            "telemetry/no-header",
+            "stream",
+            "no telemetry records found",
+        ));
+        return report;
+    }
+
+    // Header: must be first, must carry a supported schema.
+    let (first_line, first) = &events[0];
+    if first.get("type").and_then(Json::as_str) != Some("run_header") {
+        report.push(Diagnostic::error(
+            "telemetry/no-header",
+            format!("line {first_line}"),
+            "first record is not a run_header",
+        ));
+    } else {
+        match first.get("schema").and_then(Json::as_u64) {
+            Some(SUPPORTED_SCHEMA) => {}
+            Some(v) => report.push(Diagnostic::warn(
+                "telemetry/schema",
+                format!("line {first_line}"),
+                format!("schema {v} is newer than this audit (knows {SUPPORTED_SCHEMA})"),
+            )),
+            None => report.push(Diagnostic::error(
+                "telemetry/no-header",
+                format!("line {first_line}"),
+                "run_header has no numeric schema field",
+            )),
+        }
+    }
+
+    let mut last_step: Option<u64> = None;
+    let mut prev_alive: Option<f64> = None;
+    let mut n_steps = 0usize;
+    let mut n_spans = 0usize;
+    let mut footer: Option<(usize, &Json)> = None;
+
+    for (line, ev) in &events {
+        let line = *line;
+        let ty = ev.get("type").and_then(Json::as_str).unwrap_or("");
+        match ty {
+            "run_header" | "decision" => {}
+            "span" => {
+                n_spans += 1;
+                audit_span(line, ev, &mut report);
+            }
+            "step" => {
+                n_steps += 1;
+                audit_step(line, ev, &mut last_step, &mut prev_alive, &mut report);
+            }
+            "run_footer" => footer = Some((line, ev)),
+            other => report.push(Diagnostic::warn(
+                "telemetry/unknown-type",
+                format!("line {line}"),
+                format!("unknown record type {other:?}"),
+            )),
+        }
+    }
+
+    match footer {
+        None => report.push(Diagnostic::warn(
+            "telemetry/truncated",
+            "stream",
+            "no run_footer record: the run did not finish its sink",
+        )),
+        Some((line, f)) => {
+            if f.get("open_spans").and_then(Json::as_u64).unwrap_or(0) != 0 {
+                report.push(Diagnostic::error(
+                    "telemetry/unbalanced-spans",
+                    format!("line {line}"),
+                    format!(
+                        "run_footer reports {} span(s) still open",
+                        f.get("open_spans").and_then(Json::as_u64).unwrap_or(0)
+                    ),
+                ));
+            }
+            if let Some(n) = f.get("events").and_then(Json::as_u64) {
+                if n as usize != events.len() {
+                    report.push(Diagnostic::warn(
+                        "telemetry/event-count",
+                        format!("line {line}"),
+                        format!(
+                            "run_footer counts {n} event(s) but the stream holds {}",
+                            events.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    report.push(Diagnostic::info(
+        "telemetry/summary",
+        "stream",
+        format!(
+            "{} event(s): {n_spans} span(s) over {n_steps} step(s){}",
+            events.len(),
+            if footer.is_some() {
+                ", footer present"
+            } else {
+                ""
+            }
+        ),
+    ));
+    report
+}
+
+/// Span record coherence: `path` is `>`-joined, `depth` counts the
+/// segments below the root, `name` is the last segment, `ms >= 0`.
+fn audit_span(line: usize, ev: &Json, report: &mut Report) {
+    let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+    let path = ev.get("path").and_then(Json::as_str).unwrap_or("");
+    let segments: Vec<&str> = path.split('>').collect();
+    if segments.last().copied() != Some(name) {
+        report.push(Diagnostic::error(
+            "telemetry/path-mismatch",
+            format!("line {line}"),
+            format!("span name {name:?} is not the last segment of path {path:?}"),
+        ));
+    }
+    if let Some(depth) = ev.get("depth").and_then(Json::as_u64) {
+        if depth as usize != segments.len().saturating_sub(1) {
+            report.push(Diagnostic::error(
+                "telemetry/path-mismatch",
+                format!("line {line}"),
+                format!(
+                    "span depth {depth} disagrees with path {path:?} ({} segment(s))",
+                    segments.len()
+                ),
+            ));
+        }
+    }
+    match ev.get("ms").and_then(Json::as_f64) {
+        Some(ms) if ms >= 0.0 => {}
+        Some(ms) => report.push(Diagnostic::error(
+            "telemetry/negative-time",
+            format!("line {line}"),
+            format!("span {name:?} has negative duration {ms} ms"),
+        )),
+        None => report.push(Diagnostic::error(
+            "telemetry/negative-time",
+            format!("line {line}"),
+            format!("span {name:?} has no numeric ms field"),
+        )),
+    }
+}
+
+/// Step summary invariants: strictly increasing indices, relocations
+/// bounded by the alive population, and alive-count continuity against
+/// the per-step injection/removal counter deltas.
+fn audit_step(
+    line: usize,
+    ev: &Json,
+    last_step: &mut Option<u64>,
+    prev_alive: &mut Option<f64>,
+    report: &mut Report,
+) {
+    let step = ev.get("step").and_then(Json::as_u64);
+    match (step, *last_step) {
+        (Some(s), Some(prev)) if s <= prev => report.push(Diagnostic::error(
+            "telemetry/step-order",
+            format!("line {line}"),
+            format!("step index {s} does not increase over {prev}"),
+        )),
+        (None, _) => report.push(Diagnostic::error(
+            "telemetry/step-order",
+            format!("line {line}"),
+            "step record has no numeric step field",
+        )),
+        _ => {}
+    }
+    if let Some(s) = step {
+        *last_step = Some(s);
+    }
+
+    let counter = |name: &str| {
+        ev.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+    };
+    let alive = ev
+        .get("gauges")
+        .and_then(|g| g.get("alive"))
+        .and_then(Json::as_f64);
+
+    if let (Some(moved), Some(alive)) = (counter("move.relocated"), alive) {
+        if moved as f64 > alive {
+            report.push(Diagnostic::error(
+                "telemetry/counter-invariant",
+                format!("line {line}"),
+                format!("move.relocated = {moved} exceeds the alive population {alive}"),
+            ));
+        }
+    }
+
+    // Continuity: every change to the particle count must be accounted
+    // for by the injection / hole-fill counters (absent keys mean 0).
+    if let (Some(prev), Some(now)) = (*prev_alive, alive) {
+        let injected = counter("inject.particles").unwrap_or(0) as f64;
+        let removed = counter("holefill.removed").unwrap_or(0) as f64;
+        let expect = prev + injected - removed;
+        if (now - expect).abs() > 0.5 {
+            report.push(Diagnostic::error(
+                "telemetry/counter-invariant",
+                format!("line {line}"),
+                format!(
+                    "alive = {now} but previous step implies {expect} \
+                     ({prev} + {injected} injected - {removed} removed)"
+                ),
+            ));
+        }
+    }
+    if alive.is_some() {
+        *prev_alive = alive;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    const HEADER: &str = r#"{"type":"run_header","schema":1,"app":"t","config_hash":"0","build":"debug","threads":1}"#;
+    const FOOTER: &str = r#"{"type":"run_footer","open_spans":0,"total_ms":1.0,"events":4,"traces_dropped":0,"kernels":[],"counters":{},"histograms":{}}"#;
+
+    fn stream(lines: &[&str]) -> String {
+        lines.join("\n")
+    }
+
+    #[test]
+    fn clean_stream_passes() {
+        let src = stream(&[
+            HEADER,
+            r#"{"type":"span","step":1,"name":"Move","path":"step>Move","depth":1,"ms":0.5}"#,
+            r#"{"type":"step","step":1,"ms":1.0,"gauges":{"alive":10},"counters":{"move.relocated":3}}"#,
+            FOOTER,
+        ]);
+        let r = audit_telemetry(&src);
+        assert!(!r.has_errors(), "{r}");
+        assert_eq!(r.count(Severity::Warn), 0, "{r}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported_per_line() {
+        let r = audit_telemetry(&stream(&[HEADER, "not json", FOOTER]));
+        assert_eq!(r.with_code("telemetry/parse").len(), 1, "{r}");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let r = audit_telemetry(r#"{"type":"step","step":1,"ms":1.0}"#);
+        assert!(!r.with_code("telemetry/no-header").is_empty(), "{r}");
+    }
+
+    #[test]
+    fn span_path_and_depth_must_agree() {
+        let bad_name =
+            r#"{"type":"span","step":1,"name":"Move","path":"step>Inject","depth":1,"ms":0.1}"#;
+        let bad_depth =
+            r#"{"type":"span","step":1,"name":"Move","path":"step>Move","depth":3,"ms":0.1}"#;
+        let r = audit_telemetry(&stream(&[HEADER, bad_name, bad_depth, FOOTER]));
+        assert_eq!(r.with_code("telemetry/path-mismatch").len(), 2, "{r}");
+    }
+
+    #[test]
+    fn negative_span_time_is_an_error() {
+        let bad = r#"{"type":"span","step":1,"name":"Move","path":"step>Move","depth":1,"ms":-2}"#;
+        let r = audit_telemetry(&stream(&[HEADER, bad, FOOTER]));
+        assert!(!r.with_code("telemetry/negative-time").is_empty(), "{r}");
+    }
+
+    #[test]
+    fn step_indices_must_strictly_increase() {
+        let s2 = r#"{"type":"step","step":2,"ms":1.0,"gauges":{},"counters":{}}"#;
+        let s1 = r#"{"type":"step","step":2,"ms":1.0,"gauges":{},"counters":{}}"#;
+        let r = audit_telemetry(&stream(&[HEADER, s2, s1, FOOTER]));
+        assert!(!r.with_code("telemetry/step-order").is_empty(), "{r}");
+    }
+
+    #[test]
+    fn moved_exceeding_alive_is_an_error() {
+        let s = r#"{"type":"step","step":1,"ms":1.0,"gauges":{"alive":5},"counters":{"move.relocated":9}}"#;
+        let r = audit_telemetry(&stream(&[HEADER, s, FOOTER]));
+        assert!(
+            !r.with_code("telemetry/counter-invariant").is_empty(),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn alive_continuity_is_checked_across_steps() {
+        let s1 = r#"{"type":"step","step":1,"ms":1.0,"gauges":{"alive":10},"counters":{}}"#;
+        let ok = r#"{"type":"step","step":2,"ms":1.0,"gauges":{"alive":12},"counters":{"inject.particles":3,"holefill.removed":1}}"#;
+        let bad = r#"{"type":"step","step":3,"ms":1.0,"gauges":{"alive":99},"counters":{}}"#;
+        let r = audit_telemetry(&stream(&[HEADER, s1, ok, bad, FOOTER]));
+        let hits = r.with_code("telemetry/counter-invariant");
+        assert_eq!(hits.len(), 1, "{r}");
+        assert!(hits[0].subject.contains("line 4"), "{r}");
+    }
+
+    #[test]
+    fn open_spans_in_footer_is_an_error() {
+        let f = r#"{"type":"run_footer","open_spans":2,"total_ms":1.0,"events":2,"traces_dropped":0,"kernels":[],"counters":{},"histograms":{}}"#;
+        let r = audit_telemetry(&stream(&[HEADER, f]));
+        assert!(!r.with_code("telemetry/unbalanced-spans").is_empty(), "{r}");
+    }
+
+    #[test]
+    fn missing_footer_is_a_warning_not_an_error() {
+        let r = audit_telemetry(HEADER);
+        assert!(!r.has_errors(), "{r}");
+        assert!(!r.with_code("telemetry/truncated").is_empty(), "{r}");
+    }
+
+    #[test]
+    fn footer_event_count_mismatch_warns() {
+        let f = r#"{"type":"run_footer","open_spans":0,"total_ms":1.0,"events":7,"traces_dropped":0,"kernels":[],"counters":{},"histograms":{}}"#;
+        let r = audit_telemetry(&stream(&[HEADER, f]));
+        assert!(!r.with_code("telemetry/event-count").is_empty(), "{r}");
+        assert!(!r.has_errors(), "{r}");
+    }
+}

@@ -1,11 +1,16 @@
 //! Criterion microbench: the deposit strategies across contention
-//! levels (the Section 3.3 design space), plus the cell-locality
-//! engine's sorted-segments executor across ppc regimes.
+//! levels (the Section 3.3 design space), the cell-locality engine's
+//! sorted-segments executor across ppc regimes, and the telemetry
+//! hot paths (kernel-record interning, counter publication on/off).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use oppic_core::{
-    deposit_loop, deposit_loop_sorted, invert_cell_targets, DepositMethod, ExecPolicy, ParticleDats,
+    deposit_loop, deposit_loop_sorted, invert_cell_targets, DepositMethod, ExecPolicy,
+    ParticleDats, Profiler,
 };
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn bench_deposit(c: &mut Criterion) {
     let n = 100_000usize;
@@ -104,6 +109,85 @@ fn bench_deposit_sorted(c: &mut Criterion) {
     g.finish();
 }
 
+/// Kernel-record hot path: interned `&str` lookup and pre-interned
+/// `KernelId` against the historic per-call `String` allocation
+/// (emulated with a plain `HashMap<String, _>` entry).
+fn bench_record(c: &mut Criterion) {
+    const NAMES: [&str; 4] = ["Move", "DepositCharge", "Inject", "CalcPosVel"];
+    let per_iter = 1000usize;
+    let mut g = c.benchmark_group("telemetry_record");
+    g.throughput(Throughput::Elements(per_iter as u64));
+    let d = Duration::from_nanos(100);
+
+    g.bench_function("interned_str", |b| {
+        let p = Profiler::new();
+        b.iter(|| {
+            for i in 0..per_iter {
+                p.record(NAMES[i % NAMES.len()], d);
+            }
+        });
+    });
+    g.bench_function("kernel_id", |b| {
+        let p = Profiler::new();
+        let ids: Vec<_> = NAMES.iter().map(|n| p.intern(n)).collect();
+        b.iter(|| {
+            for i in 0..per_iter {
+                p.record_id(ids[i % ids.len()], d);
+            }
+        });
+    });
+    g.bench_function("string_alloc_legacy", |b| {
+        // What `record` used to cost: a fresh String per call keying a
+        // plain map.
+        let mut map: HashMap<String, (u64, Duration)> = HashMap::new();
+        b.iter(|| {
+            for i in 0..per_iter {
+                let e = map
+                    .entry(NAMES[i % NAMES.len()].to_string())
+                    .or_insert((0, Duration::ZERO));
+                e.0 += 1;
+                e.1 += d;
+            }
+        });
+    });
+    g.finish();
+}
+
+/// The telemetry-off acceptance check: a deposit loop with no current
+/// telemetry installed must cost the same as one running under a
+/// `make_current` scope (the counter publication is one thread-local
+/// read on the off path).
+fn bench_deposit_telemetry_overhead(c: &mut Criterion) {
+    let n = 100_000usize;
+    let targets = 4096usize;
+    let mut g = c.benchmark_group("deposit_telemetry");
+    g.throughput(Throughput::Elements(n as u64));
+    let run = |buf: &mut Vec<f64>| {
+        deposit_loop(
+            &ExecPolicy::Par,
+            DepositMethod::ScatterArrays,
+            n,
+            buf,
+            |i, dep| {
+                for k in 0..4usize {
+                    dep.add((i.wrapping_mul(2654435761) + k * 97) % targets, 1.0);
+                }
+            },
+        )
+    };
+    g.bench_function("telemetry_off", |b| {
+        let mut buf = vec![0.0f64; targets];
+        b.iter(|| run(&mut buf));
+    });
+    g.bench_function("telemetry_on", |b| {
+        let tel = Arc::new(oppic_core::Telemetry::new());
+        let _cur = tel.make_current();
+        let mut buf = vec![0.0f64; targets];
+        b.iter(|| run(&mut buf));
+    });
+    g.finish();
+}
+
 fn short() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -113,6 +197,6 @@ fn short() -> Criterion {
 criterion_group! {
     name = benches;
     config = short();
-    targets = bench_deposit, bench_deposit_sorted
+    targets = bench_deposit, bench_deposit_sorted, bench_record, bench_deposit_telemetry_overhead
 }
 criterion_main!(benches);

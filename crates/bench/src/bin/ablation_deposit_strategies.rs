@@ -14,7 +14,7 @@
 //!    deposit across particle-per-cell regimes, recorded to
 //!    `results/BENCH_ablation_deposit_sorted.json`.
 
-use oppic_bench::report::{banner, scale_factor, steps};
+use oppic_bench::report::{banner, scale_factor, steps, telemetry_from_env};
 use oppic_core::{
     deposit_loop, deposit_loop_sorted, invert_cell_targets, DepositMethod, ExecPolicy, ParticleDats,
 };
@@ -68,7 +68,17 @@ fn main() {
         cfg.policy = ExecPolicy::Par;
         cfg.deposit = method;
         let mut sim = FemPic::new(cfg);
+        let sink = telemetry_from_env(
+            &sim.profiler,
+            "fempic",
+            &format!("deposit-{method:?}"),
+            sim.cfg.policy.threads(),
+            &format!("{:?}", sim.cfg),
+        );
         sim.run(n_steps);
+        if sink {
+            let _ = sim.profiler.telemetry().finish();
+        }
         let dep = sim.profiler.get("DepositCharge").map_or(0.0, |s| s.seconds);
         println!(
             "{:<24} {:>10.4} s  (total charge {:.6})",

@@ -6,7 +6,7 @@
 //! fast-flow duct — and additionally trades memory for hops (the
 //! overlay bookkeeping), which this binary reports too.
 
-use oppic_bench::report::{banner, steps};
+use oppic_bench::report::{banner, steps, telemetry_from_env};
 use oppic_core::ExecPolicy;
 use oppic_fempic::{FemPic, FemPicConfig, MoveStrategy};
 use oppic_mesh::{StructuredOverlay, TetMesh};
@@ -72,9 +72,19 @@ fn main() {
         let mut cfg = base.clone();
         cfg.move_strategy = strategy;
         let mut sim = FemPic::new(cfg);
+        let sink = telemetry_from_env(
+            &sim.profiler,
+            "fempic",
+            label,
+            sim.cfg.policy.threads(),
+            &format!("{:?}", sim.cfg),
+        );
         let t0 = Instant::now();
         sim.run(n_steps);
         let total = t0.elapsed().as_secs_f64();
+        if sink {
+            let _ = sim.profiler.telemetry().finish();
+        }
         let move_s = sim.profiler.get("Move").map_or(0.0, |s| s.seconds);
         if label.starts_with("multi") {
             mh_time = move_s;

@@ -8,7 +8,7 @@
 //! particle data (DESIGN.md, substitutions). Scale with
 //! `OPPIC_SCALE` (1.0 = paper size) and `OPPIC_STEPS`.
 
-use oppic_bench::report::{banner, bar_chart, scale_factor, steps};
+use oppic_bench::report::{banner, bar_chart, scale_factor, steps, telemetry_from_env};
 use oppic_core::{DepositMethod, ExecPolicy};
 use oppic_device::{analyze_warps, AtomicFlavor, DeviceSpec};
 use oppic_fempic::{FemPic, FemPicConfig, MoveStrategy};
@@ -24,7 +24,17 @@ const KERNELS: [&str; 6] = [
 
 fn run_variant(name: &str, cfg: FemPicConfig, n_steps: usize) -> (FemPic, Vec<(String, f64)>) {
     let mut sim = FemPic::new(cfg);
+    let sink = telemetry_from_env(
+        &sim.profiler,
+        "fempic",
+        name,
+        sim.cfg.policy.threads(),
+        &format!("{:?}", sim.cfg),
+    );
     sim.run(n_steps);
+    if sink {
+        let _ = sim.profiler.telemetry().finish();
+    }
     let rows: Vec<(String, f64)> = KERNELS
         .iter()
         .map(|k| {

@@ -7,7 +7,7 @@
 //! paper highlights ("threads within a warp take different execution
 //! paths") and the atomic current-deposit serialization.
 
-use oppic_bench::report::{banner, bar_chart, scale_factor, steps};
+use oppic_bench::report::{banner, bar_chart, scale_factor, steps, telemetry_from_env};
 use oppic_cabana::{CabanaConfig, CabanaPic};
 use oppic_core::ExecPolicy;
 use oppic_device::{analyze_warps, AtomicFlavor, DeviceSpec};
@@ -23,7 +23,17 @@ const KERNELS: [&str; 6] = [
 
 fn run_case(label: &str, cfg: CabanaConfig, n_steps: usize) -> CabanaPic {
     let mut sim = CabanaPic::new_dsl(cfg);
+    let sink = telemetry_from_env(
+        &sim.profiler,
+        "cabana",
+        label,
+        sim.cfg.policy.threads(),
+        &format!("{:?}", sim.cfg),
+    );
     sim.run(n_steps);
+    if sink {
+        let _ = sim.profiler.telemetry().finish();
+    }
     let rows: Vec<(String, f64)> = KERNELS
         .iter()
         .map(|k| {

@@ -1,0 +1,85 @@
+//! `oppic-report` — digest telemetry JSONL streams into the paper's
+//! presentation artifacts.
+//!
+//! ```text
+//! oppic-report [--artifacts <dir>] <run.jsonl>...
+//! ```
+//!
+//! Prints one breakdown table (kernels, per-class totals, step
+//! statistics) per input stream. With `--artifacts <dir>` it also
+//! writes `BENCH_roofline.csv` (Figure 10/11 operands) and
+//! `BENCH_step_timings.json` (per-step timings/populations) into the
+//! directory.
+
+use oppic_bench::telemetry_report::{
+    breakdown_table, parse_run, roofline_csv, step_timings_json, RunSummary,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: oppic-report [--artifacts <dir>] <run.jsonl>...");
+        return ExitCode::SUCCESS;
+    }
+    let artifacts = match args.iter().position(|a| a == "--artifacts") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("oppic-report: --artifacts requires a directory");
+                return ExitCode::FAILURE;
+            }
+            let dir = args.remove(i + 1);
+            args.remove(i);
+            Some(dir)
+        }
+        None => None,
+    };
+    if args.is_empty() {
+        eprintln!("usage: oppic-report [--artifacts <dir>] <run.jsonl>...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut runs: Vec<RunSummary> = Vec::new();
+    for path in &args {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("oppic-report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_run(&src) {
+            Ok(run) => {
+                println!("== {path}");
+                print!("{}", breakdown_table(&run));
+                println!();
+                runs.push(run);
+            }
+            Err(e) => {
+                eprintln!("oppic-report: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(dir) = artifacts {
+        let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("oppic-report: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let write = |name: &str, content: String| -> std::io::Result<()> {
+            let p = dir.join(name);
+            std::fs::write(&p, content)?;
+            println!("wrote {}", p.display());
+            Ok(())
+        };
+        if let Err(e) = write("BENCH_roofline.csv", roofline_csv(&runs))
+            .and_then(|()| write("BENCH_step_timings.json", step_timings_json(&runs)))
+        {
+            eprintln!("oppic-report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -18,7 +18,9 @@
 //! | `fig15_power_equivalent`    | Figure 15 power equivalence |
 //! | `ablation_move_strategies`  | §4.2 MH vs DH (~20% claim) |
 //! | `ablation_deposit_strategies` | §3.3/§4.1.1 AT/UA/SR/SA |
+//! | `oppic-report`              | telemetry JSONL → breakdown / roofline CSV / step timings |
 
 pub mod analysis;
 pub mod distributed;
 pub mod report;
+pub mod telemetry_report;

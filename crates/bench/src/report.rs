@@ -1,6 +1,10 @@
 //! Shared reporting helpers for the figure/table binaries: consistent
 //! headers, simple ASCII bar charts (the terminal stand-in for the
-//! paper's matplotlib plots), and environment scaling knobs.
+//! paper's matplotlib plots), environment scaling knobs, and the
+//! `OPPIC_TELEMETRY` sink hookup.
+
+use oppic_core::telemetry::fnv1a;
+use oppic_core::{Profiler, RunInfo};
 
 /// Print a figure/table banner.
 pub fn banner(id: &str, caption: &str) {
@@ -33,6 +37,65 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     }
     let n = ((value / max) * width as f64).round().max(0.0) as usize;
     "#".repeat(n.min(width))
+}
+
+/// Derive the per-variant sink path: the variant slug is inserted
+/// before the extension (`out.jsonl` + `"CPU seq"` → `out.cpu-seq.jsonl`)
+/// so multi-variant binaries write one stream per run.
+pub fn telemetry_variant_path(base: &str, variant: &str) -> String {
+    let mut slug = String::new();
+    for c in variant.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+        } else if !slug.ends_with('-') {
+            slug.push('-');
+        }
+    }
+    let slug = slug.trim_matches('-');
+    if slug.is_empty() {
+        return base.to_string();
+    }
+    match base.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.{slug}.{ext}"),
+        None => format!("{base}.{slug}"),
+    }
+}
+
+/// Attach a telemetry JSONL sink when `OPPIC_TELEMETRY` names a path —
+/// the bench binaries' counterpart of the applications' `--telemetry`
+/// flag. Returns whether a sink opened; the caller must
+/// `profiler.telemetry().finish()` once the variant's run ends.
+pub fn telemetry_from_env(
+    profiler: &Profiler,
+    app: &str,
+    variant: &str,
+    threads: usize,
+    config_debug: &str,
+) -> bool {
+    let Ok(base) = std::env::var("OPPIC_TELEMETRY") else {
+        return false;
+    };
+    let path = telemetry_variant_path(&base, variant);
+    let mut extra = vec![("bench".to_string(), "1".to_string())];
+    if !variant.is_empty() {
+        extra.push(("variant".to_string(), variant.to_string()));
+    }
+    let info = RunInfo {
+        app: app.into(),
+        config_hash: format!("{:016x}", fnv1a(config_debug.as_bytes())),
+        threads,
+        extra,
+    };
+    match profiler
+        .telemetry()
+        .attach_sink(std::path::Path::new(&path), &info)
+    {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("warning: cannot open telemetry sink {path}: {e}");
+            false
+        }
+    }
 }
 
 /// Render a labelled bar chart.
@@ -71,6 +134,16 @@ mod tests {
         assert!(c.contains("Move"));
         assert!(c.contains("DepositCharge"));
         assert_eq!(c.lines().count(), 2);
+    }
+
+    #[test]
+    fn variant_paths_slug_before_extension() {
+        assert_eq!(
+            telemetry_variant_path("out.jsonl", "CPU parallel, multi-hop (MH)"),
+            "out.cpu-parallel-multi-hop-mh.jsonl"
+        );
+        assert_eq!(telemetry_variant_path("out.jsonl", ""), "out.jsonl");
+        assert_eq!(telemetry_variant_path("noext", "A B"), "noext.a-b");
     }
 
     #[test]

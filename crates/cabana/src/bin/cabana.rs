@@ -9,7 +9,8 @@
 //! segment-batched).
 
 use oppic_cabana::{CabanaConfig, CabanaPic, StructuredCabana};
-use oppic_core::{ExecPolicy, Params, SortPolicy};
+use oppic_core::telemetry::fnv1a;
+use oppic_core::{ExecPolicy, Params, RunInfo, SortPolicy};
 
 const KNOWN: &[&str] = &[
     "nx",
@@ -79,11 +80,55 @@ fn config_from(params: &Params) -> Result<(CabanaConfig, usize, usize, bool), St
     Ok((cfg, steps, report_every, structured))
 }
 
+/// Open the `--telemetry <path>` JSONL sink on the sim's hub, with a
+/// run-header carrying the config fingerprint, build profile, and
+/// thread count.
+fn attach_telemetry<T: oppic_cabana::Topology>(
+    sim: &oppic_cabana::CabanaEngine<T>,
+    path: &str,
+    steps: usize,
+) {
+    let info = RunInfo {
+        app: "cabana".into(),
+        config_hash: format!("{:016x}", fnv1a(format!("{:?}", sim.cfg).as_bytes())),
+        threads: sim.cfg.policy.threads(),
+        extra: vec![
+            ("steps".into(), steps.to_string()),
+            ("topology".into(), sim.topo.name().to_string()),
+        ],
+    };
+    if let Err(e) = sim
+        .profiler
+        .telemetry()
+        .attach_sink(std::path::Path::new(path), &info)
+    {
+        eprintln!("error: cannot open telemetry sink {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Strip `--telemetry <path>` from the argument list, returning the
+/// path if present.
+fn take_telemetry_arg(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--telemetry")?;
+    if i + 1 >= args.len() {
+        eprintln!("error: --telemetry requires a file path");
+        std::process::exit(2);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Some(path)
+}
+
 fn run<T: oppic_cabana::Topology>(
     mut sim: oppic_cabana::CabanaEngine<T>,
     steps: usize,
     report_every: usize,
+    telemetry: Option<&str>,
 ) {
+    if let Some(path) = telemetry {
+        attach_telemetry(&sim, path, steps);
+    }
     println!(
         "CabanaPIC ({}): {} cells x {} ppc = {} particles, {} steps",
         sim.topo.name(),
@@ -104,6 +149,10 @@ fn run<T: oppic_cabana::Topology>(
     }
     println!("\nMainLoop TotalTime = {:.4} s", t0.elapsed().as_secs_f64());
     print!("{}", sim.profiler.breakdown_table());
+    if let Err(e) = sim.profiler.telemetry().finish() {
+        eprintln!("error: telemetry sink: {e}");
+        std::process::exit(2);
+    }
     if let Err(e) = sim.check_invariants() {
         eprintln!("INVARIANT VIOLATION: {e}");
         std::process::exit(1);
@@ -116,6 +165,7 @@ fn run<T: oppic_cabana::Topology>(
 fn run_validation<T: oppic_cabana::Topology>(
     mut sim: oppic_cabana::CabanaEngine<T>,
     steps: usize,
+    telemetry: Option<&str>,
 ) -> ! {
     let warmup = steps.clamp(1, 5);
     println!(
@@ -123,11 +173,18 @@ fn run_validation<T: oppic_cabana::Topology>(
         sim.topo.name(),
         sim.cfg.n_cells()
     );
+    if let Some(path) = telemetry {
+        attach_telemetry(&sim, path, warmup);
+    }
     sim.run(warmup);
     let plans = sim.loop_plans();
     println!("\n{}", plans.summary());
     let report = sim.validate_all();
     println!("{report}");
+    if let Err(e) = sim.profiler.telemetry().finish() {
+        eprintln!("error: telemetry sink: {e}");
+        std::process::exit(2);
+    }
     std::process::exit(report.exit_code());
 }
 
@@ -135,6 +192,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let validate = args.iter().any(|a| a == "--validate");
     args.retain(|a| a != "--validate");
+    let telemetry = take_telemetry_arg(&mut args);
+    let tel = telemetry.as_deref();
     let params = match args.get(1).map(String::as_str) {
         Some(path) => Params::load(path).unwrap_or_else(|e| {
             eprintln!("error: {e}");
@@ -147,9 +206,14 @@ fn main() {
         std::process::exit(2);
     });
     match (structured, validate) {
-        (true, true) => run_validation(StructuredCabana::new_structured(cfg), steps),
-        (false, true) => run_validation(CabanaPic::new_dsl(cfg), steps),
-        (true, false) => run(StructuredCabana::new_structured(cfg), steps, report_every),
-        (false, false) => run(CabanaPic::new_dsl(cfg), steps, report_every),
+        (true, true) => run_validation(StructuredCabana::new_structured(cfg), steps, tel),
+        (false, true) => run_validation(CabanaPic::new_dsl(cfg), steps, tel),
+        (true, false) => run(
+            StructuredCabana::new_structured(cfg),
+            steps,
+            report_every,
+            tel,
+        ),
+        (false, false) => run(CabanaPic::new_dsl(cfg), steps, report_every, tel),
     }
 }

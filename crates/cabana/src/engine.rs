@@ -18,7 +18,6 @@ use oppic_core::profile::{KernelClass, Profiler};
 use oppic_core::{ColId, Dat, ParticleDats};
 use oppic_device::DeviceBuffer;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// How a version resolves periodic face-neighbours.
 pub trait Topology: Sync {
@@ -379,9 +378,15 @@ impl<T: Topology> CabanaEngine<T> {
             .collect()
     }
 
-    /// One full leap-frog step. Returns diagnostics.
+    /// One full leap-frog step. Returns diagnostics. Kernel timing
+    /// flows through telemetry spans: each stage is a `step>...` span
+    /// that records into the kernel table on close, and the step span
+    /// itself closes with alive/energy gauges and counter deltas.
     pub fn step(&mut self) -> EnergyDiagnostics {
         self.step_no += 1;
+        let tel = self.profiler.telemetry().clone();
+        let _cur = tel.make_current();
+        tel.begin_step(self.step_no as u64);
 
         // Cell-locality engine: rebuild the CSR cell index when the
         // policy says so, making this step's Move_Deposit run
@@ -391,46 +396,44 @@ impl<T: Topology> CabanaEngine<T> {
             .sort_policy
             .should_sort(self.step_no, self.ps.dirty_count(), self.ps.len())
         {
-            let t0 = Instant::now();
+            let _s = tel.span("SortParticles");
             self.ps.sort_by_cell(self.geom.n_cells());
-            self.profiler.record("SortParticles", t0.elapsed());
         }
 
-        let t0 = Instant::now();
-        self.interpolate();
-        self.profiler.record("Interpolate", t0.elapsed());
-        self.profiler
-            .classify("Interpolate", KernelClass::WeightFields);
+        {
+            let _s = tel.span_class("Interpolate", KernelClass::WeightFields);
+            self.interpolate();
+        }
 
-        let t0 = Instant::now();
-        let visited = self.move_deposit();
-        self.profiler.record("Move_Deposit", t0.elapsed());
-        self.profiler.classify("Move_Deposit", KernelClass::Move);
+        let visited = {
+            let _s = tel.span_class("Move_Deposit", KernelClass::Move);
+            self.move_deposit()
+        };
         // With the `validate` feature the dynamic particle→cell map is
         // re-audited right after the fused mover updated it.
         #[cfg(feature = "validate")]
         self.assert_particle_map_valid();
 
-        let t0 = Instant::now();
-        self.accumulate_current();
-        self.profiler.record("AccumulateCurrent", t0.elapsed());
-        self.profiler
-            .classify("AccumulateCurrent", KernelClass::Deposit);
+        {
+            let _s = tel.span_class("AccumulateCurrent", KernelClass::Deposit);
+            self.accumulate_current();
+        }
 
-        let t0 = Instant::now();
-        self.advance_b();
-        self.profiler.record("AdvanceB", t0.elapsed());
-        self.profiler.classify("AdvanceB", KernelClass::FieldSolve);
+        {
+            let _s = tel.span_class("AdvanceB", KernelClass::FieldSolve);
+            self.advance_b();
+        }
 
-        let t0 = Instant::now();
-        self.advance_e();
-        self.profiler.record("AdvanceE", t0.elapsed());
-        self.profiler.classify("AdvanceE", KernelClass::FieldSolve);
+        {
+            let _s = tel.span_class("AdvanceE", KernelClass::FieldSolve);
+            self.advance_e();
+        }
 
         self.update_ghosts();
 
         let mut d = self.energies();
         d.mean_visited = visited as f64 / self.ps.len().max(1) as f64;
+        tel.end_step(&[("alive", self.ps.len() as f64), ("total_energy", d.total())]);
         d
     }
 

@@ -201,6 +201,10 @@ pub fn deposit_loop<F>(
 where
     F: Fn(usize, &mut Depositor) + Sync,
 {
+    if let Some(t) = crate::telemetry::current() {
+        t.counter_add("deposit.loops", 1);
+        t.counter_add(&format!("deposit.method.{}", method.label()), 1);
+    }
     match method {
         DepositMethod::Serial => {
             let mut dep = Depositor::Exclusive(target);
@@ -331,6 +335,10 @@ where
         inv.n_targets(),
         "target length must match the inverse map"
     );
+    if let Some(t) = crate::telemetry::current() {
+        t.counter_add("deposit.loops", 1);
+        t.counter_add("deposit.method.SS", 1);
+    }
     let fold_target = |t: usize, out: &mut f64| {
         let mut acc = *out;
         let entries = inv.entries_of(t);
@@ -488,6 +496,7 @@ impl AutoTuner {
             }
         };
         self.decisions.push(d.clone());
+        crate::telemetry::count("tuner.decisions", 1);
         d
     }
 

@@ -1,0 +1,406 @@
+//! Minimal JSON support for the telemetry subsystem.
+//!
+//! The workspace is hermetic (no serde); the telemetry sink writes JSON
+//! Lines by hand and the analyzer / report tools parse them back with
+//! this small recursive-descent parser. It supports the full JSON value
+//! grammar (objects, arrays, strings with escapes, numbers, booleans,
+//! null) — enough to round-trip every event record in
+//! [`crate::telemetry`] — and deliberately nothing more (no streaming,
+//! no zero-copy, no custom number types).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Objects keep insertion order (the schema checks
+/// in the analyzer care that `type` comes first in emitted events).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer view of a number (error-free only for |n| < 2^53, which
+    /// covers every counter the telemetry layer emits).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Escape `s` into a JSON string literal body (no surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Quoted, escaped JSON string literal for `s`.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Render an `f64` the way the telemetry sink does: finite numbers as
+/// shortest round-trip decimal, non-finite as `null` (JSON has no NaN).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `{}` prints integers without a dot; keep that (valid JSON).
+        if s == "-0" {
+            s = "0".into();
+        }
+        s
+    } else {
+        "null".into()
+    }
+}
+
+/// Parse one JSON document. Trailing whitespace is allowed; trailing
+/// non-whitespace is an error (JSONL readers split on newlines first).
+pub fn parse(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing characters at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.i
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00))
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(cp).ok_or("bad \\u escape")?);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Advance one whole UTF-8 char.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.i + 4 > self.b.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let text = std::str::from_utf8(&self.b[self.i..self.i + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape {text:?}"))?;
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let v = self.value()?;
+            fields.push((k, v));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn object_order_preserved() {
+        let v = parse(r#"{"type":"span","z":1,"a":2}"#).unwrap();
+        let keys: Vec<&str> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["type", "z", "a"]);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "tab\t quote\" slash\\ nl\n unicode\u{1F600}\u{7}";
+        let quoted = quote(original);
+        let back = parse(&quoted).unwrap();
+        assert_eq!(back.as_str(), Some(original));
+    }
+
+    #[test]
+    fn surrogate_pair_decodes() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn num_rendering() {
+        assert_eq!(num(1.0), "1");
+        assert_eq!(num(0.25), "0.25");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(-0.0), "0");
+        assert_eq!(parse(&num(1e300)).unwrap(), Json::Num(1e300));
+    }
+
+    #[test]
+    fn u64_view() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-3").unwrap().as_u64(), None);
+    }
+}

@@ -37,12 +37,14 @@ pub mod decl;
 #[macro_use]
 pub mod macros;
 pub mod deposit;
+pub mod json;
 pub mod move_engine;
 pub mod params;
 pub mod parloop;
 pub mod particles;
 pub mod plan;
 pub mod profile;
+pub mod telemetry;
 
 pub use access::{Access, ArgDecl, Indirection, LoopDecl};
 pub use checkpoint::{BinReader, BinWriter};
@@ -63,3 +65,6 @@ pub use parloop::{
 pub use particles::{ColId, ParticleDats, SortPolicy};
 pub use plan::{LoopPlan, PlanRegistry, RaceStrategy};
 pub use profile::{KernelClass, Profiler};
+pub use telemetry::{
+    Histogram, HistogramSnapshot, KernelId, KernelStats, RunInfo, Span, Telemetry,
+};

@@ -173,6 +173,9 @@ where
     let aborted = AtomicU64::new(0);
     let out_of_range = AtomicU64::new(0);
     let moved = AtomicU64::new(0);
+    // Lock-free handle; recording is a relaxed atomic add per particle,
+    // and the whole path is skipped when no telemetry is current.
+    let hops_hist = crate::telemetry::hist("move.hops_per_particle");
     use std::sync::atomic::AtomicU32;
     let chain_log: Vec<AtomicU32> = if cfg.record_chains {
         (0..cells.len()).map(|_| AtomicU32::new(0)).collect()
@@ -189,6 +192,9 @@ where
             max_chain.fetch_max(chain as u64, Ordering::Relaxed);
             if let Some(slot) = chain_log.get(i) {
                 slot.store(chain, Ordering::Relaxed);
+            }
+            if let Some(h) = &hops_hist {
+                h.record(chain as u64);
             }
         };
         loop {
@@ -274,7 +280,7 @@ where
         "removal list must be strictly ascending"
     );
 
-    Ok(MoveResult {
+    let result = MoveResult {
         removed,
         total_visits: total_visits.into_inner(),
         max_chain: max_chain.into_inner() as u32,
@@ -282,7 +288,13 @@ where
         chains: chain_log.into_iter().map(AtomicU32::into_inner).collect(),
         out_of_range: out_of_range.into_inner(),
         moved: moved.into_inner(),
-    })
+    };
+    crate::telemetry::count("move.relocated", result.moved);
+    crate::telemetry::count("move.removed", result.removed.len() as u64);
+    crate::telemetry::count("move.visits", result.total_visits);
+    crate::telemetry::count("move.aborted", result.aborted);
+    crate::telemetry::count("move.out_of_range", result.out_of_range);
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -79,6 +79,16 @@ impl ExecPolicy {
     }
 }
 
+/// Telemetry hook shared by every executor in this module: one loop
+/// invocation, `bytes` of writable data handed to kernels. A no-op
+/// costing one thread-local read when no telemetry is current.
+fn note_loop(bytes: usize) {
+    if let Some(t) = crate::telemetry::current() {
+        t.counter_add("parloop.invocations", 1);
+        t.counter_add("parloop.bytes_touched", bytes as u64);
+    }
+}
+
 /// Loop over `n` elements writing one dat.
 ///
 /// `kernel(i, w0)` receives the element index and the element's
@@ -88,6 +98,7 @@ where
     F: Fn(usize, &mut [f64]) + Sync,
 {
     let d0 = w0.dim();
+    note_loop(w0.len() * d0 * 8);
     match policy {
         ExecPolicy::Seq => {
             for (i, c0) in w0.raw_mut().chunks_mut(d0).enumerate() {
@@ -115,6 +126,7 @@ where
         "direct loop dats must share the iteration set"
     );
     let (d0, d1) = (w0.dim(), w1.dim());
+    note_loop((w0.len() * d0 + w1.len() * d1) * 8);
     match policy {
         ExecPolicy::Seq => {
             for (i, (c0, c1)) in w0
@@ -152,6 +164,7 @@ where
         "direct loop dats must share the iteration set"
     );
     let (d0, d1, d2) = (w0.dim(), w1.dim(), w2.dim());
+    note_loop((w0.len() * d0 + w1.len() * d1 + w2.len() * d2) * 8);
     match policy {
         ExecPolicy::Seq => {
             for (i, ((c0, c1), c2)) in w0
@@ -202,6 +215,7 @@ pub fn par_loop_direct4<F>(
         "direct loop dats must share the iteration set"
     );
     let (d0, d1, d2, d3) = (w0.dim(), w1.dim(), w2.dim(), w3.dim());
+    note_loop((w0.len() * d0 + w1.len() * d1 + w2.len() * d2 + w3.len() * d3) * 8);
     match policy {
         ExecPolicy::Seq => {
             for (i, (((c0, c1), c2), c3)) in w0
@@ -234,6 +248,7 @@ pub fn par_loop_slices1<F>(policy: &ExecPolicy, dim0: usize, s0: &mut [f64], f: 
 where
     F: Fn(usize, &mut [f64]) + Sync,
 {
+    note_loop(s0.len() * 8);
     match policy {
         ExecPolicy::Seq => {
             for (i, c0) in s0.chunks_mut(dim0).enumerate() {
@@ -263,6 +278,7 @@ pub fn par_loop_slices2<F>(
         s1.len() / dim1,
         "slice loops must share the iteration set"
     );
+    note_loop((s0.len() + s1.len()) * 8);
     match policy {
         ExecPolicy::Seq => {
             for (i, (c0, c1)) in s0.chunks_mut(dim0).zip(s1.chunks_mut(dim1)).enumerate() {
@@ -298,6 +314,7 @@ pub fn par_loop_slices3<F>(
         s2.len() / dim2,
         "slice loops must share the iteration set"
     );
+    note_loop((s0.len() + s1.len() + s2.len()) * 8);
     match policy {
         ExecPolicy::Seq => {
             for (i, ((c0, c1), c2)) in s0
@@ -341,6 +358,7 @@ pub fn par_loop_slices2_cells<F>(
         cells.len(),
         "slice loops must share the iteration set"
     );
+    note_loop((s0.len() + s1.len()) * 8 + cells.len() * 4);
     match policy {
         ExecPolicy::Seq => {
             for (i, ((c0, c1), cl)) in s0
@@ -382,6 +400,7 @@ pub fn par_loop_segments2<F>(
     let n = *cell_start.last().expect("cell index must be non-empty");
     assert_eq!(s0.len(), n * dim0, "column 0 does not match the index");
     assert_eq!(s1.len(), n * dim1, "column 1 does not match the index");
+    note_loop((s0.len() + s1.len()) * 8);
     // Carve both columns into per-segment disjoint windows.
     let mut segs: Vec<(usize, usize, &mut [f64], &mut [f64])> =
         Vec::with_capacity(cell_start.len() - 1);
@@ -436,6 +455,7 @@ pub fn par_loop_segments2_cells<F>(
     assert_eq!(s0.len(), n * dim0, "column 0 does not match the index");
     assert_eq!(s1.len(), n * dim1, "column 1 does not match the index");
     assert_eq!(cells.len(), n, "cell column does not match the index");
+    note_loop((s0.len() + s1.len()) * 8 + cells.len() * 4);
     let mut segs: Vec<SegWindow<'_>> = Vec::with_capacity(cell_start.len() - 1);
     let (mut rest0, mut rest1, mut restc) = (s0, s1, cells);
     for c in 0..cell_start.len() - 1 {
@@ -484,6 +504,7 @@ where
     G: Fn(usize, &[f64]) -> f64 + Sync,
 {
     let dim = d.dim();
+    note_loop(d.len() * dim * 8);
     match policy {
         ExecPolicy::Seq => d.raw().chunks(dim).enumerate().map(|(i, c)| g(i, c)).sum(),
         _ => policy.run(|| {

@@ -364,6 +364,7 @@ impl ParticleDats {
         self.cell.resize(self.n, cell);
         self.injected_from = from;
         self.mark_dirty(count);
+        crate::telemetry::count("inject.particles", count as u64);
         from..self.n
     }
 
@@ -377,6 +378,7 @@ impl ParticleDats {
         self.cell.extend_from_slice(cells);
         self.injected_from = from;
         self.mark_dirty(cells.len());
+        crate::telemetry::count("inject.particles", cells.len() as u64);
         from..self.n
     }
 
@@ -407,10 +409,12 @@ impl ParticleDats {
         // elements that are not themselves holes.
         let mut tail_holes = holes.iter().rev().copied().peekable();
         let mut src = self.n;
+        let mut swaps = 0u64;
         for &h in holes {
             if h >= keep {
                 break;
             }
+            swaps += 1;
             // Find the highest-index surviving tail particle.
             src -= 1;
             while tail_holes.peek() == Some(&src) {
@@ -434,6 +438,8 @@ impl ParticleDats {
         self.cell.truncate(keep);
         self.injected_from = self.injected_from.min(keep);
         self.mark_dirty(holes.len());
+        crate::telemetry::count("holefill.removed", holes.len() as u64);
+        crate::telemetry::count("holefill.swaps", swaps);
     }
 
     /// Apply a permutation: element `i` of the result is element
@@ -474,6 +480,15 @@ impl ParticleDats {
     /// declared fresh; the counting pass *is* the index build, so
     /// freshness costs nothing extra.
     pub fn sort_by_cell(&mut self, n_cells: usize) {
+        if let Some(t) = crate::telemetry::current() {
+            t.counter_add("sort.rebuilds", 1);
+            // Percentage of the set whose cell entry changed since the
+            // last rebuild — what `SortPolicy::DirtyFraction` keys on.
+            t.hist_record(
+                "sort.dirty_pct",
+                (self.dirty_fraction() * 100.0).round() as u64,
+            );
+        }
         self.cell_start.clear();
         self.cell_start.resize(n_cells + 1, 0);
         for &c in &self.cell {
@@ -500,6 +515,11 @@ impl ParticleDats {
         self.dirty = 0;
         self.cells_exposed = false;
         debug_assert!(self.cell.is_sorted(), "counting sort left cells unsorted");
+        if let Some(h) = crate::telemetry::hist("sort.segment_len") {
+            for w in self.cell_start.windows(2) {
+                h.record((w[1] - w[0]) as u64);
+            }
+        }
     }
 
     /// Deterministic pseudo-random shuffle (the paper's "periodic

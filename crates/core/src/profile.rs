@@ -1,64 +1,26 @@
-//! Per-kernel instrumentation — the "OP-PIC code instrumentation" the
-//! paper uses to time solver routines and estimate FLOP/s for the
-//! roofline study (Section 4.1.2).
+//! Per-kernel instrumentation facade — the "OP-PIC code
+//! instrumentation" the paper uses to time solver routines and
+//! estimate FLOP/s for the roofline study (Section 4.1.2).
 //!
-//! Applications wrap each DSL loop in [`Profiler::time`] (or record
-//! numbers directly). The profiler accumulates wall time, invocation
-//! counts, and optional byte/FLOP tallies per kernel name; the
-//! benchmark harness turns the result into the paper's runtime
-//! breakdowns (Figure 9) and roofline points (Figures 10–11).
+//! As of the telemetry subsystem ([`crate::telemetry`]) this type is a
+//! thin compatibility layer: every `Profiler` call is fed straight into
+//! an owned [`Telemetry`] hub, so legacy call sites (`time`, `record`,
+//! `add_traffic`, `breakdown_table`) and the new structured event
+//! stream (spans, counters, histograms, JSONL sink) observe the same
+//! numbers by construction. New code should prefer
+//! [`Profiler::telemetry`] and the span API; the facade exists so the
+//! paper-figure binaries and existing tests keep working unchanged.
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use crate::telemetry::Telemetry;
+use std::sync::Arc;
+use std::time::Duration;
 
-/// Broad classification of a kernel, used to group the breakdown plots
-/// the way the paper does (field solve vs particle work vs comm).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum KernelClass {
-    FieldSolve,
-    WeightFields,
-    Move,
-    Deposit,
-    Inject,
-    Comm,
-    Other,
-}
+pub use crate::telemetry::{KernelClass, KernelId, KernelStats};
 
-/// Accumulated statistics for one kernel.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct KernelStats {
-    pub calls: u64,
-    pub seconds: f64,
-    pub bytes: u64,
-    pub flops: u64,
-    pub class: Option<KernelClass>,
-}
-
-impl KernelStats {
-    /// Arithmetic intensity in FLOP/byte (None with no byte count).
-    pub fn arithmetic_intensity(&self) -> Option<f64> {
-        (self.bytes > 0).then(|| self.flops as f64 / self.bytes as f64)
-    }
-
-    /// Achieved GFLOP/s (None without timing or flops).
-    pub fn gflops(&self) -> Option<f64> {
-        (self.seconds > 0.0 && self.flops > 0).then(|| self.flops as f64 / self.seconds / 1e9)
-    }
-
-    /// Achieved GB/s.
-    pub fn gbytes_per_s(&self) -> Option<f64> {
-        (self.seconds > 0.0 && self.bytes > 0).then(|| self.bytes as f64 / self.seconds / 1e9)
-    }
-}
-
-/// Thread-safe kernel profiler.
+/// Thread-safe kernel profiler (facade over [`Telemetry`]).
 #[derive(Debug, Default)]
 pub struct Profiler {
-    inner: Mutex<HashMap<String, KernelStats>>,
-    /// One-line decision traces (kernel name, message) in emission
-    /// order — the auto-tuner's audit trail.
-    traces: Mutex<Vec<(String, String)>>,
+    tel: Arc<Telemetry>,
 }
 
 impl Profiler {
@@ -66,124 +28,97 @@ impl Profiler {
         Self::default()
     }
 
-    /// Time a closure under a kernel name.
-    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
-        let t0 = Instant::now();
-        let r = f();
-        self.record(name, t0.elapsed());
-        r
+    /// The telemetry hub behind this profiler — spans, counters,
+    /// histograms, and the JSONL sink live there.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.tel
     }
 
-    /// Record a duration for `name`.
+    /// Time a closure under a kernel name.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.tel.time(name, f)
+    }
+
+    /// Record a duration for `name`. Names are interned: this allocates
+    /// only the first time a name is seen, not per call.
     pub fn record(&self, name: &str, d: Duration) {
-        let mut map = self.inner.lock();
-        let e = map.entry(name.to_string()).or_default();
-        e.calls += 1;
-        e.seconds += d.as_secs_f64();
+        self.tel.record(name, d);
+    }
+
+    /// Intern a kernel name once, for allocation- and hash-free
+    /// recording on hot paths via [`Self::record_id`].
+    pub fn intern(&self, name: &str) -> KernelId {
+        self.tel.intern(name)
+    }
+
+    /// Record a duration under a pre-interned kernel id.
+    pub fn record_id(&self, id: KernelId, d: Duration) {
+        self.tel.record_id(id, d);
     }
 
     /// Attach data-movement / FLOP counts (accumulating).
     pub fn add_traffic(&self, name: &str, bytes: u64, flops: u64) {
-        let mut map = self.inner.lock();
-        let e = map.entry(name.to_string()).or_default();
-        e.bytes += bytes;
-        e.flops += flops;
+        self.tel.add_traffic(name, bytes, flops);
     }
 
     /// Tag a kernel with its class (idempotent).
     pub fn classify(&self, name: &str, class: KernelClass) {
-        let mut map = self.inner.lock();
-        map.entry(name.to_string()).or_default().class = Some(class);
+        self.tel.classify(name, class);
     }
 
     /// Snapshot of one kernel's stats.
     pub fn get(&self, name: &str) -> Option<KernelStats> {
-        self.inner.lock().get(name).cloned()
+        self.tel.get(name)
     }
 
     /// Snapshot of everything, sorted by descending time.
     pub fn snapshot(&self) -> Vec<(String, KernelStats)> {
-        let map = self.inner.lock();
-        let mut v: Vec<(String, KernelStats)> =
-            map.iter().map(|(k, s)| (k.clone(), s.clone())).collect();
-        v.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).unwrap());
-        v
+        self.tel.kernels_snapshot()
     }
 
     /// Total recorded seconds.
     pub fn total_seconds(&self) -> f64 {
-        self.inner.lock().values().map(|s| s.seconds).sum()
+        self.tel.total_seconds()
     }
 
     /// Record a one-line decision trace against a kernel name (e.g.
-    /// the deposit auto-tuner's per-loop strategy choice).
+    /// the deposit auto-tuner's per-loop strategy choice). The trace
+    /// log is capped ([`crate::telemetry::DEFAULT_TRACE_CAP`]); the
+    /// oldest entries are dropped and counted rather than growing
+    /// without bound.
     pub fn trace(&self, name: &str, line: impl Into<String>) {
-        self.traces.lock().push((name.to_string(), line.into()));
+        self.tel.trace(name, line);
     }
 
-    /// All decision traces in emission order.
+    /// All retained decision traces in emission order.
     pub fn traces(&self) -> Vec<(String, String)> {
-        self.traces.lock().clone()
+        self.tel.traces()
+    }
+
+    /// Remove and return all retained traces (e.g. to ship them to a
+    /// log between benchmark repetitions without unbounded growth).
+    pub fn drain_traces(&self) -> Vec<(String, String)> {
+        self.tel.drain_traces()
+    }
+
+    /// Number of traces dropped to honour the retention cap.
+    pub fn traces_dropped(&self) -> u64 {
+        self.tel.traces_dropped()
+    }
+
+    /// Change the trace retention cap.
+    pub fn set_trace_cap(&self, cap: usize) {
+        self.tel.set_trace_cap(cap);
     }
 
     /// Clear all statistics (between benchmark repetitions).
     pub fn reset(&self) {
-        self.inner.lock().clear();
-        self.traces.lock().clear();
+        self.tel.reset();
     }
 
     /// Render the paper-style runtime breakdown table.
     pub fn breakdown_table(&self) -> String {
-        let snap = self.snapshot();
-        let total = self.total_seconds().max(1e-30);
-        let mut s = String::new();
-        s.push_str(&format!(
-            "{:<28} {:>8} {:>12} {:>7} {:>12} {:>12}\n",
-            "kernel", "calls", "seconds", "%", "GB/s", "GFLOP/s"
-        ));
-        for (name, st) in &snap {
-            s.push_str(&format!(
-                "{:<28} {:>8} {:>12.4} {:>6.1}% {:>12} {:>12}\n",
-                name,
-                st.calls,
-                st.seconds,
-                100.0 * st.seconds / total,
-                st.gbytes_per_s()
-                    .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
-                st.gflops()
-                    .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
-            ));
-        }
-        s.push_str(&format!("{:<28} {:>8} {:>12.4}\n", "TOTAL", "", total));
-        let traces = self.traces();
-        if !traces.is_empty() {
-            // Collapse consecutive identical decisions ("chose SS" ×50)
-            // so per-step traces stay one line per *change*.
-            s.push_str("decision trace:\n");
-            let mut run: Option<(&(String, String), usize)> = None;
-            let emit = |entry: &(String, String), count: usize, s: &mut String| {
-                let (kernel, line) = entry;
-                if count > 1 {
-                    s.push_str(&format!("  {kernel}: {line} (x{count})\n"));
-                } else {
-                    s.push_str(&format!("  {kernel}: {line}\n"));
-                }
-            };
-            for t in &traces {
-                match run {
-                    Some((prev, c)) if prev == t => run = Some((prev, c + 1)),
-                    Some((prev, c)) => {
-                        emit(prev, c, &mut s);
-                        run = Some((t, 1));
-                    }
-                    None => run = Some((t, 1)),
-                }
-            }
-            if let Some((prev, c)) = run {
-                emit(prev, c, &mut s);
-            }
-        }
-        s
+        self.tel.breakdown_table()
     }
 }
 
@@ -265,6 +200,33 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t[0].1, "step 1: scatter arrays");
         assert!(t[1].1.contains("sorted segments"));
+    }
+
+    #[test]
+    fn trace_log_is_capped_with_drop_count() {
+        let p = Profiler::new();
+        p.set_trace_cap(8);
+        for i in 0..20 {
+            p.trace("DepositCharge", format!("decision {i}"));
+        }
+        assert_eq!(p.traces().len(), 8);
+        assert_eq!(p.traces_dropped(), 12);
+        assert!(p.breakdown_table().contains("12 older traces dropped"));
+        let drained = p.drain_traces();
+        assert_eq!(drained.len(), 8);
+        assert_eq!(drained.last().unwrap().1, "decision 19");
+        assert!(p.traces().is_empty());
+    }
+
+    #[test]
+    fn record_by_id_matches_record_by_name() {
+        let p = Profiler::new();
+        let id = p.intern("Move");
+        p.record_id(id, Duration::from_millis(2));
+        p.record("Move", Duration::from_millis(3));
+        let st = p.get("Move").unwrap();
+        assert_eq!(st.calls, 2);
+        assert!((st.seconds - 0.005).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,1353 @@
+//! Structured runtime telemetry — the measurement layer behind the
+//! paper's evaluation ("OP-PIC code instrumentation", Section 4.1.2).
+//!
+//! The paper's per-kernel runtime breakdowns (Fig. 9) and roofline
+//! points (Figs. 10–11) come from instrumenting every DSL loop. This
+//! module is that instrumentation, grown past a flat wall-clock
+//! profiler into three coordinated pieces:
+//!
+//! * **Spans** — nestable timed scopes (`step > Move`,
+//!   `step > DepositCharge`). A [`Span`] guard records into the
+//!   per-kernel aggregate on drop and emits one JSONL event per close.
+//!   Balance is structural: the guard truncates the span stack back to
+//!   its own depth, so panic-unwind and leaked inner guards cannot
+//!   desynchronise it.
+//! * **Counters and histograms** — monotonic event counts (particles
+//!   moved/removed/injected, hole-fill swaps, CSR rebuilds, auto-tuner
+//!   decisions) and log₂-bucketed distributions (move hops per
+//!   particle, cell segment lengths). [`Histogram`] uses atomic buckets
+//!   so parallel loop bodies can record without locks, and snapshots
+//!   merge associatively (property-tested).
+//! * **Sinks** — an optional JSON Lines writer (`--telemetry out.jsonl`)
+//!   emitting a run-header record (config hash, build profile, thread
+//!   count), one event per span close, one summary per step, and a
+//!   run-footer with final aggregates; plus the end-of-run human table
+//!   ([`Telemetry::breakdown_table`]) that subsumes the old profiler
+//!   breakdown.
+//!
+//! The DSL executors (`parloop`, `move_engine`, `deposit`, `particles`)
+//! publish counters through a scoped thread-local handle
+//! ([`Telemetry::make_current`] / [`current`]): an application step
+//! installs its telemetry for the duration of the step and the
+//! executors pick it up without signature changes. When no telemetry is
+//! current the hooks cost one thread-local read and a branch — not
+//! measurable in the criterion deposit bench.
+//!
+//! [`crate::profile::Profiler`] survives as a thin compatibility facade
+//! over this layer; existing call sites and the paper-figure binaries
+//! keep working unchanged.
+
+use crate::json;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Event-stream schema version, carried in the run-header record.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default cap on retained decision traces (satellite: the old
+/// `Profiler` kept every trace for the whole run).
+pub const DEFAULT_TRACE_CAP: usize = 4096;
+
+/// Sentinel for "not inside a step".
+const NO_STEP: u64 = u64::MAX;
+
+/// Broad classification of a kernel, used to group the breakdown plots
+/// the way the paper does (field solve vs particle work vs comm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    FieldSolve,
+    WeightFields,
+    Move,
+    Deposit,
+    Inject,
+    Comm,
+    Other,
+}
+
+impl KernelClass {
+    /// Stable string form used in the JSONL footer / report CSV.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelClass::FieldSolve => "FieldSolve",
+            KernelClass::WeightFields => "WeightFields",
+            KernelClass::Move => "Move",
+            KernelClass::Deposit => "Deposit",
+            KernelClass::Inject => "Inject",
+            KernelClass::Comm => "Comm",
+            KernelClass::Other => "Other",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`] (used by the report tool).
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        Some(match s {
+            "FieldSolve" => KernelClass::FieldSolve,
+            "WeightFields" => KernelClass::WeightFields,
+            "Move" => KernelClass::Move,
+            "Deposit" => KernelClass::Deposit,
+            "Inject" => KernelClass::Inject,
+            "Comm" => KernelClass::Comm,
+            "Other" => KernelClass::Other,
+            _ => return None,
+        })
+    }
+}
+
+/// Accumulated statistics for one kernel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    pub calls: u64,
+    pub seconds: f64,
+    pub bytes: u64,
+    pub flops: u64,
+    pub class: Option<KernelClass>,
+}
+
+impl KernelStats {
+    /// Arithmetic intensity in FLOP/byte (None with no byte count).
+    pub fn arithmetic_intensity(&self) -> Option<f64> {
+        (self.bytes > 0).then(|| self.flops as f64 / self.bytes as f64)
+    }
+
+    /// Achieved GFLOP/s (None without timing or flops).
+    pub fn gflops(&self) -> Option<f64> {
+        (self.seconds > 0.0 && self.flops > 0).then(|| self.flops as f64 / self.seconds / 1e9)
+    }
+
+    /// Achieved GB/s.
+    pub fn gbytes_per_s(&self) -> Option<f64> {
+        (self.seconds > 0.0 && self.bytes > 0).then(|| self.bytes as f64 / self.seconds / 1e9)
+    }
+}
+
+/// Interned kernel-name handle — the allocation-free fast path for
+/// hot-loop recording (satellite: `Profiler::record` used to build a
+/// `String` per call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelId(u32);
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+/// Number of log₂ buckets: bucket 0 holds value 0, bucket k holds
+/// values in [2^(k-1), 2^k), and the last bucket absorbs everything
+/// ≥ 2^31.
+pub const HIST_BUCKETS: usize = 33;
+
+/// Lock-free log₂ histogram. Recording is a relaxed atomic increment so
+/// parallel loop bodies (hop chains on rayon workers) can share one via
+/// `Arc` without coordination.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// Owned, mergeable view of a [`Histogram`]. Merging is elementwise
+/// integer addition plus min/max folds — associative and commutative by
+/// construction (property-tested in `proptest_telemetry`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    /// `u64::MAX` when empty.
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Merge another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper bound of the bucket where the cumulative count first
+    /// reaches `q · count` — a coarse quantile estimate.
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                let hi = if i == 0 { 0 } else { 1u64 << i };
+                return Some(hi.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry core
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Counter {
+    total: u64,
+    /// Value of `total` at the last `begin_step` — per-step deltas are
+    /// `total - mark`.
+    mark: u64,
+}
+
+struct TraceBuf {
+    buf: VecDeque<(String, String)>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for TraceBuf {
+    fn default() -> Self {
+        Self {
+            buf: VecDeque::new(),
+            cap: DEFAULT_TRACE_CAP,
+            dropped: 0,
+        }
+    }
+}
+
+#[derive(Default)]
+struct State {
+    /// Kernel-name interning: name → id; `names[id]` / `kernels[id]`.
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+    kernels: Vec<KernelStats>,
+    counters: HashMap<String, Counter>,
+    hists: HashMap<String, Arc<Histogram>>,
+    traces: TraceBuf,
+}
+
+struct Frame {
+    /// Kernel id; `None` for the synthetic per-step root frame.
+    id: Option<u32>,
+    path: String,
+    start: Instant,
+}
+
+struct Sink {
+    w: std::io::BufWriter<std::fs::File>,
+    path: PathBuf,
+}
+
+/// The telemetry hub. Thread-safe; applications own one (usually via
+/// `Profiler`) and share it by `Arc`.
+pub struct Telemetry {
+    state: Mutex<State>,
+    spans: Mutex<Vec<Frame>>,
+    sink: Mutex<Option<Sink>>,
+    /// Cheap gate so event formatting is skipped when no sink is open.
+    sink_attached: AtomicBool,
+    step: AtomicU64,
+    events_written: AtomicU64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self {
+            state: Mutex::new(State::default()),
+            spans: Mutex::new(Vec::new()),
+            sink: Mutex::new(None),
+            sink_attached: AtomicBool::new(false),
+            step: AtomicU64::new(NO_STEP),
+            events_written: AtomicU64::new(0),
+        }
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Telemetry")
+            .field("kernels", &st.kernels.len())
+            .field("counters", &st.counters.len())
+            .field("histograms", &st.hists.len())
+            .field("open_spans", &self.spans.lock().len())
+            .field("sink", &self.sink_attached.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Metadata for the run-header record.
+#[derive(Debug, Clone, Default)]
+pub struct RunInfo {
+    pub app: String,
+    pub config_hash: String,
+    pub threads: usize,
+    /// Extra `key: value` string fields appended to the header.
+    pub extra: Vec<(String, String)>,
+}
+
+impl Telemetry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // -- kernel aggregation (profiler-compatible) ---------------------
+
+    /// Intern a kernel name, returning the allocation-free handle.
+    pub fn intern(&self, name: &str) -> KernelId {
+        let mut st = self.state.lock();
+        KernelId(intern_locked(&mut st, name))
+    }
+
+    /// Record a duration under an interned kernel id (hot path: one
+    /// lock, no hashing, no allocation).
+    pub fn record_id(&self, id: KernelId, d: Duration) {
+        let name = {
+            let mut st = self.state.lock();
+            let k = &mut st.kernels[id.0 as usize];
+            k.calls += 1;
+            k.seconds += d.as_secs_f64();
+            if self.sink_attached.load(Ordering::Relaxed) {
+                Some(st.names[id.0 as usize].clone())
+            } else {
+                None
+            }
+        };
+        if let Some(name) = name {
+            self.emit_leaf_span(&name, d);
+        }
+    }
+
+    /// Record a duration by name. Allocates only the first time a name
+    /// is seen; thereafter it is a borrowed-key map lookup.
+    pub fn record(&self, name: &str, d: Duration) {
+        {
+            let mut st = self.state.lock();
+            let id = intern_locked(&mut st, name);
+            let k = &mut st.kernels[id as usize];
+            k.calls += 1;
+            k.seconds += d.as_secs_f64();
+        }
+        if self.sink_attached.load(Ordering::Relaxed) {
+            self.emit_leaf_span(name, d);
+        }
+    }
+
+    /// Time a closure under a kernel name.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.record(name, t0.elapsed());
+        r
+    }
+
+    /// Attach data-movement / FLOP counts (accumulating).
+    pub fn add_traffic(&self, name: &str, bytes: u64, flops: u64) {
+        let mut st = self.state.lock();
+        let id = intern_locked(&mut st, name);
+        let k = &mut st.kernels[id as usize];
+        k.bytes += bytes;
+        k.flops += flops;
+    }
+
+    /// Tag a kernel with its class (idempotent).
+    pub fn classify(&self, name: &str, class: KernelClass) {
+        let mut st = self.state.lock();
+        let id = intern_locked(&mut st, name);
+        st.kernels[id as usize].class = Some(class);
+    }
+
+    /// Snapshot of one kernel's stats.
+    pub fn get(&self, name: &str) -> Option<KernelStats> {
+        let st = self.state.lock();
+        st.ids.get(name).map(|&id| st.kernels[id as usize].clone())
+    }
+
+    /// Snapshot of every kernel, sorted by descending time.
+    pub fn kernels_snapshot(&self) -> Vec<(String, KernelStats)> {
+        let st = self.state.lock();
+        let mut v: Vec<(String, KernelStats)> = st
+            .names
+            .iter()
+            .zip(st.kernels.iter())
+            .map(|(n, k)| (n.clone(), k.clone()))
+            .collect();
+        v.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).unwrap());
+        v
+    }
+
+    /// Total recorded kernel seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.state.lock().kernels.iter().map(|k| k.seconds).sum()
+    }
+
+    // -- spans --------------------------------------------------------
+
+    /// Open a nested timed scope. The returned guard records into the
+    /// kernel aggregate and emits a span event when dropped.
+    pub fn span(self: &Arc<Self>, name: &str) -> Span {
+        let id = self.intern(name);
+        let mut spans = self.spans.lock();
+        let path = match spans.last() {
+            Some(parent) => format!("{}>{}", parent.path, name),
+            None => name.to_string(),
+        };
+        let depth = spans.len();
+        spans.push(Frame {
+            id: Some(id.0),
+            path,
+            start: Instant::now(),
+        });
+        Span {
+            tel: self.clone(),
+            depth,
+        }
+    }
+
+    /// [`Self::span`] plus a class tag on the kernel.
+    pub fn span_class(self: &Arc<Self>, name: &str, class: KernelClass) -> Span {
+        self.classify(name, class);
+        self.span(name)
+    }
+
+    /// Number of spans currently open (0 when balanced).
+    pub fn open_spans(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// Truncate the span stack to `depth`, recording every popped
+    /// kernel frame. Deepest frames close first.
+    fn close_to_depth(&self, depth: usize) {
+        let popped: Vec<(Option<u32>, String, Duration)> = {
+            let mut spans = self.spans.lock();
+            if spans.len() <= depth {
+                return;
+            }
+            spans
+                .drain(depth..)
+                .map(|f| (f.id, f.path, f.start.elapsed()))
+                .collect()
+        };
+        for (id, path, dur) in popped.into_iter().rev() {
+            if let Some(id) = id {
+                {
+                    let mut st = self.state.lock();
+                    let k = &mut st.kernels[id as usize];
+                    k.calls += 1;
+                    k.seconds += dur.as_secs_f64();
+                }
+                if self.sink_attached.load(Ordering::Relaxed) {
+                    let name = path.rsplit('>').next().unwrap_or(&path).to_string();
+                    self.emit_span(&name, &path, dur);
+                }
+            }
+        }
+    }
+
+    // -- counters / histograms ---------------------------------------
+
+    /// Add `n` to a monotonic counter.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        let mut st = self.state.lock();
+        match st.counters.get_mut(name) {
+            Some(c) => c.total += n,
+            None => {
+                st.counters
+                    .insert(name.to_string(), Counter { total: n, mark: 0 });
+            }
+        }
+    }
+
+    /// Current total of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.state.lock().counters.get(name).map_or(0, |c| c.total)
+    }
+
+    /// All counters and totals, sorted by name.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        let st = self.state.lock();
+        let mut v: Vec<(String, u64)> = st
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.total))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Shared handle to a named histogram (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut st = self.state.lock();
+        match st.hists.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Arc::new(Histogram::new());
+                st.hists.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// Record one value into a named histogram.
+    pub fn hist_record(&self, name: &str, v: u64) {
+        self.histogram(name).record(v);
+    }
+
+    /// Snapshots of all histograms, sorted by name.
+    pub fn histograms_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        let st = self.state.lock();
+        let mut v: Vec<(String, HistogramSnapshot)> = st
+            .hists
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    // -- decision traces (capped; satellite 1) ------------------------
+
+    /// Record a one-line decision trace (e.g. the deposit auto-tuner's
+    /// per-loop strategy choice). The buffer is capped; the oldest
+    /// entries are dropped and counted. Also emitted as a `decision`
+    /// event when a sink is attached.
+    pub fn trace(&self, name: &str, line: impl Into<String>) {
+        let line = line.into();
+        {
+            let mut st = self.state.lock();
+            let tb = &mut st.traces;
+            if tb.buf.len() >= tb.cap {
+                tb.buf.pop_front();
+                tb.dropped += 1;
+            }
+            tb.buf.push_back((name.to_string(), line.clone()));
+        }
+        if self.sink_attached.load(Ordering::Relaxed) {
+            let mut ev = String::with_capacity(64 + line.len());
+            ev.push_str("{\"type\":\"decision\"");
+            self.push_step_field(&mut ev);
+            let _ = write!(
+                ev,
+                ",\"name\":{},\"text\":{}}}",
+                json::quote(name),
+                json::quote(&line)
+            );
+            self.emit(&ev);
+        }
+    }
+
+    /// All retained decision traces in emission order.
+    pub fn traces(&self) -> Vec<(String, String)> {
+        self.state.lock().traces.buf.iter().cloned().collect()
+    }
+
+    /// Remove and return all retained traces (the cumulative dropped
+    /// count is preserved).
+    pub fn drain_traces(&self) -> Vec<(String, String)> {
+        self.state.lock().traces.buf.drain(..).collect()
+    }
+
+    /// Number of traces dropped to honour the cap.
+    pub fn traces_dropped(&self) -> u64 {
+        self.state.lock().traces.dropped
+    }
+
+    /// Change the trace retention cap (existing overflow is dropped).
+    pub fn set_trace_cap(&self, cap: usize) {
+        let mut st = self.state.lock();
+        let tb = &mut st.traces;
+        tb.cap = cap.max(1);
+        while tb.buf.len() > tb.cap {
+            tb.buf.pop_front();
+            tb.dropped += 1;
+        }
+    }
+
+    // -- step lifecycle ----------------------------------------------
+
+    /// Mark the start of simulation step `step`: snapshot counter marks
+    /// (for per-step deltas) and open the root `step` span frame.
+    pub fn begin_step(&self, step: u64) {
+        self.step.store(step, Ordering::Relaxed);
+        {
+            let mut st = self.state.lock();
+            for c in st.counters.values_mut() {
+                c.mark = c.total;
+            }
+        }
+        self.spans.lock().push(Frame {
+            id: None,
+            path: "step".to_string(),
+            start: Instant::now(),
+        });
+    }
+
+    /// Close the current step: any kernel spans still open inside it
+    /// are closed, counter deltas since `begin_step` are computed, and
+    /// one `step` summary event is emitted. `gauges` are instantaneous
+    /// level readings (e.g. `("alive", n_particles)`).
+    pub fn end_step(&self, gauges: &[(&str, f64)]) {
+        let root = {
+            let spans = self.spans.lock();
+            spans.iter().rposition(|f| f.id.is_none())
+        };
+        let Some(root_depth) = root else {
+            self.step.store(NO_STEP, Ordering::Relaxed);
+            return;
+        };
+        // Close children of the root, then pop the root itself.
+        self.close_to_depth(root_depth + 1);
+        let ms = {
+            let mut spans = self.spans.lock();
+            let f = spans.pop().expect("root frame present");
+            f.start.elapsed().as_secs_f64() * 1e3
+        };
+        let step = self.step.load(Ordering::Relaxed);
+        let deltas: Vec<(String, u64)> = {
+            let mut st = self.state.lock();
+            let mut v: Vec<(String, u64)> = st
+                .counters
+                .iter_mut()
+                .filter_map(|(k, c)| {
+                    let d = c.total - c.mark;
+                    c.mark = c.total;
+                    (d > 0).then(|| (k.clone(), d))
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        if self.sink_attached.load(Ordering::Relaxed) {
+            let mut ev = String::with_capacity(128);
+            let _ = write!(
+                ev,
+                "{{\"type\":\"step\",\"step\":{step},\"ms\":{}",
+                json::num(ms)
+            );
+            ev.push_str(",\"gauges\":{");
+            for (i, (k, v)) in gauges.iter().enumerate() {
+                if i > 0 {
+                    ev.push(',');
+                }
+                let _ = write!(ev, "{}:{}", json::quote(k), json::num(*v));
+            }
+            ev.push_str("},\"counters\":{");
+            for (i, (k, v)) in deltas.iter().enumerate() {
+                if i > 0 {
+                    ev.push(',');
+                }
+                let _ = write!(ev, "{}:{v}", json::quote(k));
+            }
+            ev.push_str("}}");
+            self.emit(&ev);
+        }
+        self.step.store(NO_STEP, Ordering::Relaxed);
+    }
+
+    /// Current step index (None outside `begin_step`/`end_step`).
+    pub fn current_step(&self) -> Option<u64> {
+        match self.step.load(Ordering::Relaxed) {
+            NO_STEP => None,
+            s => Some(s),
+        }
+    }
+
+    // -- sink ---------------------------------------------------------
+
+    /// Open a JSON Lines sink at `path` and write the run-header
+    /// record. Replaces any previously attached sink.
+    pub fn attach_sink(&self, path: &Path, info: &RunInfo) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut header = String::with_capacity(160);
+        let _ = write!(
+            header,
+            "{{\"type\":\"run_header\",\"schema\":{SCHEMA_VERSION},\"app\":{},\"config_hash\":{},\"build\":{},\"threads\":{}",
+            json::quote(&info.app),
+            json::quote(&info.config_hash),
+            json::quote(if cfg!(debug_assertions) { "debug" } else { "release" }),
+            info.threads,
+        );
+        for (k, v) in &info.extra {
+            let _ = write!(header, ",{}:{}", json::quote(k), json::quote(v));
+        }
+        header.push('}');
+        let mut sink = Sink {
+            w: std::io::BufWriter::new(file),
+            path: path.to_path_buf(),
+        };
+        writeln!(sink.w, "{header}")?;
+        *self.sink.lock() = Some(sink);
+        self.sink_attached.store(true, Ordering::Relaxed);
+        self.events_written.store(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Whether a JSONL sink is currently attached.
+    pub fn sink_is_attached(&self) -> bool {
+        self.sink_attached.load(Ordering::Relaxed)
+    }
+
+    /// Path of the attached sink, if any.
+    pub fn sink_path(&self) -> Option<PathBuf> {
+        self.sink.lock().as_ref().map(|s| s.path.clone())
+    }
+
+    /// Emit the run-footer record (final aggregates + balance info),
+    /// flush, and detach the sink. No-op without a sink.
+    pub fn finish(&self) -> std::io::Result<()> {
+        if !self.sink_attached.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let open = self.open_spans();
+        let total_ms = self.total_seconds() * 1e3;
+        let kernels = self.kernels_snapshot();
+        let counters = self.counters_snapshot();
+        let hists = self.histograms_snapshot();
+        let dropped = self.traces_dropped();
+        let mut ev = String::with_capacity(512);
+        let _ = write!(
+            ev,
+            "{{\"type\":\"run_footer\",\"open_spans\":{open},\"total_ms\":{},\"events\":{},\"traces_dropped\":{dropped}",
+            json::num(total_ms),
+            // +1 for the footer itself.
+            self.events_written.load(Ordering::Relaxed) + 1,
+        );
+        ev.push_str(",\"kernels\":[");
+        for (i, (name, k)) in kernels.iter().enumerate() {
+            if i > 0 {
+                ev.push(',');
+            }
+            let _ = write!(
+                ev,
+                "{{\"name\":{},\"class\":{},\"calls\":{},\"seconds\":{},\"bytes\":{},\"flops\":{}}}",
+                json::quote(name),
+                k.class
+                    .map_or_else(|| "null".to_string(), |c| json::quote(c.as_str())),
+                k.calls,
+                json::num(k.seconds),
+                k.bytes,
+                k.flops,
+            );
+        }
+        ev.push_str("],\"counters\":{");
+        for (i, (k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                ev.push(',');
+            }
+            let _ = write!(ev, "{}:{v}", json::quote(k));
+        }
+        ev.push_str("},\"histograms\":{");
+        for (i, (name, h)) in hists.iter().enumerate() {
+            if i > 0 {
+                ev.push(',');
+            }
+            let _ = write!(
+                ev,
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                json::quote(name),
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+            );
+            let mut first = true;
+            for (b, c) in h.buckets.iter().enumerate() {
+                if *c > 0 {
+                    if !first {
+                        ev.push(',');
+                    }
+                    first = false;
+                    let _ = write!(ev, "[{b},{c}]");
+                }
+            }
+            ev.push_str("]}");
+        }
+        ev.push_str("}}");
+        self.emit(&ev);
+        let sink = self.sink.lock().take();
+        self.sink_attached.store(false, Ordering::Relaxed);
+        if let Some(mut s) = sink {
+            s.w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Clear all statistics (between benchmark repetitions). The sink,
+    /// if attached, stays open.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.ids.clear();
+        st.names.clear();
+        st.kernels.clear();
+        st.counters.clear();
+        st.hists.clear();
+        st.traces.buf.clear();
+        st.traces.dropped = 0;
+    }
+
+    // -- rendering ----------------------------------------------------
+
+    /// Render the paper-style runtime breakdown table (kernels, calls,
+    /// seconds, share, achieved GB/s and GFLOP/s), followed by the
+    /// collapsed decision trace and any non-empty counters/histograms.
+    pub fn breakdown_table(&self) -> String {
+        let snap = self.kernels_snapshot();
+        let total = self.total_seconds().max(1e-30);
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<28} {:>8} {:>12} {:>7} {:>12} {:>12}",
+            "kernel", "calls", "seconds", "%", "GB/s", "GFLOP/s"
+        );
+        for (name, st) in &snap {
+            let _ = writeln!(
+                s,
+                "{:<28} {:>8} {:>12.4} {:>6.1}% {:>12} {:>12}",
+                name,
+                st.calls,
+                st.seconds,
+                100.0 * st.seconds / total,
+                st.gbytes_per_s()
+                    .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+                st.gflops()
+                    .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+            );
+        }
+        let _ = writeln!(s, "{:<28} {:>8} {:>12.4}", "TOTAL", "", total);
+        let traces = self.traces();
+        let dropped = self.traces_dropped();
+        if !traces.is_empty() || dropped > 0 {
+            // Collapse consecutive identical decisions ("chose SS" ×50)
+            // so per-step traces stay one line per *change*.
+            s.push_str("decision trace:\n");
+            if dropped > 0 {
+                let _ = writeln!(s, "  ({dropped} older traces dropped at cap)");
+            }
+            let mut run: Option<(&(String, String), usize)> = None;
+            let emit = |entry: &(String, String), count: usize, s: &mut String| {
+                let (kernel, line) = entry;
+                if count > 1 {
+                    let _ = writeln!(s, "  {kernel}: {line} (x{count})");
+                } else {
+                    let _ = writeln!(s, "  {kernel}: {line}");
+                }
+            };
+            for t in &traces {
+                match run {
+                    Some((prev, c)) if prev == t => run = Some((prev, c + 1)),
+                    Some((prev, c)) => {
+                        emit(prev, c, &mut s);
+                        run = Some((t, 1));
+                    }
+                    None => run = Some((t, 1)),
+                }
+            }
+            if let Some((prev, c)) = run {
+                emit(prev, c, &mut s);
+            }
+        }
+        let counters = self.counters_snapshot();
+        if !counters.is_empty() {
+            s.push_str("counters:\n");
+            for (k, v) in &counters {
+                let _ = writeln!(s, "  {k:<34} {v}");
+            }
+        }
+        let hists = self.histograms_snapshot();
+        if hists.iter().any(|(_, h)| !h.is_empty()) {
+            s.push_str("histograms (count / mean / p50 / max):\n");
+            for (k, h) in hists.iter().filter(|(_, h)| !h.is_empty()) {
+                let _ = writeln!(
+                    s,
+                    "  {k:<34} {} / {:.2} / {} / {}",
+                    h.count,
+                    h.mean().unwrap_or(0.0),
+                    h.approx_quantile(0.5).unwrap_or(0),
+                    h.max,
+                );
+            }
+        }
+        s
+    }
+
+    // -- event plumbing ----------------------------------------------
+
+    fn push_step_field(&self, ev: &mut String) {
+        let step = self.step.load(Ordering::Relaxed);
+        if step != NO_STEP {
+            let _ = write!(ev, ",\"step\":{step}");
+        }
+    }
+
+    /// Emit a span event for a record()-style leaf (path = current span
+    /// path + name).
+    fn emit_leaf_span(&self, name: &str, d: Duration) {
+        let path = {
+            let spans = self.spans.lock();
+            match spans.last() {
+                Some(parent) => format!("{}>{}", parent.path, name),
+                None => name.to_string(),
+            }
+        };
+        self.emit_span(name, &path, d);
+    }
+
+    fn emit_span(&self, name: &str, path: &str, d: Duration) {
+        let depth = path.matches('>').count();
+        let mut ev = String::with_capacity(96);
+        ev.push_str("{\"type\":\"span\"");
+        self.push_step_field(&mut ev);
+        let _ = write!(
+            ev,
+            ",\"name\":{},\"path\":{},\"depth\":{depth},\"ms\":{}}}",
+            json::quote(name),
+            json::quote(path),
+            json::num(d.as_secs_f64() * 1e3),
+        );
+        self.emit(&ev);
+    }
+
+    fn emit(&self, line: &str) {
+        let mut sink = self.sink.lock();
+        if let Some(s) = sink.as_mut() {
+            let _ = writeln!(s.w, "{line}");
+            self.events_written.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        // Best-effort footer if the app forgot to call finish().
+        let _ = self.finish();
+    }
+}
+
+fn intern_locked(st: &mut State, name: &str) -> u32 {
+    if let Some(&id) = st.ids.get(name) {
+        return id;
+    }
+    let id = st.names.len() as u32;
+    st.ids.insert(name.to_string(), id);
+    st.names.push(name.to_string());
+    st.kernels.push(KernelStats::default());
+    id
+}
+
+// ---------------------------------------------------------------------
+// Span guard
+// ---------------------------------------------------------------------
+
+/// RAII guard for an open span. On drop the span stack is truncated
+/// back to this span's depth: the frame is recorded and emitted, and
+/// any deeper frames that were leaked (mem::forget, panic edge cases)
+/// are closed with it, so the stack can never stay unbalanced.
+pub struct Span {
+    tel: Arc<Telemetry>,
+    depth: usize,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.tel.close_to_depth(self.depth);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scoped "current telemetry" for the DSL executors
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<Telemetry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard installing a telemetry hub as the thread's current one; the
+/// previous current (if any) is restored on drop.
+pub struct CurrentGuard {
+    _priv: (),
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+impl Telemetry {
+    /// Install this hub as the calling thread's current telemetry for
+    /// the guard's lifetime. The DSL executors (`move_engine`,
+    /// `deposit`, `particles`, `parloop`) publish counters and
+    /// histograms through [`current`] so applications don't thread a
+    /// handle through every loop call.
+    pub fn make_current(self: &Arc<Self>) -> CurrentGuard {
+        CURRENT.with(|c| c.borrow_mut().push(self.clone()));
+        CurrentGuard { _priv: () }
+    }
+}
+
+/// The calling thread's current telemetry hub, if any.
+pub fn current() -> Option<Arc<Telemetry>> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// Add to a counter on the current hub (no-op without one). This is
+/// the executors' hook: one thread-local read + branch when telemetry
+/// is off.
+pub fn count(name: &str, n: u64) {
+    if n == 0 {
+        return;
+    }
+    if let Some(t) = current() {
+        t.counter_add(name, n);
+    }
+}
+
+/// Shared handle to a named histogram on the current hub.
+pub fn hist(name: &str) -> Option<Arc<Histogram>> {
+    current().map(|t| t.histogram(name))
+}
+
+/// FNV-1a hash — stable config fingerprint for the run header.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("oppic_tel_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn record_and_get() {
+        let t = Telemetry::new();
+        t.record("Move", Duration::from_millis(10));
+        t.record("Move", Duration::from_millis(5));
+        let k = t.get("Move").unwrap();
+        assert_eq!(k.calls, 2);
+        assert!((k.seconds - 0.015).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interned_id_fast_path() {
+        let t = Telemetry::new();
+        let id = t.intern("DepositCharge");
+        assert_eq!(t.intern("DepositCharge"), id);
+        t.record_id(id, Duration::from_millis(2));
+        assert_eq!(t.get("DepositCharge").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let t = Arc::new(Telemetry::new());
+        {
+            let _a = t.span("outer");
+            {
+                let _b = t.span("inner");
+                assert_eq!(t.open_spans(), 2);
+            }
+            assert_eq!(t.open_spans(), 1);
+        }
+        assert_eq!(t.open_spans(), 0);
+        assert_eq!(t.get("outer").unwrap().calls, 1);
+        assert_eq!(t.get("inner").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn span_balance_survives_panic() {
+        let t = Arc::new(Telemetry::new());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _a = t.span("outer");
+            let _b = t.span("inner");
+            panic!("boom");
+        }));
+        assert!(r.is_err());
+        assert_eq!(t.open_spans(), 0);
+        assert_eq!(t.get("outer").unwrap().calls, 1);
+        assert_eq!(t.get("inner").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn counters_and_step_deltas() {
+        let t = Telemetry::new();
+        t.counter_add("init", 7); // before any step: not in deltas
+        t.begin_step(1);
+        t.counter_add("moved", 5);
+        t.counter_add("moved", 3);
+        t.end_step(&[("alive", 100.0)]);
+        assert_eq!(t.counter("moved"), 8);
+        assert_eq!(t.counter("init"), 7);
+        t.begin_step(2);
+        t.end_step(&[]);
+        assert_eq!(t.counter("moved"), 8);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 8, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1013);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the ones
+        assert!(s.approx_quantile(0.5).unwrap() <= 4);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 2, 700] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, both.snapshot());
+    }
+
+    #[test]
+    fn trace_cap_drops_oldest() {
+        let t = Telemetry::new();
+        t.set_trace_cap(3);
+        for i in 0..5 {
+            t.trace("k", format!("line {i}"));
+        }
+        let tr = t.traces();
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr[0].1, "line 2");
+        assert_eq!(t.traces_dropped(), 2);
+        let drained = t.drain_traces();
+        assert_eq!(drained.len(), 3);
+        assert!(t.traces().is_empty());
+        assert_eq!(t.traces_dropped(), 2);
+    }
+
+    #[test]
+    fn current_scoping_nests_and_restores() {
+        assert!(current().is_none());
+        let a = Arc::new(Telemetry::new());
+        let b = Arc::new(Telemetry::new());
+        {
+            let _ga = a.make_current();
+            count("c", 1);
+            {
+                let _gb = b.make_current();
+                count("c", 10);
+            }
+            count("c", 1);
+        }
+        assert!(current().is_none());
+        assert_eq!(a.counter("c"), 2);
+        assert_eq!(b.counter("c"), 10);
+    }
+
+    #[test]
+    fn sink_round_trips_schema() {
+        let path = tmp_path("roundtrip");
+        let t = Arc::new(Telemetry::new());
+        t.attach_sink(
+            &path,
+            &RunInfo {
+                app: "test".into(),
+                config_hash: format!("{:016x}", fnv1a(b"cfg")),
+                threads: 4,
+                extra: vec![("note".into(), "unit \"quoted\"".into())],
+            },
+        )
+        .unwrap();
+        t.begin_step(0);
+        {
+            let _s = t.span_class("Move", KernelClass::Move);
+            t.counter_add("move.relocated", 3);
+        }
+        t.trace("DepositCharge", "auto-tuned to SS");
+        t.hist_record("move.hops_per_particle", 2);
+        t.end_step(&[("alive", 10.0)]);
+        t.finish().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<crate::json::Json> = text
+            .lines()
+            .map(|l| crate::json::parse(l).expect("valid json"))
+            .collect();
+        assert!(lines.len() >= 4);
+        let header = &lines[0];
+        assert_eq!(
+            header.get("type").and_then(|v| v.as_str()),
+            Some("run_header")
+        );
+        assert_eq!(header.get("schema").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(header.get("threads").and_then(|v| v.as_u64()), Some(4));
+        let footer = lines.last().unwrap();
+        assert_eq!(
+            footer.get("type").and_then(|v| v.as_str()),
+            Some("run_footer")
+        );
+        assert_eq!(footer.get("open_spans").and_then(|v| v.as_u64()), Some(0));
+        let span = lines
+            .iter()
+            .find(|l| l.get("type").and_then(|v| v.as_str()) == Some("span"))
+            .expect("span event");
+        assert_eq!(span.get("path").and_then(|v| v.as_str()), Some("step>Move"));
+        assert_eq!(span.get("depth").and_then(|v| v.as_u64()), Some(1));
+        let step = lines
+            .iter()
+            .find(|l| l.get("type").and_then(|v| v.as_str()) == Some("step"))
+            .expect("step event");
+        assert_eq!(
+            step.get("counters")
+                .and_then(|c| c.get("move.relocated"))
+                .and_then(|v| v.as_u64()),
+            Some(3)
+        );
+        assert_eq!(
+            step.get("gauges")
+                .and_then(|g| g.get("alive"))
+                .and_then(|v| v.as_f64()),
+            Some(10.0)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn breakdown_table_shows_counters_and_histograms() {
+        let t = Telemetry::new();
+        t.record("Move", Duration::from_millis(30));
+        t.counter_add("move.relocated", 42);
+        t.hist_record("move.hops_per_particle", 3);
+        let table = t.breakdown_table();
+        assert!(table.contains("Move"));
+        assert!(table.contains("TOTAL"));
+        assert!(table.contains("move.relocated"));
+        assert!(table.contains("move.hops_per_particle"));
+    }
+
+    #[test]
+    fn telemetry_is_thread_safe() {
+        let t = Arc::new(Telemetry::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = t.clone();
+                s.spawn(move || {
+                    let h = t.histogram("h");
+                    for i in 0..100 {
+                        t.record("k", Duration::from_nanos(100));
+                        t.counter_add("c", 2);
+                        h.record(i % 7);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.get("k").unwrap().calls, 800);
+        assert_eq!(t.counter("c"), 1600);
+        assert_eq!(t.histograms_snapshot()[0].1.count, 800);
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests on the telemetry subsystem: histogram
+//! snapshot merging forms a commutative monoid (the distributed
+//! drivers rely on merge order not mattering), and the span stack
+//! stays balanced under arbitrary nesting, drop orders, and
+//! panic-unwind.
+
+use oppic_core::{Histogram, HistogramSnapshot, Telemetry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), and merging equals recording the
+    /// concatenated stream into one histogram.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0u64..1_000_000, 0..50),
+        b in prop::collection::vec(0u64..1_000_000, 0..50),
+        c in prop::collection::vec(0u64..1_000_000, 0..50),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = snapshot_of(&all);
+        prop_assert_eq!(&left, &direct);
+        prop_assert_eq!(left.count, all.len() as u64);
+        prop_assert_eq!(left.sum, all.iter().sum::<u64>());
+    }
+
+    /// Merge is commutative and the empty snapshot is its identity.
+    #[test]
+    fn histogram_merge_commutes_with_identity(
+        a in prop::collection::vec(0u64..1_000_000, 0..50),
+        b in prop::collection::vec(0u64..1_000_000, 0..50),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut with_empty = sa.clone();
+        with_empty.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(&with_empty, &sa);
+    }
+
+    /// Whatever order span guards are dropped in — nested scopes,
+    /// out-of-order explicit drops, interleaved re-opens — the stack
+    /// is balanced once they are all gone, and every opened span
+    /// records exactly one kernel call.
+    #[test]
+    fn span_stack_balances_under_any_drop_order(
+        script in prop::collection::vec((any::<bool>(), any::<u32>()), 1..40),
+    ) {
+        let tel = Arc::new(Telemetry::new());
+        let mut open = Vec::new();
+        let mut opened = 0u64;
+        for (push, pick) in script {
+            if push || open.is_empty() {
+                open.push(tel.span(format!("k{}", opened % 5).as_str()));
+                opened += 1;
+            } else {
+                // Dropping a non-top guard truncates the stack down to
+                // its depth; the stranded inner guards become no-ops.
+                let i = pick as usize % open.len();
+                open.remove(i);
+            }
+        }
+        drop(open);
+        prop_assert_eq!(tel.open_spans(), 0);
+        let calls: u64 = tel
+            .kernels_snapshot()
+            .iter()
+            .map(|(_, k)| k.calls)
+            .sum();
+        prop_assert_eq!(calls, opened);
+    }
+
+    /// A panic in a nested span scope unwinds through the guards and
+    /// leaves the stack balanced (the structural guarantee behind the
+    /// run-footer's `open_spans: 0` invariant).
+    #[test]
+    fn span_stack_survives_panic_unwind(
+        depth in 1usize..8,
+        panic_at in 0usize..8,
+    ) {
+        let tel = Arc::new(Telemetry::new());
+        let panic_at = panic_at % depth;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fn descend(tel: &Arc<Telemetry>, level: usize, depth: usize, panic_at: usize) {
+                if level == depth {
+                    return;
+                }
+                let _s = tel.span(&format!("level{level}"));
+                assert_ne!(level, panic_at, "scripted panic");
+                descend(tel, level + 1, depth, panic_at);
+            }
+            descend(&tel, 0, depth, panic_at);
+        }));
+        prop_assert!(result.is_err(), "the scripted panic must fire");
+        prop_assert_eq!(tel.open_spans(), 0);
+        // The spans that did open were recorded on unwind.
+        let calls: u64 = tel
+            .kernels_snapshot()
+            .iter()
+            .map(|(_, k)| k.calls)
+            .sum();
+        prop_assert_eq!(calls, (panic_at + 1) as u64);
+    }
+}

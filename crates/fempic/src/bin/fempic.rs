@@ -9,7 +9,8 @@
 //! sort_dirty` — gather-side CSR index rebuild cadence; `deposit =
 //! ss` for sorted segments, `deposit = auto` for the auto-tuner).
 
-use oppic_core::{DepositMethod, ExecPolicy, Params, SortPolicy};
+use oppic_core::telemetry::fnv1a;
+use oppic_core::{DepositMethod, ExecPolicy, Params, RunInfo, SortPolicy};
 use oppic_fempic::{FemPic, FemPicConfig, Integrator, MoveStrategy};
 
 const KNOWN: &[&str] = &[
@@ -113,28 +114,69 @@ fn config_from(params: &Params) -> Result<(FemPicConfig, usize, usize), String> 
     Ok((cfg, steps, report_every))
 }
 
+/// Open the `--telemetry <path>` JSONL sink on the sim's hub, with a
+/// run-header carrying the config fingerprint, build profile, and
+/// thread count.
+fn attach_telemetry(sim: &FemPic, path: &str, steps: usize) {
+    let info = RunInfo {
+        app: "fempic".into(),
+        config_hash: format!("{:016x}", fnv1a(format!("{:?}", sim.cfg).as_bytes())),
+        threads: sim.cfg.policy.threads(),
+        extra: vec![("steps".into(), steps.to_string())],
+    };
+    if let Err(e) = sim
+        .profiler
+        .telemetry()
+        .attach_sink(std::path::Path::new(path), &info)
+    {
+        eprintln!("error: cannot open telemetry sink {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
 /// `--validate` mode: build the simulation, run a few steps to
 /// populate the dynamic maps, then run all three analyzer passes and
 /// exit non-zero on any Error finding.
-fn run_validation(cfg: FemPicConfig, steps: usize) -> ! {
+fn run_validation(cfg: FemPicConfig, steps: usize, telemetry: Option<&str>) -> ! {
     let warmup = steps.clamp(1, 5);
     println!(
         "Mini-FEM-PIC --validate: {} cells, {warmup} warm-up step(s)",
         cfg.n_cells()
     );
     let mut sim = FemPic::new(cfg);
+    if let Some(path) = telemetry {
+        attach_telemetry(&sim, path, warmup);
+    }
     sim.run(warmup);
     let plans = sim.loop_plans();
     println!("\n{}", plans.summary());
     let report = sim.validate_all();
     println!("{report}");
+    if let Err(e) = sim.profiler.telemetry().finish() {
+        eprintln!("error: telemetry sink: {e}");
+        std::process::exit(2);
+    }
     std::process::exit(report.exit_code());
+}
+
+/// Strip `--telemetry <path>` from the argument list, returning the
+/// path if present.
+fn take_telemetry_arg(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--telemetry")?;
+    if i + 1 >= args.len() {
+        eprintln!("error: --telemetry requires a file path");
+        std::process::exit(2);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Some(path)
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let validate = args.iter().any(|a| a == "--validate");
     args.retain(|a| a != "--validate");
+    let telemetry = take_telemetry_arg(&mut args);
     let params = match args.get(1).map(String::as_str) {
         Some("--print-defaults") => {
             println!("# Mini-FEM-PIC configuration keys and defaults");
@@ -154,7 +196,7 @@ fn main() {
         std::process::exit(2);
     });
     if validate {
-        run_validation(cfg, steps);
+        run_validation(cfg, steps, telemetry.as_deref());
     }
 
     println!(
@@ -164,6 +206,9 @@ fn main() {
         steps
     );
     let mut sim = FemPic::new(cfg);
+    if let Some(path) = &telemetry {
+        attach_telemetry(&sim, path, steps);
+    }
     let t0 = std::time::Instant::now();
     for s in 1..=steps {
         let d = sim.step();
@@ -176,6 +221,10 @@ fn main() {
     }
     println!("\nMainLoop TotalTime = {:.4} s", t0.elapsed().as_secs_f64());
     print!("{}", sim.profiler.breakdown_table());
+    if let Err(e) = sim.profiler.telemetry().finish() {
+        eprintln!("error: telemetry sink: {e}");
+        std::process::exit(2);
+    }
     if let Err(e) = sim.check_invariants() {
         eprintln!("INVARIANT VIOLATION: {e}");
         std::process::exit(1);

@@ -375,10 +375,10 @@ impl FemPic {
             || sort_first
             || (method == DepositMethod::SortedSegments && !self.ps.index_is_fresh());
         if need_sort {
-            let t0 = std::time::Instant::now();
+            let tel = self.profiler.telemetry().clone();
+            let _s = tel.span("SortParticles");
             let n_cells = self.mesh.n_cells();
             self.ps.sort_by_cell(n_cells);
-            self.profiler.record("SortParticles", t0.elapsed());
         }
         self.active_deposit = method;
     }
@@ -506,12 +506,20 @@ impl FemPic {
     pub fn step(&mut self) -> StepDiagnostics {
         self.step_no += 1;
 
-        // `Profiler::time` cannot wrap `&mut self` methods, so each
-        // stage is timed explicitly.
-        let t0 = std::time::Instant::now();
-        let injected = self.inject();
-        self.profiler.record("Inject", t0.elapsed());
-        self.profiler.classify("Inject", KernelClass::Inject);
+        // Install this sim's telemetry as the thread's current hub so
+        // the DSL executors (move engine, deposit, particle store,
+        // par loops) publish their counters/histograms here, and open
+        // the per-step root span.
+        let tel = self.profiler.telemetry().clone();
+        let _cur = tel.make_current();
+        tel.begin_step(self.step_no as u64);
+
+        // Spans cannot wrap `&mut self` method calls in one closure, so
+        // each stage is a guard block.
+        let injected = {
+            let _s = tel.span_class("Inject", KernelClass::Inject);
+            self.inject()
+        };
 
         // Gather-side sort (cell-locality engine): regrouping here
         // lets CalcPosVel and the weighting pass run segment-batched.
@@ -520,19 +528,18 @@ impl FemPic {
             .sort_policy
             .should_sort(self.step_no, self.ps.dirty_count(), self.ps.len())
         {
-            let t0 = std::time::Instant::now();
+            let _s = tel.span("SortParticles");
             let n_cells = self.mesh.n_cells();
             self.ps.sort_by_cell(n_cells);
-            self.profiler.record("SortParticles", t0.elapsed());
         }
 
-        let t0 = std::time::Instant::now();
-        self.calc_pos_vel();
-        self.profiler.record("CalcPosVel", t0.elapsed());
-        self.profiler.classify("CalcPosVel", KernelClass::Move);
+        {
+            let _s = tel.span_class("CalcPosVel", KernelClass::Move);
+            self.calc_pos_vel();
+        }
 
         if let Some(model) = self.cfg.collisions {
-            let t0 = std::time::Instant::now();
+            let _s = tel.span_class("Collide", KernelClass::Other);
             crate::collisions::collide(
                 &self.cfg.policy,
                 &model,
@@ -541,29 +548,26 @@ impl FemPic {
                 self.cfg.seed,
                 self.step_no as u64,
             );
-            self.profiler.record("Collide", t0.elapsed());
-            self.profiler.classify("Collide", KernelClass::Other);
         }
 
-        let t0 = std::time::Instant::now();
-        let removed = self.move_particles();
-        self.profiler.record("Move", t0.elapsed());
-        self.profiler.classify("Move", KernelClass::Move);
+        let removed = {
+            let _s = tel.span_class("Move", KernelClass::Move);
+            self.move_particles()
+        };
 
         // The coloring scheme and the sorted-segments deposit require
         // cell-sorted particles — the overhead the paper attributes to
         // those options; the auto-tuner may also ask for a sort here.
         self.prepare_deposit();
 
-        let t0 = std::time::Instant::now();
-        self.deposit_charge();
-        self.profiler.record("DepositCharge", t0.elapsed());
-        self.profiler
-            .classify("DepositCharge", KernelClass::Deposit);
+        {
+            let _s = tel.span_class("DepositCharge", KernelClass::Deposit);
+            self.deposit_charge();
+        }
 
         let cg_iterations = self.field_solve();
 
-        StepDiagnostics {
+        let diag = StepDiagnostics {
             step: self.step_no,
             n_particles: self.ps.len(),
             injected,
@@ -571,7 +575,13 @@ impl FemPic {
             total_charge: self.node_charge.sum(),
             cg_iterations,
             mean_move_visits: self.last_move.mean_visits(self.ps.len().max(1)),
-        }
+        };
+        tel.end_step(&[
+            ("alive", diag.n_particles as f64),
+            ("total_charge", diag.total_charge),
+            ("cg_iterations", diag.cg_iterations as f64),
+        ]);
+        diag
     }
 
     /// Run `n` steps, returning the final step's diagnostics.

@@ -1,5 +1,5 @@
 //! Property-based tests (proptest) over the cross-crate invariants
-//! listed in DESIGN.md §6.
+//! listed in DESIGN.md §7.
 
 use op_pic::core::{
     deposit_loop, move_loop, DepositMethod, ExecPolicy, MoveConfig, MoveStatus, ParticleDats,
