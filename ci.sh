@@ -39,6 +39,17 @@ echo "== telemetry smoke (sink -> audit -> report)"
 ./target/release/oppic-report /tmp/oppic_ci_telemetry.jsonl >/dev/null
 rm -f /tmp/oppic_ci_telemetry.jsonl
 
+echo "== conformance --quick (cross-backend differential matrix)"
+./target/release/conformance --quick >/dev/null
+# A failing matrix cell writes a shrunk reproducer under
+# results/conformance/ — any uncommitted artifact there means a red
+# run left evidence behind and must not slip through a green gate.
+if [ -n "$(git status --porcelain -- results/conformance 2>/dev/null)" ]; then
+    echo "uncommitted conformance reproducers found:" >&2
+    git status --porcelain -- results/conformance >&2
+    exit 1
+fi
+
 echo "== bench smoke"
 cargo bench --offline --workspace --no-run --quiet
 OPPIC_SCALE=0.02 OPPIC_STEPS=2 ./target/release/ablation_deposit_strategies >/dev/null

@@ -26,6 +26,7 @@
 
 pub mod common;
 pub mod config;
+pub mod conform;
 pub mod dsl;
 pub mod engine;
 pub mod structured;

@@ -1,0 +1,145 @@
+//! Differential conformance runner.
+//!
+//! ```text
+//! conformance --quick              # CI smoke: ≥ 24 matrix cells
+//! conformance --full               # the entire backend matrix
+//! conformance --replay <file>      # re-execute a shrunk reproducer
+//! ```
+//!
+//! Exit status 0 when every cell passes; 1 otherwise. On failure each
+//! cell is shrunk to a minimal reproducer and written under
+//! `results/conformance/<cell-id>.json` (CI fails on uncommitted
+//! files there, so a red run leaves evidence behind).
+
+use oppic_conformance::{
+    cell_fails, check_cell, full_matrix, parse_reproducer, quick_matrix, run_matrix, shrink,
+    write_reproducer, CellConfig,
+};
+use oppic_core::telemetry::Telemetry;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+const REPRO_DIR: &str = "results/conformance";
+
+fn usage() -> ! {
+    eprintln!("usage: conformance [--quick | --full | --replay <file.json>]");
+    std::process::exit(2);
+}
+
+fn replay(path: &str) -> i32 {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("conformance: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let (cell, recorded) = match parse_reproducer(&src) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("conformance: {e}");
+            return 2;
+        }
+    };
+    println!("replaying {cell}");
+    if !recorded.is_empty() {
+        println!("recorded failures:");
+        for line in &recorded {
+            println!("  {line}");
+        }
+    }
+    let report = check_cell(&cell);
+    if report.passed() {
+        println!("PASS — the recorded failure no longer reproduces");
+        0
+    } else {
+        println!("FAIL — reproduced:");
+        for line in report.failure_lines() {
+            println!("  {line}");
+        }
+        1
+    }
+}
+
+fn run(cells: &[CellConfig], label: &str) -> i32 {
+    let tel = Arc::new(Telemetry::new());
+    let _guard = tel.make_current();
+    let t0 = Instant::now();
+    println!("conformance --{label}: {} matrix cells", cells.len());
+
+    let reports = run_matrix(cells);
+    let mut failed = Vec::new();
+    for report in &reports {
+        if report.passed() {
+            println!(
+                "  PASS {:<34} {:>6} values, oracle {:?}",
+                report.cell.id(),
+                report.comparison.compared,
+                report.oracle
+            );
+        } else {
+            println!("  FAIL {}", report.cell);
+            for line in report.failure_lines() {
+                println!("       {line}");
+            }
+            failed.push(report.cell.clone());
+        }
+    }
+
+    for cell in &failed {
+        println!("shrinking {} ...", cell.id());
+        let (shrunk, spent) = shrink(cell, &mut cell_fails);
+        let lines = check_cell(&shrunk).failure_lines();
+        match write_reproducer(Path::new(REPRO_DIR), &shrunk, &lines) {
+            Ok(path) => println!(
+                "  minimal reproducer ({} steps, {} particles, {spent} attempts): {}\n  \
+                 replay with: cargo run --release --bin conformance -- --replay {}",
+                shrunk.steps,
+                shrunk.particles,
+                path.display(),
+                path.display()
+            ),
+            Err(e) => eprintln!("  cannot write reproducer: {e}"),
+        }
+    }
+
+    let counters = tel.counters_snapshot();
+    let compared: u64 = counters
+        .iter()
+        .filter(|(k, _)| k.ends_with("/values_compared"))
+        .map(|(_, v)| *v)
+        .sum();
+    // Per-cell keys are `conformance/<id>/divergent`; deeper keys are
+    // the per-kernel attribution and would double-count.
+    let divergent: u64 = counters
+        .iter()
+        .filter(|(k, _)| k.ends_with("/divergent") && k.matches('/').count() == 2)
+        .map(|(_, v)| *v)
+        .sum();
+    println!(
+        "{}/{} cells passed, {compared} values compared, {divergent} divergent, {:.2}s",
+        reports.len() - failed.len(),
+        reports.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    if failed.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--quick") | None => run(&quick_matrix(), "quick"),
+        Some("--full") => run(&full_matrix(), "full"),
+        Some("--replay") => match args.get(1) {
+            Some(path) => replay(path),
+            None => usage(),
+        },
+        _ => usage(),
+    };
+    std::process::exit(code);
+}

@@ -44,6 +44,7 @@ pub mod parloop;
 pub mod particles;
 pub mod plan;
 pub mod profile;
+pub mod sim;
 pub mod telemetry;
 
 pub use access::{Access, ArgDecl, Indirection, LoopDecl};
@@ -65,6 +66,7 @@ pub use parloop::{
 pub use particles::{ColId, ParticleDats, SortPolicy};
 pub use plan::{LoopPlan, PlanRegistry, RaceStrategy};
 pub use profile::{KernelClass, Profiler};
+pub use sim::{Observable, Simulation};
 pub use telemetry::{
     Histogram, HistogramSnapshot, KernelId, KernelStats, RunInfo, Span, Telemetry,
 };

@@ -430,6 +430,21 @@ mod tests {
     }
 
     #[test]
+    fn mean_visits_guards_division_by_zero() {
+        // A populated result queried with zero alive particles (every
+        // particle removed mid-step) must report 0.0, not NaN/inf.
+        let r = MoveResult {
+            total_visits: 23,
+            ..MoveResult::default()
+        };
+        assert_eq!(r.mean_visits(0), 0.0);
+        assert!(r.mean_visits(0).is_finite());
+        assert!((r.mean_visits(5) - 4.6).abs() < 1e-12);
+        // And a zero-visit result stays 0 for any divisor.
+        assert_eq!(MoveResult::default().mean_visits(7), 0.0);
+    }
+
+    #[test]
     fn chain_recording() {
         let targets = vec![3usize, 0, 5];
         let mut cells = vec![0i32, 0, 0];

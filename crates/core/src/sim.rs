@@ -1,0 +1,121 @@
+//! The `Simulation` trait — the surface a differential test harness
+//! needs to drive *any* OP-PIC application, independent of its mesh,
+//! kernels, or backend configuration.
+//!
+//! The paper's central claim is that one science source produces
+//! equivalent results on every backend; `crates/conformance` proves the
+//! analogue claim for this repo by stepping two applications across the
+//! whole backend matrix and comparing runs pairwise. That harness only
+//! needs four things from an application: advance one step, report how
+//! many particles it holds, expose *order-insensitive* observables
+//! (mesh-indexed dats and global scalars — particle array order is not
+//! comparable across backends because sorting and migration permute
+//! it), and self-check its structural invariants.
+
+/// One named, order-insensitive quantity exposed for differential
+/// comparison — a mesh-indexed dat (values indexed by cell/node id) or
+/// a vector of global scalars. Never particle-indexed data: particle
+/// array order legitimately differs between backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observable {
+    pub name: String,
+    pub values: Vec<f64>,
+}
+
+impl Observable {
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Observable {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Single-scalar observable.
+    pub fn scalar(name: impl Into<String>, value: f64) -> Self {
+        Observable::new(name, vec![value])
+    }
+}
+
+/// A steppable PIC application, as seen by the conformance harness.
+pub trait Simulation {
+    /// Advance exactly one PIC step.
+    fn advance(&mut self);
+
+    /// Steps taken so far.
+    fn step_count(&self) -> usize;
+
+    /// Particles currently alive.
+    fn n_particles(&self) -> usize;
+
+    /// `(injected, removed)` during the most recent [`advance`] —
+    /// the harness checks particle-count conservation with
+    /// `n_after == n_before + injected - removed` after every step.
+    ///
+    /// [`advance`]: Simulation::advance
+    fn last_step_flux(&self) -> (usize, usize);
+
+    /// Order-insensitive observables for differential comparison.
+    /// Names and lengths must match across backend configurations of
+    /// the same scenario.
+    fn observables(&self) -> Vec<Observable>;
+
+    /// Application-level structural invariants (particles inside their
+    /// cells, maps in range, conserved quantities within tolerance).
+    fn invariants(&self) -> Result<(), String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal in-crate implementation: proves the trait is object-
+    /// safe and that a harness can drive it through `dyn`.
+    struct Counter {
+        steps: usize,
+        particles: usize,
+    }
+
+    impl Simulation for Counter {
+        fn advance(&mut self) {
+            self.steps += 1;
+            self.particles += 2;
+        }
+        fn step_count(&self) -> usize {
+            self.steps
+        }
+        fn n_particles(&self) -> usize {
+            self.particles
+        }
+        fn last_step_flux(&self) -> (usize, usize) {
+            (2, 0)
+        }
+        fn observables(&self) -> Vec<Observable> {
+            vec![
+                Observable::scalar("n", self.particles as f64),
+                Observable::new("hist", vec![self.steps as f64; 3]),
+            ]
+        }
+        fn invariants(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_flux_balances() {
+        let mut sim: Box<dyn Simulation> = Box::new(Counter {
+            steps: 0,
+            particles: 0,
+        });
+        for _ in 0..3 {
+            let before = sim.n_particles();
+            sim.advance();
+            let (inj, rem) = sim.last_step_flux();
+            assert_eq!(sim.n_particles(), before + inj - rem);
+        }
+        assert_eq!(sim.step_count(), 3);
+        let obs = sim.observables();
+        assert_eq!(obs[0].values, vec![6.0]);
+        assert_eq!(obs[1].name, "hist");
+        sim.invariants().unwrap();
+    }
+}

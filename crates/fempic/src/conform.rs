@@ -1,0 +1,152 @@
+//! [`Simulation`] implementation — the surface the cross-backend
+//! conformance harness (`crates/conformance`) drives.
+//!
+//! Observables are deliberately order-insensitive: mesh-indexed dats
+//! (node charge, cell field, node potential), the per-cell particle
+//! occupancy histogram, and global scalars. Particle columns are *not*
+//! exposed — sorting policies and rank migration permute the particle
+//! array without changing the physics, so raw columns are not
+//! comparable across backend configurations.
+
+use crate::sim::FemPic;
+use oppic_core::{DepositMethod, Observable, Simulation};
+
+impl FemPic {
+    /// Particles per cell as a mesh-indexed histogram (f64 so it rides
+    /// the same comparison path as the field dats).
+    pub fn cell_occupancy(&self) -> Vec<f64> {
+        let mut counts = vec![0.0; self.mesh.n_cells()];
+        for &c in self.ps.cells() {
+            counts[c as usize] += 1.0;
+        }
+        counts
+    }
+
+    /// Total kinetic energy `Σ ½ m v²` — order-insensitive up to
+    /// summation order.
+    pub fn kinetic_energy(&self) -> f64 {
+        let v = self.ps.col(self.vel);
+        0.5 * self.cfg.mass * v.iter().map(|x| x * x).sum::<f64>()
+    }
+
+    /// DESIGN.md's bit-identity promise, checkable from outside the
+    /// crate: on the *same* freshly sorted store, the owner-computes
+    /// SortedSegments deposit replays the Serial fold order exactly —
+    /// strict `f64` equality, not a tolerance. Leaves `node_charge`
+    /// holding the (identical) SortedSegments result.
+    pub fn sorted_segments_bit_identical(&mut self) -> bool {
+        self.ps.sort_by_cell(self.mesh.n_cells());
+        let saved = self.active_deposit;
+        self.active_deposit = DepositMethod::Serial;
+        self.deposit_charge();
+        let base = self.node_charge.raw().to_vec();
+        self.active_deposit = DepositMethod::SortedSegments;
+        self.deposit_charge();
+        let ok = self.node_charge.raw() == &base[..];
+        self.active_deposit = saved;
+        ok
+    }
+}
+
+impl Simulation for FemPic {
+    fn advance(&mut self) {
+        self.step();
+    }
+
+    fn step_count(&self) -> usize {
+        FemPic::step_count(self)
+    }
+
+    fn n_particles(&self) -> usize {
+        self.ps.len()
+    }
+
+    fn last_step_flux(&self) -> (usize, usize) {
+        // Injection is a fixed-rate inlet; removals are whatever the
+        // last move's hole-fill dropped at the outlet.
+        (self.cfg.inject_per_step, self.last_move.removed.len())
+    }
+
+    fn observables(&self) -> Vec<Observable> {
+        vec![
+            Observable::new("node_charge", self.node_charge.raw().to_vec()),
+            Observable::new("efield", self.efield.raw().to_vec()),
+            Observable::new("potential", self.fem.potential().to_vec()),
+            Observable::new("cell_occupancy", self.cell_occupancy()),
+            Observable::scalar("kinetic_energy", self.kinetic_energy()),
+            Observable::scalar("n_particles", self.ps.len() as f64),
+        ]
+    }
+
+    fn invariants(&self) -> Result<(), String> {
+        // Structural: every particle inside its recorded cell.
+        self.check_invariants()?;
+        // Physics: deposit conserves charge — barycentric weights sum
+        // to 1 per particle, so total node charge is n·q exactly (up
+        // to summation order).
+        if self.step_count() > 0 {
+            let total = self.node_charge.raw().iter().sum::<f64>();
+            let expect = self.ps.len() as f64 * self.cfg.charge;
+            let tol = 1e-9 * expect.abs().max(1.0);
+            if (total - expect).abs() > tol {
+                return Err(format!(
+                    "charge not conserved: deposited {total}, expected {expect} \
+                     ({} particles x {})",
+                    self.ps.len(),
+                    self.cfg.charge
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FemPicConfig;
+
+    #[test]
+    fn simulation_trait_drives_the_app() {
+        let mut sim = FemPic::new(FemPicConfig::tiny());
+        for _ in 0..4 {
+            let before = Simulation::n_particles(&sim);
+            sim.advance();
+            let (inj, rem) = sim.last_step_flux();
+            assert_eq!(Simulation::n_particles(&sim), before + inj - rem);
+        }
+        assert_eq!(Simulation::step_count(&sim), 4);
+        sim.invariants().unwrap();
+        let obs = sim.observables();
+        let names: Vec<&str> = obs.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "node_charge",
+                "efield",
+                "potential",
+                "cell_occupancy",
+                "kinetic_energy",
+                "n_particles"
+            ]
+        );
+        let occ = &obs[3];
+        assert_eq!(occ.values.len(), sim.mesh.n_cells());
+        assert_eq!(
+            occ.values.iter().sum::<f64>() as usize,
+            Simulation::n_particles(&sim)
+        );
+    }
+
+    #[test]
+    fn corrupted_deposit_breaks_the_charge_invariant() {
+        let mut sim = FemPic::new(FemPicConfig::tiny());
+        sim.step();
+        sim.invariants().unwrap();
+        // A lost contribution (the bug class racy deposits produce)
+        // must be visible to the physics oracle.
+        sim.node_charge.raw_mut()[0] -= sim.cfg.charge;
+        let err = sim.invariants().unwrap_err();
+        assert!(err.contains("charge not conserved"), "{err}");
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod collisions;
 pub mod config;
+pub mod conform;
 pub mod fields;
 pub mod sim;
 pub mod validate;

@@ -1,0 +1,122 @@
+//! Property: particle migration is a permutation-preserving roundtrip.
+//!
+//! Pack → alltoallv ship → hole-fill → unpack across R in-process
+//! ranks must (a) lose no dat bytes — the global multiset of particle
+//! payloads is exactly preserved, (b) land every particle on the rank
+//! the routing function chose, and (c) leave no stale slots behind —
+//! every surviving slot's payload columns stay mutually coherent after
+//! `remove_fill` compaction and `unpack_one` appends.
+
+use oppic_core::ParticleDats;
+use oppic_mpi::{migrate_particles, world_run};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut x = seed ^ a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.wrapping_mul(0xC2B2AE3D27D4EB4F);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x
+}
+
+/// Payload derived from a particle's global id — any mismatch between
+/// columns marks a stale or torn slot.
+fn payload_of(id: u64) -> [f64; 3] {
+    [
+        (id * id % 10_007) as f64,
+        (id % 97) as f64 + 0.5,
+        -(id as f64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn migration_is_a_permutation_preserving_roundtrip(
+        n_ranks in 2usize..5,
+        per_rank in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        // Each rank builds its own store: `per_rank + rank` particles
+        // (uneven on purpose), tagged with a globally unique id.
+        let results = world_run(n_ranks, |ctx| {
+            let mut ps = ParticleDats::new();
+            let tag = ps.decl_dat("tag", 1);
+            let pay = ps.decl_dat("pay", 3);
+            let n = per_rank + ctx.rank;
+            ps.inject(n, 0);
+            for i in 0..n {
+                let id = (ctx.rank as u64) * 1_000 + i as u64;
+                ps.el_mut(tag, i)[0] = id as f64;
+                let p = payload_of(id);
+                ps.el_mut(pay, i).copy_from_slice(&p);
+                ps.cells_mut()[i] = (id % 13) as i32;
+            }
+
+            // Route by a seeded hash; keep home particles in place.
+            let leavers: Vec<(usize, u32, i32)> = (0..n)
+                .filter_map(|i| {
+                    let id = (ctx.rank as u64) * 1_000 + i as u64;
+                    let dst = (mix(seed, id, ctx.n_ranks as u64)
+                        % ctx.n_ranks as u64) as u32;
+                    (dst as usize != ctx.rank)
+                        .then(|| (i, dst, ((id % 13) + 100) as i32))
+                })
+                .collect();
+            let n_leavers = leavers.len();
+            let stats = migrate_particles(ctx, &mut ps, &leavers);
+
+            // Snapshot the post-migration store for global checks.
+            let rows: Vec<(u64, i32, [f64; 3])> = (0..ps.len())
+                .map(|i| {
+                    let id = ps.el(tag, i)[0] as u64;
+                    let mut p = [0.0; 3];
+                    p.copy_from_slice(ps.el(pay, i));
+                    (id, ps.cells()[i], p)
+                })
+                .collect();
+            (ctx.rank, n, n_leavers, stats, rows)
+        });
+
+        let mut total_sent = 0usize;
+        let mut total_received = 0usize;
+        let mut seen: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut expected_total = 0usize;
+        for (rank, n0, n_leavers, stats, rows) in &results {
+            expected_total += n0;
+            total_sent += stats.sent;
+            total_received += stats.received;
+            prop_assert_eq!(stats.sent, *n_leavers);
+            // Hole-filling left exactly keepers + arrivals, no slack.
+            prop_assert_eq!(rows.len(), n0 - n_leavers + stats.received);
+            for (id, cell, p) in rows {
+                // No stale slots: every column still matches the id.
+                prop_assert_eq!(*p, payload_of(*id));
+                let home = (id / 1_000) as usize;
+                let dst = (mix(seed, *id, n_ranks as u64) % n_ranks as u64) as usize;
+                if dst == home {
+                    // Stayed put, original cell.
+                    prop_assert_eq!(*rank, home);
+                    prop_assert_eq!(*cell, (id % 13) as i32);
+                } else {
+                    // Shipped: on the routed rank, destination cell.
+                    prop_assert_eq!(*rank, dst);
+                    prop_assert_eq!(*cell, ((id % 13) + 100) as i32);
+                }
+                *seen.entry(*id).or_insert(0) += 1;
+            }
+        }
+        // Nothing lost, nothing duplicated, nothing invented.
+        prop_assert_eq!(total_sent, total_received);
+        prop_assert_eq!(seen.values().sum::<usize>(), expected_total);
+        prop_assert!(seen.values().all(|&c| c == 1));
+        for rank in 0..n_ranks {
+            for i in 0..per_rank + rank {
+                let id = rank as u64 * 1_000 + i as u64;
+                prop_assert!(seen.contains_key(&id), "id {} vanished", id);
+            }
+        }
+    }
+}
