@@ -50,6 +50,18 @@ if [ -n "$(git status --porcelain -- results/conformance 2>/dev/null)" ]; then
     exit 1
 fi
 
+echo "== conformance --chaos --quick (seeded fault schedules, DESIGN.md §10)"
+# Every seeded schedule must converge bit-exactly to the fault-free
+# reference or abort with a typed error; silent corruption exits 1.
+./target/release/conformance --chaos --quick >/dev/null
+# Clean aborts exit 0 but leave a shrunk chaos reproducer behind —
+# the same porcelain gate catches them.
+if [ -n "$(git status --porcelain -- results/conformance 2>/dev/null)" ]; then
+    echo "uncommitted chaos reproducers found:" >&2
+    git status --porcelain -- results/conformance >&2
+    exit 1
+fi
+
 echo "== bench smoke"
 cargo bench --offline --workspace --no-run --quiet
 OPPIC_SCALE=0.02 OPPIC_STEPS=2 ./target/release/ablation_deposit_strategies >/dev/null

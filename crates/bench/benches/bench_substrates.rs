@@ -62,7 +62,7 @@ fn bench_halo(c: &mut Criterion) {
             world_run(ranks, |ctx| {
                 let rm = &meshes[ctx.rank];
                 let mut data = vec![1.0; rm.n_local() * 3];
-                rm.plan.forward(ctx, &mut data, 3);
+                rm.plan.forward(ctx, &mut data, 3).expect("forward halo");
                 data[0]
             })
         });

@@ -224,7 +224,8 @@ pub fn run_fempic_distributed_solve(
             // Distributed field solve: owned RHS rows, halo'd SpMV.
             let rhs_global = sim.fem.build_rhs(sim.node_charge.raw(), sim.cfg.epsilon0);
             let my_rhs: Vec<f64> = mine.iter().map(|&n| rhs_global[n]).collect();
-            let out = cg_solve_distributed(ctx, sys, &my_rhs, &mut x_owned, sim.fem.cg_config);
+            let out = cg_solve_distributed(ctx, sys, &my_rhs, &mut x_owned, sim.fem.cg_config)
+                .expect("halo exchange in distributed solve");
             debug_assert!(out.converged, "{out:?}");
             // Assemble the global potential (allreduce of the disjoint
             // owned pieces) and push it into the app.

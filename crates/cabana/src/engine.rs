@@ -538,6 +538,9 @@ impl<T: Topology> CabanaEngine<T> {
                 "particle schema mismatch",
             ));
         }
+        // Integrity gate: reject truncated or bit-flipped snapshots
+        // before any engine state is touched.
+        br.verify_footer()?;
         self.step_no = step_no;
         self.e = e;
         self.b = b;

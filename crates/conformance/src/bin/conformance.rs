@@ -1,19 +1,26 @@
 //! Differential conformance runner.
 //!
 //! ```text
-//! conformance --quick              # CI smoke: ≥ 24 matrix cells
-//! conformance --full               # the entire backend matrix
-//! conformance --replay <file>      # re-execute a shrunk reproducer
+//! conformance --quick                  # CI smoke: ≥ 24 matrix cells
+//! conformance --full                   # the entire backend matrix
+//! conformance --replay <file>          # re-execute a shrunk reproducer
+//! conformance --chaos [--quick|--full] # seeded fault schedules over the
+//!                                      # resilient drivers (DESIGN.md §10)
+//! conformance --chaos-replay <file>    # re-execute a chaos reproducer
 //! ```
 //!
 //! Exit status 0 when every cell passes; 1 otherwise. On failure each
 //! cell is shrunk to a minimal reproducer and written under
 //! `results/conformance/<cell-id>.json` (CI fails on uncommitted
-//! files there, so a red run leaves evidence behind).
+//! files there, so a red run leaves evidence behind). The chaos stage
+//! fails only on *silent corruption* — a clean typed abort exits 0
+//! but still writes its reproducer, which the CI porcelain check
+//! surfaces.
 
 use oppic_conformance::{
-    cell_fails, check_cell, full_matrix, parse_reproducer, quick_matrix, run_matrix, shrink,
-    write_reproducer, CellConfig,
+    cell_fails, chaos_cell_fails, chaos_full_matrix, chaos_quick_matrix, check_cell, full_matrix,
+    parse_chaos_reproducer, parse_reproducer, quick_matrix, run_chaos_cell, run_matrix, shrink,
+    shrink_chaos, write_chaos_reproducer, write_reproducer, CellConfig, ChaosCell, ChaosVerdict,
 };
 use oppic_core::telemetry::Telemetry;
 use std::path::Path;
@@ -23,7 +30,10 @@ use std::time::Instant;
 const REPRO_DIR: &str = "results/conformance";
 
 fn usage() -> ! {
-    eprintln!("usage: conformance [--quick | --full | --replay <file.json>]");
+    eprintln!(
+        "usage: conformance [--quick | --full | --replay <file.json> | \
+         --chaos [--quick|--full] | --chaos-replay <file.json>]"
+    );
     std::process::exit(2);
 }
 
@@ -130,6 +140,117 @@ fn run(cells: &[CellConfig], label: &str) -> i32 {
     }
 }
 
+/// Run one chaos cell and report it. Returns the verdict; anything
+/// short of `Recovered` is shrunk into a reproducer.
+fn chaos_cell_outcome(cell: &ChaosCell) -> ChaosVerdict {
+    let report = run_chaos_cell(cell);
+    match &report.verdict {
+        ChaosVerdict::Recovered {
+            injected,
+            retransmits,
+            recoveries,
+        } => println!(
+            "  PASS  {:<40} recovered ({injected} injected, {retransmits} retransmits, \
+             {recoveries} rollbacks)",
+            cell.id()
+        ),
+        ChaosVerdict::CleanAbort { errors } => {
+            println!("  ABORT {:<40} clean typed abort", cell.id());
+            for line in errors {
+                println!("        {line}");
+            }
+        }
+        ChaosVerdict::SilentCorruption { failures } => {
+            println!("  FAIL  {:<40} SILENT CORRUPTION", cell.id());
+            for line in failures {
+                println!("        {line}");
+            }
+        }
+    }
+    if !report.recovered() {
+        println!("shrinking {} ...", cell.id());
+        let (shrunk, spent) = shrink_chaos(cell, &mut chaos_cell_fails);
+        let lines = run_chaos_cell(&shrunk).failure_lines();
+        match write_chaos_reproducer(Path::new(REPRO_DIR), &shrunk, &lines) {
+            Ok(path) => println!(
+                "  minimal reproducer ({} steps, {} particles, {} ranks, {spent} attempts): {}\n  \
+                 replay with: cargo run --release --bin conformance -- --chaos-replay {}",
+                shrunk.steps,
+                shrunk.particles,
+                shrunk.ranks,
+                path.display(),
+                path.display()
+            ),
+            Err(e) => eprintln!("  cannot write reproducer: {e}"),
+        }
+    }
+    report.verdict
+}
+
+fn run_chaos(cells: &[ChaosCell], label: &str) -> i32 {
+    let t0 = Instant::now();
+    println!(
+        "conformance --chaos --{label}: {} seeded schedules",
+        cells.len()
+    );
+    let (mut recovered, mut aborted, mut corrupted) = (0usize, 0usize, 0usize);
+    for cell in cells {
+        match chaos_cell_outcome(cell) {
+            ChaosVerdict::Recovered { .. } => recovered += 1,
+            ChaosVerdict::CleanAbort { .. } => aborted += 1,
+            ChaosVerdict::SilentCorruption { .. } => corrupted += 1,
+        }
+    }
+    println!(
+        "{recovered} recovered, {aborted} clean aborts, {corrupted} silently corrupted, {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
+    if corrupted == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+fn chaos_replay(path: &str) -> i32 {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("conformance: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let (cell, recorded) = match parse_chaos_reproducer(&src) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("conformance: {e}");
+            return 2;
+        }
+    };
+    println!("replaying {cell}");
+    if !recorded.is_empty() {
+        println!("recorded failures:");
+        for line in &recorded {
+            println!("  {line}");
+        }
+    }
+    let report = run_chaos_cell(&cell);
+    if report.recovered() {
+        println!("PASS — the recorded misbehaviour no longer reproduces");
+        0
+    } else {
+        let class = match &report.verdict {
+            ChaosVerdict::CleanAbort { .. } => "clean abort",
+            _ => "silent corruption",
+        };
+        println!("FAIL — reproduced ({class}):");
+        for line in report.failure_lines() {
+            println!("  {line}");
+        }
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -137,6 +258,15 @@ fn main() {
         Some("--full") => run(&full_matrix(), "full"),
         Some("--replay") => match args.get(1) {
             Some(path) => replay(path),
+            None => usage(),
+        },
+        Some("--chaos") => match args.get(1).map(String::as_str) {
+            Some("--quick") | None => run_chaos(&chaos_quick_matrix(), "quick"),
+            Some("--full") => run_chaos(&chaos_full_matrix(), "full"),
+            _ => usage(),
+        },
+        Some("--chaos-replay") => match args.get(1) {
+            Some(path) => chaos_replay(path),
             None => usage(),
         },
         _ => usage(),

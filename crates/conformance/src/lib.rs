@@ -13,14 +13,28 @@
 //! [`report`] writes a replayable JSON reproducer under
 //! `results/conformance/`.
 //!
-//! See DESIGN.md §9 for the equivalence matrix and replay workflow.
+//! The [`chaos`] stage extends the contract to a *faulty* substrate:
+//! seeded fault schedules (drop / duplicate / reorder / delay /
+//! bit-flip / stall) run against the resilience layer's reliable
+//! drivers, asserting every run either converges bit-exactly to the
+//! fault-free reference or aborts with a typed error and a shrunk
+//! reproducer — silent corruption is the only failing outcome.
+//!
+//! See DESIGN.md §9 for the equivalence matrix and replay workflow,
+//! §10 for the chaos stage.
 
+pub mod chaos;
 pub mod matrix;
 pub mod oracle;
 pub mod report;
 pub mod runner;
 pub mod shrink;
 
+pub use chaos::{
+    chaos_cell_fails, chaos_full_matrix, chaos_quick_matrix, chaos_reproducer_json,
+    parse_chaos_reproducer, run_chaos_cell, shrink_chaos, write_chaos_reproducer, ChaosCell,
+    ChaosFault, ChaosReport, ChaosVerdict, CHAOS_SCHEMA,
+};
 pub use matrix::{full_matrix, quick_matrix, App, CellConfig, Exec, Mover, Mutation, Runtime};
 pub use oracle::{compare, Comparison, Divergence, Oracle};
 pub use report::{parse_reproducer, reproducer_json, write_reproducer};

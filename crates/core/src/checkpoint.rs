@@ -3,41 +3,122 @@
 //! Long PIC campaigns checkpoint; the DSL owns the particle store, so
 //! it owns the serialization too. The format is a minimal tagged
 //! little-endian container (no external serializer): a magic header,
-//! then length-prefixed sections. [`crate::particles::ParticleDats`]
-//! and [`crate::dat::Dat`] round-trip losslessly (bit-exact f64).
+//! then length-prefixed sections, then a CRC-64 footer. [`crate::
+//! particles::ParticleDats`] and [`crate::dat::Dat`] round-trip
+//! losslessly (bit-exact f64).
+//!
+//! Format v2 appends an integrity footer (`OPPICEND` + CRC-64 over
+//! every preceding byte, header included). Readers may consume a
+//! stream without checking it, but [`BinReader::verify_footer`]
+//! rejects truncated or bit-flipped files with a clear error instead
+//! of misparsing — restore paths in the apps call it before applying
+//! any state.
 
 use crate::dat::Dat;
 use crate::particles::ParticleDats;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"OPPICCKP";
-const VERSION: u32 = 1;
+const FOOTER_MAGIC: &[u8; 8] = b"OPPICEND";
+const VERSION: u32 = 2;
 
-/// Little-endian primitive writers.
+/// CRC-64/XZ lookup table (reflected, poly 0xC96C5795D7870F42),
+/// built at compile time.
+const fn crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xC96C5795D7870F42
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC64_TABLE: [u64; 256] = crc64_table();
+
+/// Streaming CRC-64/XZ accumulator. `Crc64::new()` → `update` →
+/// `value()`; also usable one-shot via [`crc64`].
+#[derive(Clone, Copy, Debug)]
+pub struct Crc64 {
+    state: u64,
+}
+
+impl Default for Crc64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc64 {
+    pub fn new() -> Self {
+        Crc64 { state: !0 }
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = CRC64_TABLE[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    pub fn value(&self) -> u64 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-64/XZ of a byte slice.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut c = Crc64::new();
+    c.update(bytes);
+    c.value()
+}
+
+/// Little-endian primitive writers with a running CRC-64.
 pub struct BinWriter<W: Write> {
     w: W,
+    crc: Crc64,
 }
 
 impl<W: Write> BinWriter<W> {
     /// Start a checkpoint stream (writes the header).
-    pub fn new(mut w: W) -> io::Result<Self> {
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        Ok(BinWriter { w })
+    pub fn new(w: W) -> io::Result<Self> {
+        let mut bw = BinWriter {
+            w,
+            crc: Crc64::new(),
+        };
+        bw.put(MAGIC)?;
+        bw.put(&VERSION.to_le_bytes())?;
+        Ok(bw)
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.crc.update(bytes);
+        self.w.write_all(bytes)
     }
 
     pub fn u64(&mut self, v: u64) -> io::Result<()> {
-        self.w.write_all(&v.to_le_bytes())
+        self.put(&v.to_le_bytes())
     }
 
     pub fn u128(&mut self, v: u128) -> io::Result<()> {
-        self.w.write_all(&v.to_le_bytes())
+        self.put(&v.to_le_bytes())
     }
 
     pub fn f64_slice(&mut self, v: &[f64]) -> io::Result<()> {
         self.u64(v.len() as u64)?;
         for x in v {
-            self.w.write_all(&x.to_le_bytes())?;
+            self.put(&x.to_le_bytes())?;
         }
         Ok(())
     }
@@ -45,32 +126,44 @@ impl<W: Write> BinWriter<W> {
     pub fn i32_slice(&mut self, v: &[i32]) -> io::Result<()> {
         self.u64(v.len() as u64)?;
         for x in v {
-            self.w.write_all(&x.to_le_bytes())?;
+            self.put(&x.to_le_bytes())?;
         }
         Ok(())
     }
 
     pub fn string(&mut self, s: &str) -> io::Result<()> {
         self.u64(s.len() as u64)?;
-        self.w.write_all(s.as_bytes())
+        self.put(s.as_bytes())
     }
 
+    /// Seal the stream: writes the footer (magic + CRC-64 over every
+    /// byte written so far, header included) and flushes.
     pub fn finish(mut self) -> io::Result<W> {
+        let crc = self.crc.value();
+        // The footer itself is outside the checksummed region.
+        self.w.write_all(FOOTER_MAGIC)?;
+        self.w.write_all(&crc.to_le_bytes())?;
         self.w.flush()?;
         Ok(self.w)
     }
 }
 
-/// Little-endian primitive readers with honest error reporting.
+/// Little-endian primitive readers with honest error reporting and a
+/// running CRC-64 mirror of the writer's.
 pub struct BinReader<R: Read> {
     r: R,
+    crc: Crc64,
 }
 
 impl<R: Read> BinReader<R> {
     /// Open a checkpoint stream (validates the header).
-    pub fn new(mut r: R) -> io::Result<Self> {
+    pub fn new(r: R) -> io::Result<Self> {
+        let mut br = BinReader {
+            r,
+            crc: Crc64::new(),
+        };
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        br.take(&mut magic)?;
         if &magic != MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -78,7 +171,7 @@ impl<R: Read> BinReader<R> {
             ));
         }
         let mut v = [0u8; 4];
-        r.read_exact(&mut v)?;
+        br.take(&mut v)?;
         let version = u32::from_le_bytes(v);
         if version != VERSION {
             return Err(io::Error::new(
@@ -86,18 +179,24 @@ impl<R: Read> BinReader<R> {
                 format!("unsupported checkpoint version {version}"),
             ));
         }
-        Ok(BinReader { r })
+        Ok(br)
+    }
+
+    fn take(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.r.read_exact(buf)?;
+        self.crc.update(buf);
+        Ok(())
     }
 
     pub fn u64(&mut self) -> io::Result<u64> {
         let mut b = [0u8; 8];
-        self.r.read_exact(&mut b)?;
+        self.take(&mut b)?;
         Ok(u64::from_le_bytes(b))
     }
 
     pub fn u128(&mut self) -> io::Result<u128> {
         let mut b = [0u8; 16];
-        self.r.read_exact(&mut b)?;
+        self.take(&mut b)?;
         Ok(u128::from_le_bytes(b))
     }
 
@@ -106,7 +205,7 @@ impl<R: Read> BinReader<R> {
         let mut out = Vec::with_capacity(n.min(1 << 24));
         let mut b = [0u8; 8];
         for _ in 0..n {
-            self.r.read_exact(&mut b)?;
+            self.take(&mut b)?;
             out.push(f64::from_le_bytes(b));
         }
         Ok(out)
@@ -117,7 +216,7 @@ impl<R: Read> BinReader<R> {
         let mut out = Vec::with_capacity(n.min(1 << 24));
         let mut b = [0u8; 4];
         for _ in 0..n {
-            self.r.read_exact(&mut b)?;
+            self.take(&mut b)?;
             out.push(i32::from_le_bytes(b));
         }
         Ok(out)
@@ -126,8 +225,46 @@ impl<R: Read> BinReader<R> {
     pub fn string(&mut self) -> io::Result<String> {
         let n = self.u64()? as usize;
         let mut b = vec![0u8; n];
-        self.r.read_exact(&mut b)?;
+        self.take(&mut b)?;
         String::from_utf8(b).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Consume and validate the integrity footer. Call after the last
+    /// payload section; rejects truncated files (missing footer) and
+    /// any bit corruption in the bytes read so far (CRC mismatch).
+    pub fn verify_footer(&mut self) -> io::Result<()> {
+        let computed = self.crc.value();
+        let mut magic = [0u8; 8];
+        self.r.read_exact(&mut magic).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("checkpoint truncated: footer missing ({e})"),
+            )
+        })?;
+        if &magic != FOOTER_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint corrupt: footer magic mismatch (truncated or overwritten stream)",
+            ));
+        }
+        let mut c = [0u8; 8];
+        self.r.read_exact(&mut c).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("checkpoint truncated: footer CRC missing ({e})"),
+            )
+        })?;
+        let stored = u64::from_le_bytes(c);
+        if stored != computed {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint corrupt: CRC-64 mismatch (stored {stored:#018x}, \
+                     computed {computed:#018x})"
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -220,6 +357,7 @@ mod tests {
         w.finish().unwrap();
         let mut r = BinReader::new(buf.as_slice()).unwrap();
         let back = Dat::read_checkpoint(&mut r).unwrap();
+        r.verify_footer().unwrap();
         assert_eq!(back.name(), "field");
         assert_eq!(back.dim(), 3);
         assert_eq!(back.raw(), d.raw());
@@ -242,6 +380,7 @@ mod tests {
         w.finish().unwrap();
         let mut r = BinReader::new(buf.as_slice()).unwrap();
         let back = ParticleDats::read_checkpoint(&mut r).unwrap();
+        r.verify_footer().unwrap();
         assert_eq!(back.len(), 7);
         assert_eq!(back.dofs(), 4);
         assert_eq!(back.cells(), ps.cells());
@@ -278,5 +417,66 @@ mod tests {
         assert_eq!(r.u128().unwrap(), 1 << 100);
         assert_eq!(r.string().unwrap(), "hello");
         assert_eq!(r.i32_slice().unwrap(), vec![-1, 2, 3]);
+        r.verify_footer().unwrap();
+    }
+
+    #[test]
+    fn crc64_matches_known_vector() {
+        // CRC-64/XZ check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+    }
+
+    /// Satellite: any single bit flip in the payload must be rejected
+    /// by the footer check, even though the section parser may accept
+    /// the mutated bytes.
+    #[test]
+    fn footer_rejects_bit_flipped_payload() {
+        let d = Dat::from_fn("phi", 16, 1, |i, _| i as f64 * 0.5 - 3.0);
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf).unwrap();
+        d.write_checkpoint(&mut w).unwrap();
+        w.finish().unwrap();
+
+        // Flip one bit in each byte position of the checksummed
+        // region (header + payload, everything before the footer).
+        let footer_start = buf.len() - 16;
+        for pos in [12, footer_start / 2, footer_start - 1] {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            let outcome = BinReader::new(bad.as_slice()).and_then(|mut r| {
+                let _ = Dat::read_checkpoint(&mut r)?;
+                r.verify_footer()
+            });
+            assert!(outcome.is_err(), "bit flip at byte {pos} not detected");
+        }
+    }
+
+    /// Satellite: a truncated file fails the footer check with a
+    /// clear error rather than silently yielding a short state.
+    #[test]
+    fn footer_rejects_truncated_file() {
+        let d = Dat::from_fn("rho", 8, 1, |i, _| (i * i) as f64);
+        let mut buf = Vec::new();
+        let mut w = BinWriter::new(&mut buf).unwrap();
+        d.write_checkpoint(&mut w).unwrap();
+        w.finish().unwrap();
+
+        // Cut inside the footer: the payload parses but the footer is
+        // incomplete.
+        let cut = buf.len() - 5;
+        let mut r = BinReader::new(&buf[..cut]).unwrap();
+        let _ = Dat::read_checkpoint(&mut r).unwrap();
+        let err = r.verify_footer().unwrap_err();
+        assert!(
+            err.to_string().contains("truncated"),
+            "unexpected error: {err}"
+        );
+
+        // Cut before the footer so the stale tail is misread as a
+        // footer: magic mismatch.
+        let mut r2 = BinReader::new(&buf[..buf.len() - 17]).unwrap();
+        // read a deliberately-short prefix then ask for the footer.
+        let _ = r2.u64().unwrap();
+        assert!(r2.verify_footer().is_err());
     }
 }

@@ -48,7 +48,7 @@ pub mod sim;
 pub mod telemetry;
 
 pub use access::{Access, ArgDecl, Indirection, LoopDecl};
-pub use checkpoint::{BinReader, BinWriter};
+pub use checkpoint::{crc64, BinReader, BinWriter, Crc64};
 pub use dat::Dat;
 pub use decl::Registry;
 pub use deposit::{
@@ -66,7 +66,7 @@ pub use parloop::{
 pub use particles::{ColId, ParticleDats, SortPolicy};
 pub use plan::{LoopPlan, PlanRegistry, RaceStrategy};
 pub use profile::{KernelClass, Profiler};
-pub use sim::{Observable, Simulation};
+pub use sim::{Observable, Recoverable, Simulation};
 pub use telemetry::{
     Histogram, HistogramSnapshot, KernelId, KernelStats, RunInfo, Span, Telemetry,
 };

@@ -442,6 +442,38 @@ impl ParticleDats {
         crate::telemetry::count("holefill.swaps", swaps);
     }
 
+    /// Numeric guard: scan `cols` for NaN/Inf entries and remove every
+    /// particle owning one (hole-filling, like [`remove_fill`]).
+    /// Returns the pre-removal indices of the quarantined particles,
+    /// sorted ascending. Fires the `resilience.quarantined` telemetry
+    /// counter so recovery events are attributable after the fact.
+    ///
+    /// A corrupt position or velocity would otherwise propagate NaN
+    /// through deposit into the field solve and poison the entire run;
+    /// dropping the offending particles bounds the blast radius to a
+    /// counted, reported loss.
+    ///
+    /// [`remove_fill`]: ParticleDats::remove_fill
+    pub fn quarantine_nonfinite(&mut self, cols: &[ColId]) -> Vec<usize> {
+        let mut holes: Vec<usize> = Vec::new();
+        for &id in cols {
+            let dim = self.dims[id.0];
+            let col = &self.cols[id.0];
+            for i in 0..self.n {
+                if col[i * dim..(i + 1) * dim].iter().any(|v| !v.is_finite()) {
+                    holes.push(i);
+                }
+            }
+        }
+        holes.sort_unstable();
+        holes.dedup();
+        if !holes.is_empty() {
+            self.remove_fill(&holes);
+            crate::telemetry::count("resilience.quarantined", holes.len() as u64);
+        }
+        holes
+    }
+
     /// Apply a permutation: element `i` of the result is element
     /// `perm[i]` of the current state. `perm` must be a bijection.
     pub fn apply_permutation(&mut self, perm: &[usize]) {

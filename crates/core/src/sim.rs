@@ -64,6 +64,24 @@ pub trait Simulation {
     fn invariants(&self) -> Result<(), String>;
 }
 
+/// A simulation whose full state can be captured to bytes and later
+/// restored — the contract the resilience layer's recovery driver
+/// needs for rollback-and-replay. Implementations must round-trip
+/// bit-exactly: `save_state` then `restore_state` then re-`advance`
+/// must reproduce the run an uninterrupted simulation would have
+/// produced (RNG state included).
+pub trait Recoverable: Simulation {
+    /// Append a complete snapshot of the simulation to `out`.
+    fn save_state(&self, out: &mut Vec<u8>) -> std::io::Result<()>;
+
+    /// Replace the simulation's state with a snapshot previously
+    /// produced by [`save_state`]. Must validate integrity (footer
+    /// CRC) and shape before mutating any state.
+    ///
+    /// [`save_state`]: Recoverable::save_state
+    fn restore_state(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,6 +41,7 @@ const KNOWN: &[&str] = &[
     "cross_section",
     "sort_every",
     "sort_dirty",
+    "guard_numerics",
 ];
 
 fn config_from(params: &Params) -> Result<(FemPicConfig, usize, usize), String> {
@@ -108,6 +109,7 @@ fn config_from(params: &Params) -> Result<(FemPicConfig, usize, usize), String> 
                 cross_section: params.get_f64("cross_section", 1.0).unwrap_or(1.0),
             })
         },
+        guard_numerics: params.get_bool("guard_numerics", false)?,
     };
     let steps = params.get_usize("steps", 100)?;
     let report_every = params.get_usize("report_every", 10)?.max(1);

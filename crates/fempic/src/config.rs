@@ -89,6 +89,12 @@ pub struct FemPicConfig {
     /// Optional Monte-Carlo collisions against a neutral background
     /// (the paper's "additional routines" — Section 2).
     pub collisions: Option<CollisionModel>,
+    /// Resilience-layer numeric guards: quarantine non-finite
+    /// particles before the move/deposit stages and run the field
+    /// solve behind the CG guard (poisoned warm starts zeroed, failed
+    /// solves restarted cold). Identical arithmetic on the healthy
+    /// path, so guarded and unguarded runs stay bit-comparable.
+    pub guard_numerics: bool,
 }
 
 impl Default for FemPicConfig {
@@ -118,6 +124,7 @@ impl Default for FemPicConfig {
             auto_tune: false,
             integrator: Integrator::Leapfrog,
             collisions: None,
+            guard_numerics: false,
         }
     }
 }

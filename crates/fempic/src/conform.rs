@@ -9,7 +9,7 @@
 //! comparable across backend configurations.
 
 use crate::sim::FemPic;
-use oppic_core::{DepositMethod, Observable, Simulation};
+use oppic_core::{DepositMethod, Observable, Recoverable, Simulation};
 
 impl FemPic {
     /// Particles per cell as a mesh-indexed histogram (f64 so it rides
@@ -63,8 +63,12 @@ impl Simulation for FemPic {
 
     fn last_step_flux(&self) -> (usize, usize) {
         // Injection is a fixed-rate inlet; removals are whatever the
-        // last move's hole-fill dropped at the outlet.
-        (self.cfg.inject_per_step, self.last_move.removed.len())
+        // last move's hole-fill dropped at the outlet plus anything
+        // the numeric quarantine pulled out under `guard_numerics`.
+        (
+            self.cfg.inject_per_step,
+            self.last_move.removed.len() + self.last_quarantined,
+        )
     }
 
     fn observables(&self) -> Vec<Observable> {
@@ -98,6 +102,19 @@ impl Simulation for FemPic {
             }
         }
         Ok(())
+    }
+}
+
+impl Recoverable for FemPic {
+    fn save_state(&self, out: &mut Vec<u8>) -> std::io::Result<()> {
+        self.save_checkpoint(out)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        // `restore_checkpoint` reads into locals, verifies the CRC
+        // footer, and only then mutates — the validate-before-mutate
+        // contract of the trait.
+        self.restore_checkpoint(bytes)
     }
 }
 
@@ -136,6 +153,73 @@ mod tests {
             occ.values.iter().sum::<f64>() as usize,
             Simulation::n_particles(&sim)
         );
+    }
+
+    #[test]
+    fn recoverable_round_trip_is_bit_exact_and_validates() {
+        let cfg = FemPicConfig::tiny();
+        let mut sim = FemPic::new(cfg.clone());
+        for _ in 0..4 {
+            sim.advance();
+        }
+        let mut snap = Vec::new();
+        sim.save_state(&mut snap).unwrap();
+
+        // A bit-flipped snapshot is rejected without mutating anything.
+        let mut other = FemPic::new(cfg);
+        let mut bad = snap.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(other.restore_state(&bad).is_err());
+        assert_eq!(Simulation::step_count(&other), 0, "state untouched");
+        // A truncated one too.
+        assert!(other.restore_state(&snap[..snap.len() - 3]).is_err());
+
+        // The pristine snapshot restores and replays bit-exactly.
+        other.restore_state(&snap).unwrap();
+        other.advance();
+        sim.advance();
+        assert_eq!(sim.ps.col(sim.pos), other.ps.col(other.pos));
+        assert_eq!(sim.node_charge.raw(), other.node_charge.raw());
+    }
+
+    #[test]
+    fn guard_numerics_quarantines_poisoned_particles() {
+        let mut cfg = FemPicConfig::tiny();
+        cfg.guard_numerics = true;
+        let mut sim = FemPic::new(cfg);
+        sim.advance();
+        let n = Simulation::n_particles(&sim);
+        // Poison two particles (one NaN position, one Inf velocity):
+        // the guarded step must remove exactly those, keep the flux
+        // ledger balanced, and leave the physics invariants intact.
+        let pos = sim.pos;
+        let vel = sim.vel;
+        sim.ps.el_mut(pos, 1)[2] = f64::NAN;
+        sim.ps.el_mut(vel, 3)[0] = f64::INFINITY;
+        let before = Simulation::n_particles(&sim);
+        assert_eq!(before, n);
+        sim.advance();
+        assert_eq!(sim.last_quarantined, 2);
+        let (inj, rem) = sim.last_step_flux();
+        assert_eq!(Simulation::n_particles(&sim), before + inj - rem);
+        sim.invariants().unwrap();
+    }
+
+    #[test]
+    fn guard_numerics_is_bit_identical_on_healthy_runs() {
+        let cfg = FemPicConfig::tiny();
+        let mut plain = FemPic::new(cfg.clone());
+        let mut guarded_cfg = cfg;
+        guarded_cfg.guard_numerics = true;
+        let mut guarded = FemPic::new(guarded_cfg);
+        for _ in 0..5 {
+            plain.advance();
+            guarded.advance();
+        }
+        assert_eq!(plain.ps.col(plain.pos), guarded.ps.col(guarded.pos));
+        assert_eq!(plain.node_charge.raw(), guarded.node_charge.raw());
+        assert_eq!(plain.fem.potential(), guarded.fem.potential());
     }
 
     #[test]

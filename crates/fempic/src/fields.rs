@@ -9,7 +9,8 @@
 //! eliminated symmetrically, and the system is solved with warm-started
 //! Jacobi-PCG from `oppic-linalg`.
 
-use oppic_linalg::{cg_solve, CgConfig, CgOutcome, CsrBuilder, CsrMatrix};
+use oppic_core::telemetry;
+use oppic_linalg::{cg_solve, cg_solve_guarded, CgConfig, CgOutcome, CsrBuilder, CsrMatrix};
 use oppic_mesh::{BoundaryKind, TetMesh};
 
 /// Assembled FEM machinery for one mesh.
@@ -86,6 +87,7 @@ impl FemSolver {
                 rtol: 1e-8,
                 atol: 1e-30,
                 max_iters: 5000,
+                ..CgConfig::default()
             },
             last_outcome: None,
         }
@@ -136,6 +138,26 @@ impl FemSolver {
     pub fn solve(&mut self, node_charge: &[f64], epsilon0: f64) -> &[f64] {
         let rhs = self.build_rhs(node_charge, epsilon0);
         let outcome = cg_solve(&self.matrix, &rhs, &mut self.potential, self.cg_config);
+        self.last_outcome = Some(outcome);
+        &self.potential
+    }
+
+    /// [`FemSolver::solve`] behind the resilience layer's numeric
+    /// guards: a non-finite RHS is rejected without iterating, a
+    /// poisoned warm start is zeroed, and a failed solve gets one cold
+    /// Jacobi-preconditioned restart. Identical arithmetic to `solve`
+    /// on the healthy path (the guards only inspect), so backends
+    /// stay bit-comparable.
+    pub fn solve_guarded(&mut self, node_charge: &[f64], epsilon0: f64) -> &[f64] {
+        let rhs = self.build_rhs(node_charge, epsilon0);
+        let (outcome, guard) =
+            cg_solve_guarded(&self.matrix, &rhs, &mut self.potential, self.cg_config);
+        if guard.sanitized_warm_start {
+            telemetry::count("resilience.cg_sanitized_warm_start", 1);
+        }
+        if guard.restarted {
+            telemetry::count("resilience.cg_restarts", 1);
+        }
         self.last_outcome = Some(outcome);
         &self.potential
     }

@@ -77,6 +77,10 @@ pub struct FemPic {
     /// Per-step deposit strategy selector (used when
     /// `cfg.auto_tune`); its decision log doubles as the trace source.
     pub tuner: AutoTuner,
+    /// Particles removed by the numeric quarantine during the last
+    /// step (0 unless `cfg.guard_numerics`); part of the removal flux
+    /// the conformance harness balances.
+    pub last_quarantined: usize,
     /// The deposit method the next `deposit_charge` will run — either
     /// `cfg.deposit` or the auto-tuner's last pick.
     pub(crate) active_deposit: DepositMethod,
@@ -160,6 +164,7 @@ impl FemPic {
             last_move: MoveResult::default(),
             target_inverse: None,
             tuner: AutoTuner::default(),
+            last_quarantined: 0,
             active_deposit,
         }
     }
@@ -484,8 +489,13 @@ impl FemPic {
         let phi_iters;
         {
             let charge = self.node_charge.raw();
+            let guarded = self.cfg.guard_numerics;
             self.profiler.time("ComputeF1Vector+SolvePotential", || {
-                self.fem.solve(charge, self.cfg.epsilon0);
+                if guarded {
+                    self.fem.solve_guarded(charge, self.cfg.epsilon0);
+                } else {
+                    self.fem.solve(charge, self.cfg.epsilon0);
+                }
             });
             phi_iters = self.fem.last_outcome.map_or(0, |o| o.iterations);
         }
@@ -550,6 +560,19 @@ impl FemPic {
             );
         }
 
+        // Numeric guard (resilience layer): a non-finite position or
+        // velocity would send the barycentric walk into undefined
+        // territory and then poison the deposit; quarantine such
+        // particles before the move sees them. No-op (and no pass over
+        // the data is skipped lazily — the scan is branch-predictable)
+        // on healthy populations.
+        self.last_quarantined = if self.cfg.guard_numerics {
+            let _s = tel.span("Quarantine");
+            self.ps.quarantine_nonfinite(&[self.pos, self.vel]).len()
+        } else {
+            0
+        };
+
         let removed = {
             let _s = tel.span_class("Move", KernelClass::Move);
             self.move_particles()
@@ -571,7 +594,7 @@ impl FemPic {
             step: self.step_no,
             n_particles: self.ps.len(),
             injected,
-            removed,
+            removed: removed + self.last_quarantined,
             total_charge: self.node_charge.sum(),
             cg_iterations,
             mean_move_visits: self.last_move.mean_visits(self.ps.len().max(1)),
@@ -662,12 +685,16 @@ impl FemPic {
                 "potential length mismatch",
             ));
         }
+        // Integrity gate: reject truncated or bit-flipped snapshots
+        // before any simulation state is touched.
+        br.verify_footer()?;
         self.step_no = step_no;
         self.rng.set_word_pos(word_pos);
         self.ps = ps;
         self.node_charge = node_charge;
         self.efield = efield;
         self.fem.set_potential(&potential);
+        self.last_quarantined = 0;
         Ok(())
     }
 }

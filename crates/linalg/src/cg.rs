@@ -17,6 +17,11 @@ pub struct CgConfig {
     pub atol: f64,
     /// Iteration cap.
     pub max_iters: usize,
+    /// Stagnation window: stop with [`CgStop::Stagnated`] after this
+    /// many consecutive iterations without residual improvement
+    /// (singular/inconsistent systems plateau instead of converging).
+    /// `0` disables the detector.
+    pub stagnation_window: usize,
 }
 
 impl Default for CgConfig {
@@ -25,14 +30,35 @@ impl Default for CgConfig {
             rtol: 1e-10,
             atol: 1e-30,
             max_iters: 10_000,
+            stagnation_window: 64,
         }
     }
+}
+
+/// Why the solver stopped — distinguishes honest convergence from the
+/// three distinct failure modes that `converged: false` used to lump
+/// together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgStop {
+    /// Residual target reached.
+    Converged,
+    /// Iteration budget exhausted while still making progress.
+    MaxIters,
+    /// `p·Ap <= 0`: the matrix is not SPD (or exact breakdown).
+    Breakdown,
+    /// No residual improvement over a full stagnation window — the
+    /// classic signature of a singular or inconsistent system.
+    Stagnated,
+    /// NaN/Inf encountered in the residual or iterates.
+    NonFinite,
 }
 
 /// What the solver did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CgOutcome {
     pub converged: bool,
+    /// Stop reason; `converged == (stop == CgStop::Converged)`.
+    pub stop: CgStop,
     pub iterations: usize,
     /// Final (unpreconditioned) residual 2-norm.
     pub residual: f64,
@@ -91,22 +117,45 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], x: &mut [f64], cfg: CgConfig) -> CgOut
     let mut ap = vec![0.0; n];
 
     let mut res = dot(&r, &r).sqrt();
+    if !res.is_finite() {
+        return CgOutcome {
+            converged: false,
+            stop: CgStop::NonFinite,
+            iterations: 0,
+            residual: res,
+        };
+    }
     if res <= target {
         return CgOutcome {
             converged: true,
+            stop: CgStop::Converged,
             iterations: 0,
             residual: res,
         };
     }
 
+    // Stagnation tracking: best residual seen, and how many
+    // iterations have gone by without beating it.
+    let mut best_res = res;
+    let mut since_improved = 0usize;
+
     for it in 1..=cfg.max_iters {
         a.spmv(&p, &mut ap);
         let p_ap = dot(&p, &ap);
+        if !p_ap.is_finite() {
+            return CgOutcome {
+                converged: false,
+                stop: CgStop::NonFinite,
+                iterations: it,
+                residual: res,
+            };
+        }
         if p_ap <= 0.0 {
             // Matrix is not SPD (or we hit exact breakdown): stop and
             // report honestly rather than looping on NaNs.
             return CgOutcome {
                 converged: false,
+                stop: CgStop::Breakdown,
                 iterations: it,
                 residual: res,
             };
@@ -115,12 +164,35 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], x: &mut [f64], cfg: CgConfig) -> CgOut
         axpy(alpha, &p, x);
         axpy(-alpha, &ap, &mut r);
         res = dot(&r, &r).sqrt();
-        if res <= target {
+        if !res.is_finite() {
             return CgOutcome {
-                converged: true,
+                converged: false,
+                stop: CgStop::NonFinite,
                 iterations: it,
                 residual: res,
             };
+        }
+        if res <= target {
+            return CgOutcome {
+                converged: true,
+                stop: CgStop::Converged,
+                iterations: it,
+                residual: res,
+            };
+        }
+        if res < best_res * (1.0 - 1e-12) {
+            best_res = res;
+            since_improved = 0;
+        } else {
+            since_improved += 1;
+            if cfg.stagnation_window > 0 && since_improved >= cfg.stagnation_window {
+                return CgOutcome {
+                    converged: false,
+                    stop: CgStop::Stagnated,
+                    iterations: it,
+                    residual: res,
+                };
+            }
         }
         for i in 0..n {
             z[i] = r[i] * inv_diag[i];
@@ -135,9 +207,60 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], x: &mut [f64], cfg: CgConfig) -> CgOut
 
     CgOutcome {
         converged: false,
+        stop: CgStop::MaxIters,
         iterations: cfg.max_iters,
         residual: res,
     }
+}
+
+/// What [`cg_solve_guarded`] did beyond the plain solve, so callers
+/// can publish telemetry (linalg itself has no telemetry dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CgGuardReport {
+    /// The warm start contained NaN/Inf and was zeroed before solving.
+    pub sanitized_warm_start: bool,
+    /// A cold Jacobi-preconditioned restart was attempted after the
+    /// first solve failed to converge.
+    pub restarted: bool,
+}
+
+/// Guarded field-solve entry point: sanitises a poisoned warm start,
+/// runs [`cg_solve`], and on any non-converged outcome retries once
+/// from a cold (zero) start — the Jacobi preconditioner is rebuilt
+/// inside the solve, so the retry is a genuine Jacobi-preconditioned
+/// restart rather than a repeat of the same trajectory. Returns the
+/// final outcome plus a report of which guards fired.
+pub fn cg_solve_guarded(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: CgConfig,
+) -> (CgOutcome, CgGuardReport) {
+    let mut report = CgGuardReport::default();
+    // A non-finite RHS means upstream state (deposit) is corrupt; no
+    // amount of solver retrying fixes that. Report without iterating.
+    if b.iter().any(|v| !v.is_finite()) {
+        return (
+            CgOutcome {
+                converged: false,
+                stop: CgStop::NonFinite,
+                iterations: 0,
+                residual: f64::NAN,
+            },
+            report,
+        );
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        report.sanitized_warm_start = true;
+    }
+    let first = cg_solve(a, b, x, cfg);
+    if first.converged {
+        return (first, report);
+    }
+    report.restarted = true;
+    x.iter_mut().for_each(|v| *v = 0.0);
+    (cg_solve(a, b, x, cfg), report)
 }
 
 #[cfg(test)]
@@ -239,9 +362,11 @@ mod tests {
                 rtol: 1e-14,
                 atol: 0.0,
                 max_iters: 3,
+                ..CgConfig::default()
             },
         );
         assert!(!out.converged);
+        assert_eq!(out.stop, CgStop::MaxIters);
         assert_eq!(out.iterations, 3);
         assert!(out.residual > 0.0);
     }
@@ -257,6 +382,114 @@ mod tests {
         // Either converges by luck on the positive part or reports a
         // breakdown; must not produce NaNs.
         assert!(x.iter().all(|v| v.is_finite()));
+        assert!(out.residual.is_finite());
+    }
+
+    /// 1-D periodic Laplacian — singular (nullspace = constants).
+    fn periodic_laplacian_1d(n: usize) -> CsrMatrix {
+        let mut b = CsrBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            b.add(i, (i + 1) % n, -1.0);
+            b.add(i, (i + n - 1) % n, -1.0);
+        }
+        b.build()
+    }
+
+    /// Satellite regression: an inconsistent singular system used to
+    /// spin silently to `max_iters`; the stagnation detector must now
+    /// stop it early with a distinct verdict.
+    #[test]
+    fn singular_system_stops_before_max_iters_with_distinct_verdict() {
+        let n = 32;
+        let a = periodic_laplacian_1d(n);
+        // rhs with a nonzero mean is outside range(A): no solution,
+        // the residual plateaus at the nullspace projection.
+        let mut rhs = vec![0.0; n];
+        rhs[0] = 1.0;
+        let mut x = vec![0.0; n];
+        let cfg = CgConfig::default();
+        let out = cg_solve(&a, &rhs, &mut x, cfg);
+        assert!(!out.converged);
+        assert!(
+            out.iterations < cfg.max_iters,
+            "expected early stop, ran all {} iterations",
+            out.iterations
+        );
+        assert!(
+            matches!(out.stop, CgStop::Stagnated | CgStop::Breakdown),
+            "want Stagnated/Breakdown, got {:?}",
+            out.stop
+        );
+        assert!(out.residual.is_finite());
+        // With the detector disabled the old silent behaviour returns.
+        let mut x2 = vec![0.0; n];
+        let out2 = cg_solve(
+            &a,
+            &rhs,
+            &mut x2,
+            CgConfig {
+                stagnation_window: 0,
+                max_iters: 500,
+                ..CgConfig::default()
+            },
+        );
+        assert!(!out2.converged);
+        assert!(matches!(out2.stop, CgStop::MaxIters | CgStop::Breakdown));
+    }
+
+    #[test]
+    fn stop_reason_matches_converged_flag() {
+        let a = laplacian_1d(24);
+        let rhs = vec![1.0; 24];
+        let mut x = vec![0.0; 24];
+        let out = cg_solve(&a, &rhs, &mut x, CgConfig::default());
+        assert!(out.converged);
+        assert_eq!(out.stop, CgStop::Converged);
+    }
+
+    #[test]
+    fn guarded_solve_sanitizes_poisoned_warm_start() {
+        let a = laplacian_1d(16);
+        let x_true: Vec<f64> = (0..16).map(|i| i as f64 * 0.3).collect();
+        let mut rhs = vec![0.0; 16];
+        a.spmv_serial(&x_true, &mut rhs);
+        let mut x = vec![f64::NAN; 16];
+        let (out, report) = cg_solve_guarded(&a, &rhs, &mut x, CgConfig::default());
+        assert!(out.converged, "{out:?}");
+        assert!(report.sanitized_warm_start);
+        assert!(!report.restarted);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn guarded_solve_rejects_nonfinite_rhs_without_iterating() {
+        let a = laplacian_1d(8);
+        let mut rhs = vec![1.0; 8];
+        rhs[3] = f64::INFINITY;
+        let mut x = vec![0.0; 8];
+        let (out, _) = cg_solve_guarded(&a, &rhs, &mut x, CgConfig::default());
+        assert!(!out.converged);
+        assert_eq!(out.stop, CgStop::NonFinite);
+        assert_eq!(out.iterations, 0);
+        // x untouched: the guard must not smear NaNs into state.
+        assert!(x.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn guarded_solve_restarts_cold_after_failure() {
+        // Tiny budget forces the warm attempt to fail; the cold
+        // restart runs and is reported.
+        let a = laplacian_1d(64);
+        let rhs = vec![1.0; 64];
+        let mut x = vec![0.5; 64];
+        let cfg = CgConfig {
+            max_iters: 2,
+            ..CgConfig::default()
+        };
+        let (out, report) = cg_solve_guarded(&a, &rhs, &mut x, cfg);
+        assert!(report.restarted);
+        assert!(!out.converged);
         assert!(out.residual.is_finite());
     }
 

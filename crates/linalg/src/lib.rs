@@ -17,5 +17,5 @@ pub mod cg;
 pub mod csr;
 pub mod dense;
 
-pub use cg::{cg_solve, CgConfig, CgOutcome};
+pub use cg::{cg_solve, cg_solve_guarded, CgConfig, CgGuardReport, CgOutcome, CgStop};
 pub use csr::{CsrBuilder, CsrMatrix};

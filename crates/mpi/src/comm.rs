@@ -7,9 +7,11 @@
 //! ([`RankCtx::window_put`] / [`RankCtx::window_fetch`]) mirroring the
 //! "MPI-RMA-based global move approach" of Section 3.2.2.
 
+use crate::fault::{FaultAction, FaultSchedule};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 /// A typed message payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +68,16 @@ impl Message {
     }
 }
 
+/// A message held back by a Reorder/Delay fault, waiting for its
+/// release condition.
+struct HeldMsg {
+    /// `true`: release right after the next send to the same dst
+    /// (Reorder). `false`: release only on [`RankCtx::flush_held`]
+    /// (Delay).
+    on_next_send: bool,
+    msg: Message,
+}
+
 /// Per-rank context handed to the rank body by [`world_run`].
 pub struct RankCtx {
     pub rank: usize,
@@ -76,6 +88,13 @@ pub struct RankCtx {
     window: Arc<Vec<Mutex<Vec<f64>>>>,
     /// Bytes sent by this rank (comm-volume accounting).
     sent_bytes: u64,
+    /// Installed fault schedule (None = fault-free world).
+    fault: Option<Arc<FaultSchedule>>,
+    /// Per-destination sequence counters for fault draws — a
+    /// retransmission gets a fresh number and thus a fresh draw.
+    fault_seq: Vec<u64>,
+    /// Messages held back by Reorder/Delay faults, per destination.
+    held: Vec<Vec<HeldMsg>>,
 }
 
 impl RankCtx {
@@ -92,6 +111,113 @@ impl RankCtx {
         self.from[src]
             .recv()
             .expect("sender hung up — rank body panicked?")
+    }
+
+    /// Timed receive from `src`; `None` on timeout.
+    pub fn recv_timeout(&self, src: usize, timeout: Duration) -> Option<Message> {
+        self.from[src].recv_timeout(timeout).ok()
+    }
+
+    /// Receive the next message from *any* source, polling every
+    /// channel until `deadline`; `None` if nothing arrives in time.
+    pub fn recv_any_deadline(&self, deadline: Instant) -> Option<(usize, Message)> {
+        loop {
+            for src in 0..self.n_ranks {
+                if let Ok(m) = self.from[src].try_recv() {
+                    return Some((src, m));
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Whether a fault schedule is installed on this world.
+    pub fn fault_active(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Send on the **fault-injectable data plane**: the installed
+    /// [`FaultSchedule`] (if any) may drop, duplicate, reorder,
+    /// delay, bit-flip, or stall this message. The resilience layer
+    /// routes its sequence-numbered envelopes through here; the plain
+    /// [`send`](RankCtx::send) path stays reliable (control plane).
+    pub fn send_faulty(&mut self, dst: usize, mut msg: Message) {
+        let seq = self.fault_seq[dst];
+        self.fault_seq[dst] += 1;
+        let n_words = match &msg {
+            Message::F64(v) => v.len(),
+            _ => 0,
+        };
+        let action = match &self.fault {
+            Some(f) => f.draw(self.rank, dst, seq, n_words),
+            None => FaultAction::None,
+        };
+        // Messages reordered by earlier sends release *after* the
+        // current message; collect them before anything new is held.
+        let release: Vec<Message> = {
+            let held = &mut self.held[dst];
+            let mut rel = Vec::new();
+            let mut keep = Vec::new();
+            for h in held.drain(..) {
+                if h.on_next_send {
+                    rel.push(h.msg);
+                } else {
+                    keep.push(h);
+                }
+            }
+            *held = keep;
+            rel
+        };
+        match action {
+            FaultAction::None => self.send(dst, msg),
+            FaultAction::Drop => {
+                // Vanishes on the wire; sender-side accounting still
+                // saw the attempt.
+                self.sent_bytes += msg.bytes() as u64;
+            }
+            FaultAction::Duplicate => {
+                self.send(dst, msg.clone());
+                self.send(dst, msg);
+            }
+            FaultAction::Reorder => self.held[dst].push(HeldMsg {
+                on_next_send: true,
+                msg,
+            }),
+            FaultAction::Delay => self.held[dst].push(HeldMsg {
+                on_next_send: false,
+                msg,
+            }),
+            FaultAction::BitFlip { word, bit } => {
+                if let Message::F64(v) = &mut msg {
+                    if let Some(x) = v.get_mut(word) {
+                        *x = f64::from_bits(x.to_bits() ^ (1u64 << bit));
+                    }
+                }
+                self.send(dst, msg);
+            }
+            FaultAction::Stall(d) => {
+                std::thread::sleep(d);
+                self.send(dst, msg);
+            }
+        }
+        for m in release {
+            self.send(dst, m);
+        }
+    }
+
+    /// Force every held (delayed/reordered) message onto the wire.
+    /// The retry layer calls this when a timeout fires, so a Delay
+    /// fault becomes late delivery rather than permanent loss.
+    pub fn flush_held(&mut self) {
+        for dst in 0..self.n_ranks {
+            let msgs: Vec<Message> = self.held[dst].drain(..).map(|h| h.msg).collect();
+            for m in msgs {
+                self.send(dst, m);
+            }
+        }
     }
 
     /// Synchronise all ranks.
@@ -214,6 +340,17 @@ where
     R: Send,
     F: Fn(&mut RankCtx) -> R + Sync,
 {
+    world_run_faulty(n_ranks, None, body)
+}
+
+/// [`world_run`] with an optional fault schedule armed on every
+/// rank's data plane ([`RankCtx::send_faulty`]). `None` is exactly
+/// `world_run`.
+pub fn world_run_faulty<R, F>(n_ranks: usize, fault: Option<Arc<FaultSchedule>>, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
     assert!(n_ranks > 0, "world needs at least one rank");
     // channels[src][dst]
     let mut senders: Vec<Vec<Option<Sender<Message>>>> = Vec::with_capacity(n_ranks);
@@ -251,6 +388,9 @@ where
             barrier: barrier.clone(),
             window: window.clone(),
             sent_bytes: 0,
+            fault: fault.clone(),
+            fault_seq: vec![0; n_ranks],
+            held: (0..n_ranks).map(|_| Vec::new()).collect(),
         })
         .collect();
 
@@ -380,5 +520,131 @@ mod tests {
     #[should_panic(expected = "expected F64")]
     fn wrong_message_type_panics() {
         let _ = Message::I32(vec![1]).into_f64();
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_silent() {
+        let out = world_run(2, |ctx| {
+            if ctx.rank == 0 {
+                ctx.recv_timeout(1, Duration::from_millis(5)).is_none()
+            } else {
+                true
+            }
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn recv_any_deadline_picks_up_any_source() {
+        let out = world_run(3, |ctx| {
+            if ctx.rank == 0 {
+                let got = ctx
+                    .recv_any_deadline(Instant::now() + Duration::from_secs(2))
+                    .expect("message in time");
+                ctx.recv_any_deadline(Instant::now() + Duration::from_secs(2))
+                    .expect("second message");
+                got.0 == 1 || got.0 == 2
+            } else {
+                ctx.send(0, Message::U64(vec![ctx.rank as u64]));
+                true
+            }
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn faulty_send_drops_deterministically() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let sched = Arc::new(FaultSchedule::single(42, FaultKind::Drop, 1.0));
+        let delivered = world_run_faulty(2, Some(sched.clone()), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send_faulty(1, Message::F64(vec![1.0]));
+                0
+            } else {
+                // Dropped: nothing ever arrives.
+                usize::from(ctx.recv_timeout(0, Duration::from_millis(20)).is_some())
+            }
+        });
+        assert_eq!(delivered[1], 0);
+        assert_eq!(sched.injected(), 1);
+    }
+
+    #[test]
+    fn faulty_send_duplicates_and_bitflips() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let dup = Arc::new(FaultSchedule::single(1, FaultKind::Duplicate, 1.0));
+        let got = world_run_faulty(2, Some(dup), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send_faulty(1, Message::F64(vec![2.5]));
+                0
+            } else {
+                let a = ctx.recv_timeout(0, Duration::from_millis(200));
+                let b = ctx.recv_timeout(0, Duration::from_millis(200));
+                usize::from(a.is_some()) + usize::from(b.is_some())
+            }
+        });
+        assert_eq!(got[1], 2, "duplicate fault must deliver twice");
+
+        let flip = Arc::new(FaultSchedule::single(2, FaultKind::BitFlip, 1.0));
+        let vals = world_run_faulty(2, Some(flip), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send_faulty(1, Message::F64(vec![2.5]));
+                0.0
+            } else {
+                ctx.recv(0).into_f64()[0]
+            }
+        });
+        assert!(vals[1].is_finite(), "mantissa flip must stay finite");
+        assert_ne!(vals[1], 2.5, "payload must actually be corrupted");
+    }
+
+    #[test]
+    fn delayed_message_arrives_after_flush() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let sched = Arc::new(FaultSchedule::single(5, FaultKind::Delay, 1.0).with_budget(1));
+        let got = world_run_faulty(2, Some(sched), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send_faulty(1, Message::F64(vec![7.0]));
+                // Nothing on the wire yet; a timeout-driven flush
+                // releases it.
+                ctx.flush_held();
+                0.0
+            } else {
+                ctx.recv(0).into_f64()[0]
+            }
+        });
+        assert_eq!(got[1], 7.0);
+    }
+
+    #[test]
+    fn reordered_message_follows_the_next_send() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let sched = Arc::new(FaultSchedule::single(6, FaultKind::Reorder, 1.0).with_budget(1));
+        let got = world_run_faulty(2, Some(sched), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send_faulty(1, Message::F64(vec![1.0]));
+                ctx.send_faulty(1, Message::F64(vec![2.0]));
+                vec![]
+            } else {
+                vec![ctx.recv(0).into_f64()[0], ctx.recv(0).into_f64()[0]]
+            }
+        });
+        assert_eq!(got[1], vec![2.0, 1.0], "first message overtaken by second");
+    }
+
+    #[test]
+    fn plain_send_is_never_faulted() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let sched = Arc::new(FaultSchedule::single(3, FaultKind::Drop, 1.0));
+        let got = world_run_faulty(2, Some(sched), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, Message::F64(vec![4.0]));
+                assert!(ctx.fault_active());
+                0.0
+            } else {
+                ctx.recv(0).into_f64()[0]
+            }
+        });
+        assert_eq!(got[1], 4.0);
     }
 }

@@ -16,6 +16,58 @@
 
 use crate::comm::{Message, RankCtx};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Typed halo-exchange failures, propagated to the caller instead of
+/// panicking mid-collective (a panic in one rank thread deadlocks the
+/// rest of the world; a `Result` lets the driver abort cleanly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HaloError {
+    /// A received payload's length disagrees with the recv plan — the
+    /// wire-level symptom of mismatched or corrupted plans.
+    PayloadShape {
+        src: u32,
+        expected: usize,
+        got: usize,
+    },
+    /// Rank `from`'s send plan names neighbour `to`, but `to` has no
+    /// matching recv entry (the old `expect("matching recv plan")`).
+    MissingRecvPlan { from: u32, to: u32 },
+    /// Mirrored plan entries exist but disagree on element count.
+    PlanSizeMismatch {
+        from: u32,
+        to: u32,
+        send_len: usize,
+        recv_len: usize,
+    },
+}
+
+impl fmt::Display for HaloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaloError::PayloadShape { src, expected, got } => write!(
+                f,
+                "halo payload shape mismatch from rank {src}: expected {expected} values, got {got}"
+            ),
+            HaloError::MissingRecvPlan { from, to } => write!(
+                f,
+                "rank {from} sends a halo to rank {to}, but rank {to} has no matching recv plan"
+            ),
+            HaloError::PlanSizeMismatch {
+                from,
+                to,
+                send_len,
+                recv_len,
+            } => write!(
+                f,
+                "halo plan size mismatch: rank {from} sends {send_len} elements to rank {to}, \
+                 which expects {recv_len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HaloError {}
 
 /// Matched send/recv lists for one rank. Senders and receivers order
 /// their element lists by global id, so payloads line up without
@@ -34,7 +86,12 @@ impl HaloExchangePlan {
     /// Owners → ghosts: push owned values to neighbours, fill ghost
     /// slots from received payloads. `data` is a flat `len*dim` buffer
     /// in local numbering. Collective: all ranks must call it.
-    pub fn forward(&self, ctx: &mut RankCtx, data: &mut [f64], dim: usize) {
+    pub fn forward(
+        &self,
+        ctx: &mut RankCtx,
+        data: &mut [f64],
+        dim: usize,
+    ) -> Result<(), HaloError> {
         for (dst, cells) in &self.send {
             let mut payload = Vec::with_capacity(cells.len() * dim);
             for &c in cells {
@@ -44,20 +101,28 @@ impl HaloExchangePlan {
         }
         for (src, cells) in &self.recv {
             let payload = ctx.recv(*src as usize).into_f64();
-            assert_eq!(
-                payload.len(),
-                cells.len() * dim,
-                "halo payload shape mismatch"
-            );
+            if payload.len() != cells.len() * dim {
+                return Err(HaloError::PayloadShape {
+                    src: *src,
+                    expected: cells.len() * dim,
+                    got: payload.len(),
+                });
+            }
             for (k, &c) in cells.iter().enumerate() {
                 data[c * dim..(c + 1) * dim].copy_from_slice(&payload[k * dim..(k + 1) * dim]);
             }
         }
+        Ok(())
     }
 
     /// Ghosts → owners: send ghost-side accumulations back, add into
     /// the owner's values, zero the ghost slots. Collective.
-    pub fn reverse_add(&self, ctx: &mut RankCtx, data: &mut [f64], dim: usize) {
+    pub fn reverse_add(
+        &self,
+        ctx: &mut RankCtx,
+        data: &mut [f64],
+        dim: usize,
+    ) -> Result<(), HaloError> {
         // Note the reversed roles: we *send* our ghost values (recv
         // plan) and *receive* into our owned elements (send plan).
         for (src, cells) in &self.recv {
@@ -70,23 +135,74 @@ impl HaloExchangePlan {
         }
         for (dst, cells) in &self.send {
             let payload = ctx.recv(*dst as usize).into_f64();
-            assert_eq!(
-                payload.len(),
-                cells.len() * dim,
-                "halo payload shape mismatch"
-            );
+            if payload.len() != cells.len() * dim {
+                return Err(HaloError::PayloadShape {
+                    src: *dst,
+                    expected: cells.len() * dim,
+                    got: payload.len(),
+                });
+            }
             for (k, &c) in cells.iter().enumerate() {
                 for d in 0..dim {
                     data[c * dim + d] += payload[k * dim + d];
                 }
             }
         }
+        Ok(())
     }
 
     /// Total elements sent per exchange (comm-volume accounting).
     pub fn send_volume(&self) -> usize {
         self.send.iter().map(|(_, v)| v.len()).sum()
     }
+}
+
+/// Validate that a world's plans are mutually consistent: every send
+/// entry `r → d` has a mirrored recv entry on rank `d` of the same
+/// size, and vice versa. `plans[r]` is rank `r`'s plan. This is the
+/// typed replacement for the old test-time `expect("matching recv
+/// plan")` — callers get a [`HaloError`] naming the offending pair
+/// instead of a panic.
+pub fn validate_plan_symmetry(plans: &[HaloExchangePlan]) -> Result<(), HaloError> {
+    for (r, plan) in plans.iter().enumerate() {
+        for (dst, cells) in &plan.send {
+            let back = plans[*dst as usize]
+                .recv
+                .iter()
+                .find(|(src, _)| *src == r as u32)
+                .ok_or(HaloError::MissingRecvPlan {
+                    from: r as u32,
+                    to: *dst,
+                })?;
+            if back.1.len() != cells.len() {
+                return Err(HaloError::PlanSizeMismatch {
+                    from: r as u32,
+                    to: *dst,
+                    send_len: cells.len(),
+                    recv_len: back.1.len(),
+                });
+            }
+        }
+        for (src, cells) in &plan.recv {
+            let fwd = plans[*src as usize]
+                .send
+                .iter()
+                .find(|(dst, _)| *dst == r as u32)
+                .ok_or(HaloError::MissingRecvPlan {
+                    from: *src,
+                    to: r as u32,
+                })?;
+            if fwd.1.len() != cells.len() {
+                return Err(HaloError::PlanSizeMismatch {
+                    from: *src,
+                    to: r as u32,
+                    send_len: fwd.1.len(),
+                    recv_len: cells.len(),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// One rank's local view of the partitioned mesh.
@@ -283,19 +399,20 @@ mod tests {
     fn local_c2c_is_consistent() {
         let (m, _, meshes) = setup(2);
         for rm in &meshes {
+            // Local numbering is owned-then-ghosts; index directly
+            // instead of unwrapping an iterator probe.
+            let local_to_global: Vec<usize> =
+                rm.owned.iter().chain(rm.ghosts.iter()).copied().collect();
             for (l, nbs) in rm.local_c2c.iter().enumerate() {
                 let g = rm.owned[l];
                 for (k, &nb_local) in nbs.iter().enumerate() {
                     let nb_global = m.c2c[g][k];
                     if nb_local >= 0 {
-                        let expect = rm
-                            .owned
-                            .iter()
-                            .chain(rm.ghosts.iter())
-                            .nth(nb_local as usize)
-                            .copied()
-                            .unwrap();
-                        assert_eq!(expect as i32, nb_global);
+                        assert!(
+                            (nb_local as usize) < local_to_global.len(),
+                            "local neighbour {nb_local} out of range"
+                        );
+                        assert_eq!(local_to_global[nb_local as usize] as i32, nb_global);
                     }
                 }
             }
@@ -305,18 +422,45 @@ mod tests {
     #[test]
     fn plans_are_symmetric() {
         let (_, _, meshes) = setup(3);
-        for rm in &meshes {
-            for (dst, cells) in &rm.plan.send {
-                let other = &meshes[*dst as usize];
-                let back = other
-                    .plan
-                    .recv
-                    .iter()
-                    .find(|(src, _)| *src == rm.rank)
-                    .expect("matching recv plan");
-                assert_eq!(cells.len(), back.1.len(), "plan sizes must match");
+        let plans: Vec<HaloExchangePlan> = meshes.iter().map(|rm| rm.plan.clone()).collect();
+        validate_plan_symmetry(&plans).expect("built plans must be symmetric");
+    }
+
+    #[test]
+    fn validate_plan_symmetry_reports_typed_errors() {
+        let (_, _, meshes) = setup(3);
+        let plans: Vec<HaloExchangePlan> = meshes.iter().map(|rm| rm.plan.clone()).collect();
+
+        // Remove one recv entry: the mirrored send must be flagged.
+        let mut missing = plans.clone();
+        let victim = missing
+            .iter()
+            .position(|p| !p.recv.is_empty())
+            .expect("some rank receives");
+        let dropped = missing[victim].recv.remove(0);
+        let err = validate_plan_symmetry(&missing).unwrap_err();
+        assert_eq!(
+            err,
+            HaloError::MissingRecvPlan {
+                from: dropped.0,
+                to: victim as u32,
             }
-        }
+        );
+
+        // Shrink one recv list: sizes must be flagged with both sides.
+        let mut lopsided = plans.clone();
+        let victim = lopsided
+            .iter()
+            .position(|p| p.recv.iter().any(|(_, c)| c.len() > 1))
+            .expect("some multi-cell halo");
+        lopsided[victim].recv[0].1.pop();
+        let err = validate_plan_symmetry(&lopsided).unwrap_err();
+        assert!(
+            matches!(err, HaloError::PlanSizeMismatch { .. }),
+            "got {err:?}"
+        );
+        // Errors render a human-readable description.
+        assert!(err.to_string().contains("mismatch"));
     }
 
     #[test]
@@ -335,7 +479,7 @@ mod tests {
                 local[l * 2] = -1.0;
                 local[l * 2 + 1] = -1.0;
             }
-            rm.plan.forward(ctx, &mut local, 2);
+            rm.plan.forward(ctx, &mut local, 2).expect("forward halo");
             for (k, &g) in rm.ghosts.iter().enumerate() {
                 let l = rm.n_owned() + k;
                 assert_eq!(local[l * 2], g as f64);
@@ -358,7 +502,9 @@ mod tests {
             for x in &mut local[rm.n_owned()..rm.n_local()] {
                 *x = 1.0;
             }
-            rm.plan.reverse_add(ctx, &mut local, 1);
+            rm.plan
+                .reverse_add(ctx, &mut local, 1)
+                .expect("reverse halo");
             // Ghost slots zeroed.
             for x in &local[rm.n_owned()..rm.n_local()] {
                 assert_eq!(*x, 0.0);
@@ -379,6 +525,39 @@ mod tests {
                 .count() as f64;
             assert_eq!(got[c], multiplicity, "cell {c}");
         }
+    }
+
+    /// The wire-level guard: mismatched plans surface as a typed
+    /// `PayloadShape` error in the receiver instead of a panic that
+    /// would deadlock the other rank threads.
+    #[test]
+    fn forward_reports_payload_shape_mismatch() {
+        let send_plan = HaloExchangePlan {
+            send: vec![(1, vec![0, 1])],
+            recv: vec![],
+        };
+        let recv_plan = HaloExchangePlan {
+            send: vec![],
+            recv: vec![(0, vec![0])],
+        };
+        let outcomes = world_run(2, |ctx| {
+            if ctx.rank == 0 {
+                let mut data = vec![1.0, 2.0];
+                send_plan.forward(ctx, &mut data, 1)
+            } else {
+                let mut data = vec![0.0];
+                recv_plan.forward(ctx, &mut data, 1)
+            }
+        });
+        assert_eq!(outcomes[0], Ok(()));
+        assert_eq!(
+            outcomes[1],
+            Err(HaloError::PayloadShape {
+                src: 0,
+                expected: 1,
+                got: 2,
+            })
+        );
     }
 
     #[test]

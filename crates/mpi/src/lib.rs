@@ -23,13 +23,15 @@
 
 pub mod comm;
 pub mod exchange;
+pub mod fault;
 pub mod halo;
 pub mod partition;
 pub mod solve;
 
-pub use comm::{world_run, Message, RankCtx};
+pub use comm::{world_run, world_run_faulty, Message, RankCtx};
 pub use exchange::migrate_particles;
-pub use halo::{HaloExchangePlan, RankMesh};
+pub use fault::{FaultAction, FaultKind, FaultSchedule, FaultSpec};
+pub use halo::{validate_plan_symmetry, HaloError, HaloExchangePlan, RankMesh};
 pub use partition::{
     directional_partition, graph_growing_partition, rcb_partition, PartitionStats,
 };

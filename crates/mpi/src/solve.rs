@@ -10,8 +10,8 @@
 //! for the two inner products.
 
 use crate::comm::RankCtx;
-use crate::halo::HaloExchangePlan;
-use oppic_linalg::{CgConfig, CgOutcome, CsrMatrix};
+use crate::halo::{HaloError, HaloExchangePlan};
+use oppic_linalg::{CgConfig, CgOutcome, CgStop, CsrMatrix};
 
 /// One rank's share of a distributed SPD system.
 ///
@@ -34,22 +34,25 @@ impl DistributedSystem {
 
     /// Distributed `y = A x`: refresh ghosts of `x`, then local SpMV.
     /// `x` has `n_local` entries; `y` gets `n_owned`.
-    fn spmv(&self, ctx: &mut RankCtx, x: &mut [f64], y: &mut [f64]) {
-        self.plan.forward(ctx, x, 1);
+    fn spmv(&self, ctx: &mut RankCtx, x: &mut [f64], y: &mut [f64]) -> Result<(), HaloError> {
+        self.plan.forward(ctx, x, 1)?;
         self.matrix.spmv_serial(x, y);
+        Ok(())
     }
 }
 
 /// Solve the distributed system with Jacobi-PCG. `rhs` and `x` are the
 /// owned parts (`n_owned`); `x` also serves as the warm start.
-/// Collective: every rank must call with its own share.
+/// Collective: every rank must call with its own share. Halo failures
+/// surface as typed errors rather than panics, so a driver can abort
+/// the solve cleanly.
 pub fn cg_solve_distributed(
     ctx: &mut RankCtx,
     sys: &DistributedSystem,
     rhs: &[f64],
     x_owned: &mut [f64],
     cfg: CgConfig,
-) -> CgOutcome {
+) -> Result<CgOutcome, HaloError> {
     let n = sys.n_owned;
     let nl = sys.n_local();
     assert_eq!(rhs.len(), n);
@@ -80,7 +83,7 @@ pub fn cg_solve_distributed(
     x[..n].copy_from_slice(x_owned);
     let mut ap = vec![0.0; n];
     let mut r = vec![0.0; n];
-    sys.spmv(ctx, &mut x, &mut r);
+    sys.spmv(ctx, &mut x, &mut r)?;
     for i in 0..n {
         r[i] = rhs[i] - r[i];
     }
@@ -92,20 +95,26 @@ pub fn cg_solve_distributed(
     let mut res = dot(ctx, &r, &r).sqrt();
     let mut outcome = CgOutcome {
         converged: res <= target,
+        stop: if res <= target {
+            CgStop::Converged
+        } else {
+            CgStop::MaxIters
+        },
         iterations: 0,
         residual: res,
     };
     if outcome.converged {
         x_owned.copy_from_slice(&x[..n]);
-        return outcome;
+        return Ok(outcome);
     }
 
     for it in 1..=cfg.max_iters {
-        sys.spmv(ctx, &mut p, &mut ap);
+        sys.spmv(ctx, &mut p, &mut ap)?;
         let p_ap = dot(ctx, &p[..n], &ap);
         if p_ap <= 0.0 {
             outcome = CgOutcome {
                 converged: false,
+                stop: CgStop::Breakdown,
                 iterations: it,
                 residual: res,
             };
@@ -120,6 +129,7 @@ pub fn cg_solve_distributed(
         if res <= target {
             outcome = CgOutcome {
                 converged: true,
+                stop: CgStop::Converged,
                 iterations: it,
                 residual: res,
             };
@@ -136,13 +146,14 @@ pub fn cg_solve_distributed(
         }
         outcome = CgOutcome {
             converged: false,
+            stop: CgStop::MaxIters,
             iterations: it,
             residual: res,
         };
     }
 
     x_owned.copy_from_slice(&x[..n]);
-    outcome
+    Ok(outcome)
 }
 
 /// Split a global SPD system into per-rank [`DistributedSystem`]s by a
@@ -298,7 +309,8 @@ mod tests {
                 .map(|i| rhs[i])
                 .collect();
             let mut x = vec![0.0; sys.n_owned];
-            let out = cg_solve_distributed(ctx, sys, &my_rhs, &mut x, CgConfig::default());
+            let out = cg_solve_distributed(ctx, sys, &my_rhs, &mut x, CgConfig::default())
+                .expect("halo exchange");
             (out, x)
         });
 
@@ -333,7 +345,8 @@ mod tests {
         let systems = partition_system(&a, &vec![0u32; n], 1);
         let out = world_run(1, |ctx| {
             let mut x = vec![0.0; n];
-            let o = cg_solve_distributed(ctx, &systems[0], &rhs, &mut x, CgConfig::default());
+            let o = cg_solve_distributed(ctx, &systems[0], &rhs, &mut x, CgConfig::default())
+                .expect("halo exchange");
             (o, x)
         });
         let (o, x_dist) = &out[0];
@@ -360,9 +373,11 @@ mod tests {
                 .map(|i| rhs[i])
                 .collect();
             let mut x = vec![0.0; sys.n_owned];
-            let cold = cg_solve_distributed(ctx, sys, &my_rhs, &mut x, CgConfig::default());
+            let cold = cg_solve_distributed(ctx, sys, &my_rhs, &mut x, CgConfig::default())
+                .expect("halo exchange");
             // Re-solve from the converged state: ~0 iterations.
-            let warm = cg_solve_distributed(ctx, sys, &my_rhs, &mut x, CgConfig::default());
+            let warm = cg_solve_distributed(ctx, sys, &my_rhs, &mut x, CgConfig::default())
+                .expect("halo exchange");
             (cold.iterations, warm.iterations)
         });
         for (cold, warm) in iters {

@@ -1,0 +1,513 @@
+//! Checkpoint-based auto-recovery: rollback-and-replay over any
+//! [`Recoverable`] simulation.
+//!
+//! The driver owns the simulation, snapshots it every
+//! `checkpoint_every` steps (in memory, optionally mirrored to disk),
+//! and advances it through [`RecoveryDriver::step_checked`]: after
+//! each step a caller-supplied health check inspects the state, and on
+//! failure the driver restores the last good checkpoint, silently
+//! replays the steps that had already passed their checks, and
+//! re-attempts the failing step. Snapshots are self-validating
+//! (`save_state` streams end in a CRC-64 footer, `restore_state`
+//! verifies it before mutating anything), so a corrupted in-memory
+//! snapshot falls back to the disk mirror rather than resurrecting
+//! garbage. Every rollback is published as a [`RecoveryEvent`] and
+//! through the telemetry hub (counter `resilience.recoveries` plus a
+//! `recovery` decision trace — see DESIGN.md §6 for the event schema).
+//!
+//! Replay assumes the simulation is deterministic from a snapshot
+//! (that is the [`Recoverable`] contract: RNG state is part of the
+//! state), so recovery converges to the exact trajectory an
+//! undisturbed run would have produced whenever the underlying fault
+//! was transient.
+
+use oppic_core::telemetry;
+use oppic_core::Recoverable;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Knobs for one [`RecoveryDriver`].
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Snapshot cadence in steps (a step-0 snapshot is always taken).
+    pub checkpoint_every: usize,
+    /// Rollbacks allowed over the driver's lifetime before it gives
+    /// up with [`RecoveryError::RecoveriesExhausted`].
+    pub max_recoveries: usize,
+    /// Optional on-disk mirror of the latest snapshot — the fallback
+    /// when the in-memory copy itself fails its CRC.
+    pub disk_path: Option<PathBuf>,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            checkpoint_every: 8,
+            max_recoveries: 4,
+            disk_path: None,
+        }
+    }
+}
+
+/// One completed rollback-and-replay cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// Step whose post-step check failed.
+    pub detected_at_step: usize,
+    /// Step the simulation was rolled back to.
+    pub checkpoint_step: usize,
+    /// Steps re-run between the checkpoint and the failing step.
+    pub steps_replayed: usize,
+    /// The check's description of what it saw.
+    pub fault: String,
+    /// Wall-clock seconds between the checkpoint being taken and the
+    /// fault being detected.
+    pub detection_latency_s: f64,
+}
+
+/// Why the driver gave up.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The same (or successive) faults burned the whole rollback
+    /// budget.
+    RecoveriesExhausted {
+        step: usize,
+        recoveries: usize,
+        last_fault: String,
+    },
+    /// Neither the in-memory snapshot nor the disk mirror restored
+    /// cleanly.
+    CheckpointUnusable {
+        memory: String,
+        disk: Option<String>,
+    },
+    /// Writing the disk mirror failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::RecoveriesExhausted {
+                step,
+                recoveries,
+                last_fault,
+            } => write!(
+                f,
+                "recovery budget exhausted at step {step} after {recoveries} rollbacks \
+                 (last fault: {last_fault})"
+            ),
+            RecoveryError::CheckpointUnusable { memory, disk } => match disk {
+                Some(d) => write!(
+                    f,
+                    "no usable checkpoint: in-memory copy failed ({memory}), disk mirror failed ({d})"
+                ),
+                None => write!(
+                    f,
+                    "no usable checkpoint: in-memory copy failed ({memory}), no disk mirror configured"
+                ),
+            },
+            RecoveryError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<std::io::Error> for RecoveryError {
+    fn from(e: std::io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+/// Owns a [`Recoverable`] simulation and drives it under checkpoint
+/// protection.
+pub struct RecoveryDriver<S: Recoverable> {
+    sim: S,
+    cfg: RecoveryConfig,
+    snapshot: Vec<u8>,
+    snapshot_step: usize,
+    snapshot_taken: Instant,
+    recoveries: usize,
+    events: Vec<RecoveryEvent>,
+}
+
+impl<S: Recoverable> RecoveryDriver<S> {
+    /// Wrap `sim`, taking the initial snapshot immediately.
+    pub fn new(sim: S, cfg: RecoveryConfig) -> Result<Self, RecoveryError> {
+        let mut driver = RecoveryDriver {
+            sim,
+            cfg,
+            snapshot: Vec::new(),
+            snapshot_step: 0,
+            snapshot_taken: Instant::now(),
+            recoveries: 0,
+            events: Vec::new(),
+        };
+        driver.take_checkpoint()?;
+        Ok(driver)
+    }
+
+    pub fn sim(&self) -> &S {
+        &self.sim
+    }
+
+    /// Mutable access to the wrapped simulation. Chaos tests use this
+    /// to poke soft errors directly into live state.
+    pub fn sim_mut(&mut self) -> &mut S {
+        &mut self.sim
+    }
+
+    pub fn into_inner(self) -> S {
+        self.sim
+    }
+
+    /// Rollbacks performed so far.
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// Every rollback performed, in order.
+    pub fn events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// Snapshot the current state (and mirror it to disk if
+    /// configured), making it the rollback target.
+    pub fn take_checkpoint(&mut self) -> Result<(), RecoveryError> {
+        let mut bytes = Vec::new();
+        self.sim.save_state(&mut bytes)?;
+        if let Some(path) = &self.cfg.disk_path {
+            // Write-then-rename so a crash mid-write can't destroy the
+            // previous good mirror.
+            let tmp = path.with_extension("ckpt.tmp");
+            std::fs::write(&tmp, &bytes)?;
+            std::fs::rename(&tmp, path)?;
+        }
+        self.snapshot = bytes;
+        self.snapshot_step = self.sim.step_count();
+        self.snapshot_taken = Instant::now();
+        telemetry::count("resilience.checkpoints", 1);
+        Ok(())
+    }
+
+    /// Restore from the in-memory snapshot, falling back to the disk
+    /// mirror when the in-memory copy fails its integrity check.
+    fn restore_latest(&mut self) -> Result<(), RecoveryError> {
+        let memory = match self.sim.restore_state(&self.snapshot) {
+            Ok(()) => return Ok(()),
+            Err(e) => e.to_string(),
+        };
+        telemetry::count("resilience.checkpoint_memory_corrupt", 1);
+        let Some(path) = self.cfg.disk_path.clone() else {
+            return Err(RecoveryError::CheckpointUnusable { memory, disk: None });
+        };
+        let disk = match std::fs::read(&path).and_then(|bytes| {
+            self.sim.restore_state(&bytes)?;
+            Ok(bytes)
+        }) {
+            Ok(bytes) => {
+                // The disk copy is good; re-adopt it in memory.
+                self.snapshot = bytes;
+                telemetry::count("resilience.checkpoint_disk_fallbacks", 1);
+                return Ok(());
+            }
+            Err(e) => e.to_string(),
+        };
+        Err(RecoveryError::CheckpointUnusable {
+            memory,
+            disk: Some(disk),
+        })
+    }
+
+    /// Advance one step under guard. `check` runs after the step; on
+    /// `Err(description)` the driver rolls back to the last good
+    /// snapshot, replays the intermediate steps, and re-attempts —
+    /// until the step passes or the recovery budget is gone. On
+    /// success the step is (possibly) checkpointed per the cadence.
+    pub fn step_checked(
+        &mut self,
+        mut check: impl FnMut(&S) -> Result<(), String>,
+    ) -> Result<(), RecoveryError> {
+        let target = self.sim.step_count() + 1;
+        loop {
+            self.sim.advance();
+            match check(&self.sim) {
+                Ok(()) => break,
+                Err(fault) => {
+                    let detected_at = self.sim.step_count();
+                    let latency = self.snapshot_taken.elapsed().as_secs_f64();
+                    self.recoveries += 1;
+                    if self.recoveries > self.cfg.max_recoveries {
+                        return Err(RecoveryError::RecoveriesExhausted {
+                            step: detected_at,
+                            recoveries: self.recoveries - 1,
+                            last_fault: fault,
+                        });
+                    }
+                    self.restore_latest()?;
+                    let rollback_to = self.sim.step_count();
+                    debug_assert_eq!(rollback_to, self.snapshot_step);
+                    // Replay the steps that already passed their
+                    // checks; only the failing step is re-checked (by
+                    // the loop).
+                    while self.sim.step_count() < target - 1 {
+                        self.sim.advance();
+                    }
+                    let replayed = detected_at - rollback_to;
+                    telemetry::count("resilience.recoveries", 1);
+                    telemetry::count("resilience.steps_replayed", replayed as u64);
+                    if let Some(hub) = telemetry::current() {
+                        hub.trace(
+                            "recovery",
+                            format!(
+                                "fault=\"{fault}\" detected_at={detected_at} \
+                                 rollback_to={rollback_to} replayed={replayed} \
+                                 latency_s={latency:.6}"
+                            ),
+                        );
+                    }
+                    self.events.push(RecoveryEvent {
+                        detected_at_step: detected_at,
+                        checkpoint_step: rollback_to,
+                        steps_replayed: replayed,
+                        fault,
+                        detection_latency_s: latency,
+                    });
+                }
+            }
+        }
+        if self.cfg.checkpoint_every > 0
+            && self
+                .sim
+                .step_count()
+                .is_multiple_of(self.cfg.checkpoint_every)
+        {
+            self.take_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// [`step_checked`](Self::step_checked) in a loop.
+    pub fn run_checked(
+        &mut self,
+        steps: usize,
+        mut check: impl FnMut(&S) -> Result<(), String>,
+    ) -> Result<(), RecoveryError> {
+        for _ in 0..steps {
+            self.step_checked(&mut check)?;
+        }
+        Ok(())
+    }
+
+    /// Flip one bit in the in-memory snapshot — test hook for proving
+    /// the CRC catches snapshot corruption and the disk fallback
+    /// engages.
+    #[doc(hidden)]
+    pub fn corrupt_memory_snapshot(&mut self, byte: usize, mask: u8) {
+        let n = self.snapshot.len();
+        if n > 0 {
+            self.snapshot[byte % n] ^= mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oppic_core::{BinReader, BinWriter, Observable, Simulation};
+
+    /// Deterministic toy simulation with RNG-bearing state: each step
+    /// advances a SplitMix64 stream and folds it into a small field.
+    #[derive(Clone, PartialEq, Debug)]
+    struct LcgSim {
+        steps: u64,
+        rng: u64,
+        field: Vec<f64>,
+    }
+
+    impl LcgSim {
+        fn new(seed: u64) -> Self {
+            LcgSim {
+                steps: 0,
+                rng: seed,
+                field: vec![0.0; 8],
+            }
+        }
+
+        fn next(&mut self) -> f64 {
+            self.rng = self.rng.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl Simulation for LcgSim {
+        fn advance(&mut self) {
+            self.steps += 1;
+            for i in 0..self.field.len() {
+                let r = self.next();
+                self.field[i] = 0.9 * self.field[i] + r;
+            }
+        }
+        fn step_count(&self) -> usize {
+            self.steps as usize
+        }
+        fn n_particles(&self) -> usize {
+            self.field.len()
+        }
+        fn last_step_flux(&self) -> (usize, usize) {
+            (0, 0)
+        }
+        fn observables(&self) -> Vec<Observable> {
+            vec![Observable::new("field", self.field.clone())]
+        }
+        fn invariants(&self) -> Result<(), String> {
+            if self.field.iter().all(|v| v.is_finite()) {
+                Ok(())
+            } else {
+                Err("non-finite field value".into())
+            }
+        }
+    }
+
+    impl Recoverable for LcgSim {
+        fn save_state(&self, out: &mut Vec<u8>) -> std::io::Result<()> {
+            let mut w = BinWriter::new(out)?;
+            w.u64(self.steps)?;
+            w.u64(self.rng)?;
+            w.f64_slice(&self.field)?;
+            w.finish()?;
+            Ok(())
+        }
+        fn restore_state(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+            let mut r = BinReader::new(bytes)?;
+            let steps = r.u64()?;
+            let rng = r.u64()?;
+            let field = r.f64_slice()?;
+            r.verify_footer()?;
+            self.steps = steps;
+            self.rng = rng;
+            self.field = field;
+            Ok(())
+        }
+    }
+
+    fn reference_after(steps: usize) -> LcgSim {
+        let mut s = LcgSim::new(99);
+        for _ in 0..steps {
+            s.advance();
+        }
+        s
+    }
+
+    #[test]
+    fn clean_run_takes_checkpoints_and_matches_reference() {
+        let mut d = RecoveryDriver::new(LcgSim::new(99), RecoveryConfig::default()).unwrap();
+        d.run_checked(20, |s| s.invariants()).unwrap();
+        assert_eq!(d.sim(), &reference_after(20));
+        assert!(d.events().is_empty());
+        assert_eq!(d.recoveries(), 0);
+    }
+
+    #[test]
+    fn transient_fault_rolls_back_and_converges_to_reference() {
+        let cfg = RecoveryConfig {
+            checkpoint_every: 4,
+            ..RecoveryConfig::default()
+        };
+        let mut d = RecoveryDriver::new(LcgSim::new(99), cfg).unwrap();
+        d.run_checked(10, |s| s.invariants()).unwrap();
+        // Soft error: poison live state between steps.
+        d.sim_mut().field[3] = f64::NAN;
+        // The next checked step detects it (the NaN decays into the
+        // whole update), recovery replays from step 8.
+        d.run_checked(10, |s| s.invariants()).unwrap();
+        assert_eq!(d.sim(), &reference_after(20), "recovery must be exact");
+        assert_eq!(d.recoveries(), 1);
+        let ev = &d.events()[0];
+        assert_eq!(ev.detected_at_step, 11);
+        assert_eq!(ev.checkpoint_step, 8);
+        assert_eq!(ev.steps_replayed, 3);
+        assert!(ev.fault.contains("non-finite"));
+    }
+
+    #[test]
+    fn recovery_emits_telemetry_events() {
+        use std::sync::Arc;
+        let hub = Arc::new(oppic_core::telemetry::Telemetry::new());
+        let _guard = hub.make_current();
+        let mut d = RecoveryDriver::new(LcgSim::new(1), RecoveryConfig::default()).unwrap();
+        d.run_checked(3, |s| s.invariants()).unwrap();
+        d.sim_mut().field[0] = f64::INFINITY;
+        d.run_checked(1, |s| s.invariants()).unwrap();
+        assert_eq!(hub.counter("resilience.recoveries"), 1);
+        assert!(hub.counter("resilience.checkpoints") >= 1);
+        let traces = hub.traces();
+        let rec = traces.iter().find(|(k, _)| k == "recovery").unwrap();
+        assert!(rec.1.contains("detected_at=4"), "trace: {}", rec.1);
+    }
+
+    #[test]
+    fn persistent_fault_exhausts_budget_with_typed_error() {
+        let cfg = RecoveryConfig {
+            max_recoveries: 2,
+            ..RecoveryConfig::default()
+        };
+        let mut d = RecoveryDriver::new(LcgSim::new(5), cfg).unwrap();
+        // A check that always fails models persistent corruption.
+        let err = d
+            .step_checked(|_| Err("stuck-at fault".into()))
+            .unwrap_err();
+        match err {
+            RecoveryError::RecoveriesExhausted {
+                recoveries,
+                last_fault,
+                ..
+            } => {
+                assert_eq!(recoveries, 2);
+                assert_eq!(last_fault, "stuck-at fault");
+            }
+            other => panic!("expected RecoveriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_memory_snapshot_falls_back_to_disk_mirror() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("oppic_recovery_{}.ckpt", std::process::id()));
+        let cfg = RecoveryConfig {
+            checkpoint_every: 2,
+            disk_path: Some(path.clone()),
+            ..RecoveryConfig::default()
+        };
+        let mut d = RecoveryDriver::new(LcgSim::new(7), cfg).unwrap();
+        d.run_checked(4, |s| s.invariants()).unwrap();
+        // Flip a payload bit in the in-memory snapshot; the CRC footer
+        // must reject it and the disk mirror must take over.
+        d.corrupt_memory_snapshot(20, 0x40);
+        d.sim_mut().field[1] = f64::NAN;
+        d.run_checked(2, |s| s.invariants()).unwrap();
+        let mut reference = LcgSim::new(7);
+        for _ in 0..6 {
+            reference.advance();
+        }
+        assert_eq!(d.sim(), &reference);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_without_mirror_is_a_typed_error() {
+        let mut d = RecoveryDriver::new(LcgSim::new(3), RecoveryConfig::default()).unwrap();
+        d.corrupt_memory_snapshot(12, 0x01);
+        d.sim_mut().field[0] = f64::NAN;
+        let err = d.step_checked(|s| s.invariants()).unwrap_err();
+        assert!(matches!(
+            err,
+            RecoveryError::CheckpointUnusable { disk: None, .. }
+        ));
+    }
+}

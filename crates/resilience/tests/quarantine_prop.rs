@@ -1,0 +1,118 @@
+//! Property tests for the NaN/Inf particle quarantine — the numeric
+//! guard at the deposit boundary (satellite of the resilience layer).
+//!
+//! For any population and any poisoned subset: quarantine removes
+//! exactly the poisoned particles, conserves every healthy particle's
+//! payload and cell binding bit-exactly, and fires the telemetry
+//! counter with the exact removal count.
+
+use oppic_core::particles::ParticleDats;
+use oppic_core::telemetry::Telemetry;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Build a store of `n` particles with a 3-dim "pos" and 1-dim "w"
+/// column, each particle carrying a unique fingerprint in `w`.
+fn build_store(n: usize) -> ParticleDats {
+    let mut ps = ParticleDats::new();
+    let pos = ps.decl_dat("pos", 3);
+    let w = ps.decl_dat("w", 1);
+    ps.inject(n, 0);
+    for i in 0..n {
+        let e = ps.el_mut(pos, i);
+        e[0] = i as f64 * 0.25;
+        e[1] = -(i as f64);
+        e[2] = 1.0 / (i as f64 + 1.0);
+        ps.el_mut(w, i)[0] = 1_000.0 + i as f64;
+        ps.cells_mut()[i] = (i * 7 % 13) as i32;
+    }
+    ps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quarantine_removes_exactly_the_poisoned_particles(
+        n in 1usize..60,
+        poison_picks in proptest::collection::vec((0usize..60, 0usize..3, any::<bool>()), 0..12),
+    ) {
+        let mut ps = build_store(n);
+        let pos = ps.col_id("pos").unwrap();
+        let w = ps.col_id("w").unwrap();
+
+        // Poison k distinct particles: NaN or Inf in one position
+        // component each.
+        let mut poisoned: HashSet<usize> = HashSet::new();
+        for &(pick, dim, use_inf) in &poison_picks {
+            let i = pick % n;
+            let v = if use_inf { f64::INFINITY } else { f64::NAN };
+            ps.el_mut(pos, i)[dim] = v;
+            poisoned.insert(i);
+        }
+        // Record the survivors' fingerprints and state before.
+        let before: Vec<(f64, [f64; 3], i32)> = (0..n)
+            .filter(|i| !poisoned.contains(i))
+            .map(|i| {
+                let p = ps.el(pos, i);
+                (ps.el(w, i)[0], [p[0], p[1], p[2]], ps.cells()[i])
+            })
+            .collect();
+
+        let hub = Arc::new(Telemetry::new());
+        let removed = {
+            let _guard = hub.make_current();
+            ps.quarantine_nonfinite(&[pos])
+        };
+
+        // Exactly the poisoned set was removed...
+        prop_assert_eq!(removed.len(), poisoned.len());
+        let removed_set: HashSet<usize> = removed.iter().copied().collect();
+        prop_assert_eq!(&removed_set, &poisoned);
+        // ...the survivors are conserved bit-exactly (hole-filling may
+        // permute order, so compare as fingerprint-keyed sets)...
+        prop_assert_eq!(ps.len(), n - poisoned.len());
+        let mut after: Vec<(f64, [f64; 3], i32)> = (0..ps.len())
+            .map(|i| {
+                let p = ps.el(pos, i);
+                (ps.el(w, i)[0], [p[0], p[1], p[2]], ps.cells()[i])
+            })
+            .collect();
+        let mut expected = before;
+        after.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        prop_assert_eq!(after, expected);
+        // ...no survivor is non-finite and the counter is exact.
+        prop_assert!((0..ps.len()).all(|i| ps.el(pos, i).iter().all(|v| v.is_finite())));
+        prop_assert_eq!(hub.counter("resilience.quarantined"), poisoned.len() as u64);
+    }
+
+    #[test]
+    fn quarantine_is_a_no_op_on_healthy_populations(n in 0usize..40) {
+        let mut ps = build_store(n);
+        let pos = ps.col_id("pos").unwrap();
+        let cells_before = ps.cells().to_vec();
+        let col_before = ps.col(pos).to_vec();
+        let removed = ps.quarantine_nonfinite(&[pos]);
+        prop_assert!(removed.is_empty());
+        prop_assert_eq!(ps.cells(), &cells_before[..]);
+        prop_assert_eq!(ps.col(pos), &col_before[..]);
+    }
+
+    #[test]
+    fn quarantine_only_scans_the_requested_columns(
+        n in 1usize..30,
+        victim in 0usize..30,
+    ) {
+        // A NaN in a column we are NOT guarding must not remove
+        // anything.
+        let mut ps = build_store(n);
+        let pos = ps.col_id("pos").unwrap();
+        let w = ps.col_id("w").unwrap();
+        ps.el_mut(w, victim % n)[0] = f64::NAN;
+        let removed = ps.quarantine_nonfinite(&[pos]);
+        prop_assert!(removed.is_empty());
+        prop_assert_eq!(ps.len(), n);
+    }
+}
