@@ -42,25 +42,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            let strict = args.iter().any(|a| a == "--strict");
             let report = oppic_analyzer::audit_telemetry(&src);
             println!("{report}");
-            if report.has_errors() {
-                ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
-            }
+            ExitCode::from(report.exit_code_strict(strict) as u8)
         }
+        Some("--audit-schedule") => audit_schedule_cmd(&args[1..]),
         Some("--help") | None => {
             println!(
                 "oppic-analyzer: loop-plan checker for the OP-PIC DSL\n\
                  \n\
                  Usage:\n\
                  \x20 oppic-analyzer --self-test                run the plan/shadow/map passes on canned plans\n\
-                 \x20 oppic-analyzer --audit-telemetry <file>   audit a telemetry JSONL event stream\n\
+                 \x20 oppic-analyzer --audit-telemetry <file> [--strict]\n\
+                 \x20                                           audit a telemetry JSONL event stream\n\
+                 \x20 oppic-analyzer --audit-schedule <trace.json> [--report <out.json>] [--dot <out.dot>] [--strict]\n\
+                 \x20                                           audit a recorded step schedule (dataflow passes)\n\
                  \n\
-                 Applications run the analyzer on their own plans via\n\
-                 `fempic --validate` / `cabana --validate`; telemetry\n\
-                 streams come from their `--telemetry <file>` flag."
+                 Schedule traces come from `fempic --record-schedule <file>` /\n\
+                 `cabana --record-schedule <file>`; applications run the plan\n\
+                 analyzer on their own loops via their `--validate` flags.\n\
+                 `--strict` promotes Warn findings to a failing exit code."
             );
             ExitCode::SUCCESS
         }
@@ -69,4 +71,82 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `--audit-schedule <trace.json> [--report <out>] [--dot <out>]
+/// [--strict]`: run the dataflow passes over a recorded schedule,
+/// print the verdicts, optionally write the machine-readable report
+/// and the Graphviz dependence graph.
+fn audit_schedule_cmd(args: &[String]) -> ExitCode {
+    let mut trace_path: Option<&str> = None;
+    let mut report_path: Option<&str> = None;
+    let mut dot_path: Option<&str> = None;
+    let mut strict = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--report" => match it.next() {
+                Some(p) => report_path = Some(p),
+                None => {
+                    eprintln!("oppic-analyzer: --report requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dot" => match it.next() {
+                Some(p) => dot_path = Some(p),
+                None => {
+                    eprintln!("oppic-analyzer: --dot requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--strict" => strict = true,
+            other if trace_path.is_none() && !other.starts_with("--") => {
+                trace_path = Some(other);
+            }
+            other => {
+                eprintln!("oppic-analyzer: unexpected argument '{other}' (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = trace_path else {
+        eprintln!("oppic-analyzer: --audit-schedule requires a trace file path");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("oppic-analyzer: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let audit = match oppic_analyzer::audit_schedule_json(&src) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("oppic-analyzer: bad schedule trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "schedule audit: app '{}', {} step(s), {} event(s)",
+        audit.app,
+        audit.steps,
+        audit.labels.len()
+    );
+    println!("{}", audit.report);
+    if let Some(p) = report_path {
+        if let Err(e) = std::fs::write(p, audit.report_json()) {
+            eprintln!("oppic-analyzer: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {p}");
+    }
+    if let Some(p) = dot_path {
+        if let Err(e) = std::fs::write(p, audit.dot()) {
+            eprintln!("oppic-analyzer: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {p}");
+    }
+    ExitCode::from(audit.report.exit_code_strict(strict) as u8)
 }

@@ -143,6 +143,17 @@ impl Report {
     pub fn exit_code(&self) -> i32 {
         i32::from(self.has_errors())
     }
+
+    /// Exit code under an optional `--strict` policy: strict runs also
+    /// fail on `Warn` findings (a clean-but-for-notes report still
+    /// exits 0 either way).
+    pub fn exit_code_strict(&self, strict: bool) -> i32 {
+        if strict {
+            i32::from(self.max_severity().is_some_and(|s| s >= Severity::Warn))
+        } else {
+            self.exit_code()
+        }
+    }
 }
 
 impl std::fmt::Display for Report {
@@ -182,9 +193,14 @@ mod tests {
         assert!(r.is_clean());
         assert_eq!(r.exit_code(), 0);
         r.push(Diagnostic::info("plan/unused-strategy", "L", "note"));
+        // Notes alone never fail, strict or not.
+        assert_eq!(r.exit_code_strict(true), 0);
         r.push(Diagnostic::warn("plan/serialised-deposit", "L", "warn"));
         assert_eq!(r.max_severity(), Some(Severity::Warn));
         assert_eq!(r.exit_code(), 0);
+        // Regression: --strict must promote Warn findings to failure.
+        assert_eq!(r.exit_code_strict(true), 1);
+        assert_eq!(r.exit_code_strict(false), 0);
         r.push(Diagnostic::error("plan/racy-inc", "L", "boom"));
         assert!(r.has_errors());
         assert_eq!(r.exit_code(), 1);

@@ -28,6 +28,7 @@
 //! lattice; only errors fail a `--validate` run.
 
 pub mod audit;
+pub mod dataflow;
 pub mod diag;
 pub mod shadow;
 pub mod static_check;
@@ -35,6 +36,10 @@ pub mod telemetry_audit;
 
 pub use audit::{
     audit_cell_index, audit_coloring, audit_mesh_map, audit_particle_cells, audit_report,
+};
+pub use dataflow::{
+    audit_schedule, audit_schedule_json, check_report_schema, DepKind, Edge, FusionCandidate,
+    OverlapProof, ScheduleAudit, REPORT_SCHEMA,
 };
 pub use diag::{Diagnostic, Report, Severity};
 pub use shadow::{shadow_record, AccessKind, Race, RaceOptions, Schedule, ShadowCtx, ShadowRun};

@@ -1,0 +1,120 @@
+//! Properties of the whole-step dataflow audit.
+//!
+//! A schedule is generated as a sequence of self-contained *rounds*,
+//! each the canonical deposit pattern: an owned-scope loop increments
+//! a mesh dat through the particle→cell map, a `reduce_sum` exchange
+//! folds the partial sums, a replicated-scope loop reads the result.
+//! Any such composition is communication-correct by construction, so:
+//!
+//! 1. the audit must raise **zero Error verdicts** on it, however many
+//!    rounds, steps, or shared dats it has;
+//! 2. deleting **any single required exchange** (one instance, from
+//!    the last recorded step — an `INC` is a read-modify-write, so a
+//!    *persistently* missing exchange also poisons the dat's next
+//!    writer) must produce **exactly one** `dataflow/halo-stale`
+//!    Error, and it must land on the skipped round's reader.
+
+use oppic_analyzer::{audit_schedule, check_report_schema, Severity};
+use oppic_core::access::{Access, ArgDecl, LoopDecl};
+use oppic_core::plan::{LoopPlan, PlanRegistry};
+use oppic_core::schedule::{ExchangeDir, LoopScope, ScheduleRecorder, ScheduleTrace};
+use oppic_core::ExecPolicy;
+use proptest::prelude::*;
+
+/// Build the registry, scopes, and trace for the given rounds (each
+/// entry an index into a small shared dat pool — rounds may reuse a
+/// dat) replayed over `steps` steps, optionally deleting round
+/// `skip`'s exchange from the final step.
+fn trace_of(rounds: &[usize], steps: u32, skip: Option<usize>) -> ScheduleTrace {
+    let n_dats = rounds.iter().copied().max().unwrap_or(0) + 1;
+    let mut plans = PlanRegistry::new();
+    let mut scopes: Vec<(String, LoopScope, bool)> = Vec::new();
+    for (i, d) in rounds.iter().enumerate() {
+        let dat = format!("d{d}");
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                format!("W{i}"),
+                "particles",
+                vec![ArgDecl::double_indirect(&dat, 1, Access::Inc, "p2c.c2n")],
+            ),
+            &ExecPolicy::Seq,
+        ));
+        scopes.push((format!("W{i}"), LoopScope::Owned, false));
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                format!("R{i}"),
+                "nodes",
+                vec![ArgDecl::direct(&dat, 1, Access::Read)],
+            ),
+            &ExecPolicy::Seq,
+        ));
+        scopes.push((format!("R{i}"), LoopScope::Replicated, false));
+    }
+    let rec = ScheduleRecorder::new();
+    for s in 0..steps {
+        rec.begin_step();
+        let last = s + 1 == steps;
+        for (i, d) in rounds.iter().enumerate() {
+            rec.record_loop(&format!("W{i}"));
+            if !(last && skip == Some(i)) {
+                rec.record_exchange(&format!("d{d}"), ExchangeDir::ReduceSum, &format!("t{i}"));
+            }
+            rec.record_loop(&format!("R{i}"));
+        }
+    }
+    let scope_refs: Vec<(&str, LoopScope, bool)> = scopes
+        .iter()
+        .map(|(n, s, b)| (n.as_str(), *s, *b))
+        .collect();
+    let dat_names: Vec<String> = (0..n_dats).map(|d| format!("d{d}")).collect();
+    let mut dat_sets: Vec<(&str, &str)> = dat_names.iter().map(|d| (d.as_str(), "nodes")).collect();
+    dat_sets.push(("pos", "particles"));
+    ScheduleTrace::from_recording("prop", &plans, &scope_refs, &["particles"], &dat_sets, &rec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn valid_random_schedules_audit_error_free(
+        rounds in prop::collection::vec(0usize..3, 1..5),
+        steps in 1u32..4,
+    ) {
+        let audit = audit_schedule(&trace_of(&rounds, steps, None));
+        prop_assert!(
+            !audit.report.has_errors(),
+            "valid schedule must be error-free:\n{}",
+            audit.report
+        );
+        // The report round-trips through its committed schema.
+        prop_assert!(check_report_schema(&audit.report_json()).is_ok());
+    }
+
+    #[test]
+    fn deleting_any_required_exchange_yields_exactly_one_staleness_error(
+        n_rounds in 1usize..5,
+        steps in 1u32..4,
+        which in 0usize..64,
+    ) {
+        // Distinct dats per round: reuse would put the later round's
+        // read-modify-write *writer* in the blast radius too, and this
+        // property pins the blame to exactly the skipped reader.
+        let rounds: Vec<usize> = (0..n_rounds).collect();
+        let skip = which % n_rounds;
+        let audit = audit_schedule(&trace_of(&rounds, steps, Some(skip)));
+        let stale = audit.report.with_code("dataflow/halo-stale");
+        prop_assert_eq!(
+            stale.len(), 1,
+            "deleting round {}'s exchange must stale exactly its reader:\n{}",
+            skip, audit.report
+        );
+        prop_assert_eq!(stale[0].severity, Severity::Error);
+        prop_assert!(
+            stale[0].subject.ends_with(&format!("@R{skip}")),
+            "the staleness must land on the skipped round's reader, got '{}'",
+            &stale[0].subject
+        );
+        // No collateral errors elsewhere: the defect count is exactly 1.
+        prop_assert_eq!(audit.report.count(Severity::Error), 1, "{}", audit.report);
+    }
+}

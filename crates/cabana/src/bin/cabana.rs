@@ -110,14 +110,35 @@ fn attach_telemetry<T: oppic_cabana::Topology>(
 /// Strip `--telemetry <path>` from the argument list, returning the
 /// path if present.
 fn take_telemetry_arg(args: &mut Vec<String>) -> Option<String> {
-    let i = args.iter().position(|a| a == "--telemetry")?;
+    take_path_arg(args, "--telemetry")
+}
+
+/// Strip `<flag> <path>` from the argument list, returning the path if
+/// the flag is present.
+fn take_path_arg(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
     if i + 1 >= args.len() {
-        eprintln!("error: --telemetry requires a file path");
+        eprintln!("error: {flag} requires a file path");
         std::process::exit(2);
     }
     let path = args.remove(i + 1);
     args.remove(i);
     Some(path)
+}
+
+/// `--record-schedule <path>` mode: run the distributed step schedule
+/// under a recorder and write the `oppic-schedule-v1` trace for
+/// `oppic-analyzer --audit-schedule`.
+fn run_record_schedule(cfg: CabanaConfig, steps: usize, path: &str) -> ! {
+    let steps = steps.clamp(1, 5);
+    let trace = oppic_cabana::record_schedule(&cfg, steps);
+    let events = trace.events.len();
+    if let Err(e) = std::fs::write(path, trace.to_json()) {
+        eprintln!("error: cannot write schedule trace {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("CabanaPIC --record-schedule: {steps} step(s), {events} event(s) -> {path}");
+    std::process::exit(0);
 }
 
 fn run<T: oppic_cabana::Topology>(
@@ -166,6 +187,7 @@ fn run_validation<T: oppic_cabana::Topology>(
     mut sim: oppic_cabana::CabanaEngine<T>,
     steps: usize,
     telemetry: Option<&str>,
+    strict: bool,
 ) -> ! {
     let warmup = steps.clamp(1, 5);
     println!(
@@ -185,13 +207,16 @@ fn run_validation<T: oppic_cabana::Topology>(
         eprintln!("error: telemetry sink: {e}");
         std::process::exit(2);
     }
-    std::process::exit(report.exit_code());
+    std::process::exit(report.exit_code_strict(strict));
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let validate = args.iter().any(|a| a == "--validate");
     args.retain(|a| a != "--validate");
+    let strict = args.iter().any(|a| a == "--strict");
+    args.retain(|a| a != "--strict");
+    let record_schedule = take_path_arg(&mut args, "--record-schedule");
     let telemetry = take_telemetry_arg(&mut args);
     let tel = telemetry.as_deref();
     let params = match args.get(1).map(String::as_str) {
@@ -205,9 +230,12 @@ fn main() {
         eprintln!("config error: {e}");
         std::process::exit(2);
     });
+    if let Some(path) = &record_schedule {
+        run_record_schedule(cfg, steps, path);
+    }
     match (structured, validate) {
-        (true, true) => run_validation(StructuredCabana::new_structured(cfg), steps, tel),
-        (false, true) => run_validation(CabanaPic::new_dsl(cfg), steps, tel),
+        (true, true) => run_validation(StructuredCabana::new_structured(cfg), steps, tel, strict),
+        (false, true) => run_validation(CabanaPic::new_dsl(cfg), steps, tel, strict),
         (true, false) => run(
             StructuredCabana::new_structured(cfg),
             steps,

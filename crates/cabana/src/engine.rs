@@ -65,6 +65,9 @@ pub struct CabanaEngine<T: Topology> {
     /// Macro-particle statistical weight.
     pub weight: f64,
     pub profiler: Profiler,
+    /// When set (`--record-schedule`), every stage records its loop
+    /// event here for the whole-step dataflow audit.
+    pub schedule: Option<oppic_core::ScheduleRecorder>,
     step_no: usize,
     /// Per-particle visited-cell counts from the last `Move_Deposit`
     /// (empty unless [`CabanaConfig::record_visits`] is set).
@@ -110,15 +113,23 @@ impl<T: Topology> CabanaEngine<T> {
             vel,
             weight,
             profiler: Profiler::new(),
+            schedule: None,
             step_no: 0,
             last_visited: Vec::new(),
             cfg,
         }
     }
 
+    fn record_loop(&self, name: &str) {
+        if let Some(rec) = &self.schedule {
+            rec.record_loop(name);
+        }
+    }
+
     /// `Interpolate`: refresh the per-cell interpolator data from the
     /// live fields (a bandwidth-shaped copy, as in the original).
     pub fn interpolate(&mut self) {
+        self.record_loop("Interpolate");
         let e = &self.e;
         par_loop_direct1(&self.cfg.policy, &mut self.interp_e, |c, w| {
             w.copy_from_slice(e.el(c));
@@ -145,6 +156,7 @@ impl<T: Topology> CabanaEngine<T> {
     /// sort policies see the measured churn rather than the worst
     /// case.
     pub fn move_deposit(&mut self) -> u64 {
+        self.record_loop("Move_Deposit");
         let geom = self.geom;
         let topo = &self.topo;
         let dt = self.cfg.dt;
@@ -268,6 +280,7 @@ impl<T: Topology> CabanaEngine<T> {
     /// `AccumulateCurrent`: accumulator → current density
     /// (`J = Σ q·w·v·frac / V_cell`), then clear the accumulator.
     pub fn accumulate_current(&mut self) {
+        self.record_loop("AccumulateCurrent");
         let inv_vol = 1.0 / self.geom.cell_volume();
         let acc = &self.acc;
         par_loop_direct1(&self.cfg.policy, &mut self.j, |c, w| {
@@ -283,6 +296,7 @@ impl<T: Topology> CabanaEngine<T> {
 
     /// `AdvanceB`: `B ← B − dt·∇×E` (forward differences).
     pub fn advance_b(&mut self) {
+        self.record_loop("AdvanceB");
         let geom = self.geom;
         let topo = &self.topo;
         let e = &self.e;
@@ -310,6 +324,7 @@ impl<T: Topology> CabanaEngine<T> {
 
     /// `AdvanceE`: `E ← E + dt·(∇×B − J)` (backward differences).
     pub fn advance_e(&mut self) {
+        self.record_loop("AdvanceE");
         let geom = self.geom;
         let topo = &self.topo;
         let b = &self.b;
@@ -384,6 +399,9 @@ impl<T: Topology> CabanaEngine<T> {
     /// itself closes with alive/energy gauges and counter deltas.
     pub fn step(&mut self) -> EnergyDiagnostics {
         self.step_no += 1;
+        if let Some(rec) = &self.schedule {
+            rec.begin_step();
+        }
         let tel = self.profiler.telemetry().clone();
         let _cur = tel.make_current();
         tel.begin_step(self.step_no as u64);

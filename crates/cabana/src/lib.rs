@@ -29,10 +29,12 @@ pub mod config;
 pub mod conform;
 pub mod dsl;
 pub mod engine;
+pub mod schedule;
 pub mod structured;
 pub mod validate;
 
 pub use config::CabanaConfig;
 pub use dsl::CabanaPic;
 pub use engine::{CabanaEngine, EnergyDiagnostics, Topology};
+pub use schedule::record_schedule;
 pub use structured::StructuredCabana;

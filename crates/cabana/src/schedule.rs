@@ -1,0 +1,171 @@
+//! `--record-schedule` support for CabanaPIC: run the distributed
+//! Figure 9(b) step with a [`ScheduleRecorder`] attached and package
+//! the recording as the [`ScheduleTrace`] consumed by
+//! `oppic-analyzer --audit-schedule`.
+//!
+//! The distributed step replaces the shared-memory `Update_Ghosts`
+//! no-op with a real global reduction of the current accumulator
+//! between `Move_Deposit` and `AccumulateCurrent`, and migrates
+//! stray particles at the end of the step — the same flow the
+//! distributed benchmark driver executes. Recording under
+//! `world_run(1)` keeps the trace deterministic while exercising the
+//! identical collective sequence as a multi-rank run.
+
+use crate::config::CabanaConfig;
+use crate::dsl::CabanaPic;
+use oppic_core::schedule::{LoopScope, ScheduleRecorder, ScheduleTrace};
+use oppic_mpi::{allreduce_vec_sum_tagged, migrate_particles_tagged, world_run};
+
+/// Distributed-execution facts per loop: the particle mover iterates
+/// owned particles and re-binds the particle→cell map; every cell loop
+/// runs over the replicated grid (the in-process stand-in for halo'd
+/// fields, DESIGN.md §7).
+const SCOPES: &[(&str, LoopScope, bool)] = &[
+    ("Interpolate", LoopScope::Replicated, false),
+    ("Move_Deposit", LoopScope::Owned, true),
+    ("AccumulateCurrent", LoopScope::Replicated, false),
+    ("AdvanceB", LoopScope::Replicated, false),
+    ("AdvanceE", LoopScope::Replicated, false),
+];
+
+/// Record `steps` steps of the distributed CabanaPIC step schedule.
+pub fn record_schedule(cfg: &CabanaConfig, steps: usize) -> ScheduleTrace {
+    let cfg = cfg.clone();
+    let mut traces = world_run(1, move |ctx| {
+        let rec = ScheduleRecorder::new();
+        let mut sim = CabanaPic::new_dsl(cfg.clone());
+        sim.schedule = Some(rec.clone());
+        // One-rank SPMD: every cell is owned here, so no particle
+        // leaves — but both collectives still run (and record) exactly
+        // as at scale.
+        let cell_rank = vec![0u32; sim.geom.n_cells()];
+        for _ in 0..steps {
+            rec.begin_step();
+            sim.interpolate();
+            sim.move_deposit();
+            let total = allreduce_vec_sum_tagged(
+                ctx,
+                &sim.accumulator_snapshot(),
+                sim.schedule.as_ref(),
+                "acc",
+                "cabana/acc",
+            );
+            sim.accumulator_overwrite(&total);
+            sim.accumulate_current();
+            sim.advance_b();
+            sim.advance_e();
+            let leavers = sim.extract_leavers(&cell_rank, ctx.rank as u32);
+            migrate_particles_tagged(
+                ctx,
+                &mut sim.ps,
+                &leavers,
+                sim.schedule.as_ref(),
+                "particles",
+                "cabana/migrate",
+            );
+        }
+        let dat_sets: Vec<(&str, &str)> = vec![
+            ("pos", "particles"),
+            ("vel", "particles"),
+            ("weight", "particles"),
+            ("E", "cells"),
+            ("B", "cells"),
+            ("J", "cells"),
+            ("interp E", "cells"),
+            ("interp B", "cells"),
+            ("acc", "cells"),
+        ];
+        ScheduleTrace::from_recording(
+            "cabana",
+            &sim.loop_plans(),
+            SCOPES,
+            &["particles"],
+            &dat_sets,
+            &rec,
+        )
+    });
+    traces.remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oppic_core::schedule::ScheduleEvent;
+
+    #[test]
+    fn recorded_schedule_has_the_distributed_step_shape() {
+        let trace = record_schedule(&CabanaConfig::tiny(), 2);
+        assert_eq!(trace.app, "cabana");
+        assert_eq!(trace.steps, 2);
+        let step1: Vec<String> = trace
+            .events
+            .iter()
+            .filter(|e| e.step == 1)
+            .map(|e| match &e.event {
+                ScheduleEvent::Loop { name } => name.clone(),
+                ScheduleEvent::Exchange { dir, .. } => dir.label().to_string(),
+            })
+            .collect();
+        assert_eq!(
+            step1,
+            vec![
+                "Interpolate",
+                "Move_Deposit",
+                "reduce_sum",
+                "AccumulateCurrent",
+                "AdvanceB",
+                "AdvanceE",
+                "migrate",
+            ],
+            "{step1:?}"
+        );
+    }
+
+    #[test]
+    fn recorded_schedule_audits_clean_with_expected_proofs() {
+        let trace = record_schedule(&CabanaConfig::tiny(), 2);
+        let audit = oppic_analyzer::audit_schedule(&trace);
+        assert!(!audit.report.has_errors(), "{}", audit.report);
+        assert_eq!(
+            audit.report.count(oppic_analyzer::Severity::Warn),
+            0,
+            "{}",
+            audit.report
+        );
+        assert_eq!(audit.overlaps.len(), 2);
+        for p in &audit.overlaps {
+            assert!(!p.legal.is_empty(), "{p:?}");
+        }
+        // The accumulator reduction can overlap the Maxwell half-steps
+        // but not the stage that drains the accumulator.
+        let acc = audit.overlaps.iter().find(|p| p.dat == "acc").unwrap();
+        assert!(acc.legal.iter().any(|l| l == "AdvanceB"), "{acc:?}");
+        assert!(acc.legal.iter().any(|l| l == "AdvanceE"), "{acc:?}");
+        assert!(
+            acc.blocked.iter().any(|(l, _)| l == "AccumulateCurrent"),
+            "{acc:?}"
+        );
+        // The fused mover is the only loop the migration blocks.
+        let mig = audit
+            .overlaps
+            .iter()
+            .find(|p| p.dat == "particles")
+            .unwrap();
+        assert!(
+            mig.blocked.iter().any(|(l, _)| l == "Move_Deposit"),
+            "{mig:?}"
+        );
+        assert!(mig.legal.iter().any(|l| l == "Interpolate"), "{mig:?}");
+        // Fusion legality: AccumulateCurrent feeds no dat that AdvanceB
+        // touches, so the pair is a fusion candidate; AdvanceB→AdvanceE
+        // is not (E↔B dependence).
+        assert!(audit
+            .fusions
+            .iter()
+            .any(|f| f.first == "AccumulateCurrent" && f.second == "AdvanceB"));
+        assert!(!audit
+            .fusions
+            .iter()
+            .any(|f| f.first == "AdvanceB" && f.second == "AdvanceE"));
+    }
+}

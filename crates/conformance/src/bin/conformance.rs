@@ -20,7 +20,8 @@
 use oppic_conformance::{
     cell_fails, chaos_cell_fails, chaos_full_matrix, chaos_quick_matrix, check_cell, full_matrix,
     parse_chaos_reproducer, parse_reproducer, quick_matrix, run_chaos_cell, run_matrix, shrink,
-    shrink_chaos, write_chaos_reproducer, write_reproducer, CellConfig, ChaosCell, ChaosVerdict,
+    shrink_chaos, verify_schedules, write_chaos_reproducer, write_reproducer, CellConfig,
+    ChaosCell, ChaosVerdict,
 };
 use oppic_core::telemetry::Telemetry;
 use std::path::Path;
@@ -31,7 +32,7 @@ const REPRO_DIR: &str = "results/conformance";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: conformance [--quick | --full | --replay <file.json> | \
+        "usage: conformance [--quick | --full | --schedules | --replay <file.json> | \
          --chaos [--quick|--full] | --chaos-replay <file.json>]"
     );
     std::process::exit(2);
@@ -251,11 +252,41 @@ fn chaos_replay(path: &str) -> i32 {
     }
 }
 
+/// Whole-step schedule conformance (DESIGN.md §11): both apps'
+/// recorded communication schedules audit Error-free with at least
+/// one overlap-legal loop per exchange, and the broken-schedule
+/// negative control still trips the staleness detector.
+fn run_schedule_checks() -> i32 {
+    let t0 = Instant::now();
+    let checks = verify_schedules();
+    println!("conformance schedules: {} checks", checks.len());
+    let mut failed = 0;
+    for check in &checks {
+        if check.passed() {
+            println!("  PASS {:<34} {:>6} events", check.app, check.events);
+        } else {
+            failed += 1;
+            println!("  FAIL {}", check.app);
+            for line in &check.failures {
+                println!("       {line}");
+            }
+        }
+    }
+    println!(
+        "{}/{} schedule checks passed, {:.2}s",
+        checks.len() - failed,
+        checks.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    i32::from(failed > 0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("--quick") | None => run(&quick_matrix(), "quick"),
-        Some("--full") => run(&full_matrix(), "full"),
+        Some("--quick") | None => run(&quick_matrix(), "quick").max(run_schedule_checks()),
+        Some("--full") => run(&full_matrix(), "full").max(run_schedule_checks()),
+        Some("--schedules") => run_schedule_checks(),
         Some("--replay") => match args.get(1) {
             Some(path) => replay(path),
             None => usage(),

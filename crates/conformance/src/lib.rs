@@ -28,6 +28,7 @@ pub mod matrix;
 pub mod oracle;
 pub mod report;
 pub mod runner;
+pub mod schedule;
 pub mod shrink;
 
 pub use chaos::{
@@ -39,6 +40,7 @@ pub use matrix::{full_matrix, quick_matrix, App, CellConfig, Exec, Mover, Mutati
 pub use oracle::{compare, Comparison, Divergence, Oracle};
 pub use report::{parse_reproducer, reproducer_json, write_reproducer};
 pub use runner::{cell_fails, check_cell, run_cell, run_matrix, CellReport};
+pub use schedule::{verify_schedules, ScheduleCheck};
 pub use shrink::shrink;
 
 #[cfg(test)]

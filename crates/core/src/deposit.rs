@@ -160,8 +160,11 @@ fn atomic_add_f64(slot: &AtomicU64, value: f64, ordering: Ordering) {
 fn as_atomic_slots(data: &mut [f64]) -> &[AtomicU64] {
     const _: () = assert!(std::mem::size_of::<f64>() == std::mem::size_of::<AtomicU64>());
     const _: () = assert!(std::mem::align_of::<f64>() == std::mem::align_of::<AtomicU64>());
-    // The pointer must come from `as_mut_ptr` so the shared atomic view
-    // retains write provenance over the exclusive borrow.
+    // SAFETY: `data` is an exclusive borrow held for the returned
+    // slice's whole lifetime, `f64` and `AtomicU64` have identical
+    // size/alignment (asserted above) and every bit pattern is valid
+    // for both; the pointer comes from `as_mut_ptr` so the shared
+    // atomic view retains write provenance over the exclusive borrow.
     unsafe { std::slice::from_raw_parts(data.as_mut_ptr() as *const AtomicU64, data.len()) }
 }
 

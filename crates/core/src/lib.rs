@@ -44,6 +44,7 @@ pub mod parloop;
 pub mod particles;
 pub mod plan;
 pub mod profile;
+pub mod schedule;
 pub mod sim;
 pub mod telemetry;
 
@@ -66,6 +67,10 @@ pub use parloop::{
 pub use particles::{ColId, ParticleDats, SortPolicy};
 pub use plan::{LoopPlan, PlanRegistry, RaceStrategy};
 pub use profile::{KernelClass, Profiler};
+pub use schedule::{
+    ExchangeDir, LoopScope, ScheduleEvent, ScheduleLoop, ScheduleRecorder, ScheduleTrace,
+    TraceEvent, SCHEDULE_SCHEMA,
+};
 pub use sim::{Observable, Recoverable, Simulation};
 pub use telemetry::{
     Histogram, HistogramSnapshot, KernelId, KernelStats, RunInfo, Span, Telemetry,

@@ -136,10 +136,26 @@ fn attach_telemetry(sim: &FemPic, path: &str, steps: usize) {
     }
 }
 
+/// `--record-schedule <path>` mode: run the distributed step schedule
+/// under a recorder and write the `oppic-schedule-v1` trace for
+/// `oppic-analyzer --audit-schedule`.
+fn run_record_schedule(cfg: FemPicConfig, steps: usize, path: &str) -> ! {
+    let steps = steps.clamp(1, 5);
+    let trace = oppic_fempic::record_schedule(&cfg, steps);
+    let events = trace.events.len();
+    if let Err(e) = std::fs::write(path, trace.to_json()) {
+        eprintln!("error: cannot write schedule trace {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("Mini-FEM-PIC --record-schedule: {steps} step(s), {events} event(s) -> {path}");
+    std::process::exit(0);
+}
+
 /// `--validate` mode: build the simulation, run a few steps to
 /// populate the dynamic maps, then run all three analyzer passes and
-/// exit non-zero on any Error finding.
-fn run_validation(cfg: FemPicConfig, steps: usize, telemetry: Option<&str>) -> ! {
+/// exit non-zero on any Error finding. With `--strict`, Warn findings
+/// fail the run too.
+fn run_validation(cfg: FemPicConfig, steps: usize, telemetry: Option<&str>, strict: bool) -> ! {
     let warmup = steps.clamp(1, 5);
     println!(
         "Mini-FEM-PIC --validate: {} cells, {warmup} warm-up step(s)",
@@ -158,15 +174,21 @@ fn run_validation(cfg: FemPicConfig, steps: usize, telemetry: Option<&str>) -> !
         eprintln!("error: telemetry sink: {e}");
         std::process::exit(2);
     }
-    std::process::exit(report.exit_code());
+    std::process::exit(report.exit_code_strict(strict));
 }
 
 /// Strip `--telemetry <path>` from the argument list, returning the
 /// path if present.
 fn take_telemetry_arg(args: &mut Vec<String>) -> Option<String> {
-    let i = args.iter().position(|a| a == "--telemetry")?;
+    take_path_arg(args, "--telemetry")
+}
+
+/// Strip `<flag> <path>` from the argument list, returning the path if
+/// the flag is present.
+fn take_path_arg(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
     if i + 1 >= args.len() {
-        eprintln!("error: --telemetry requires a file path");
+        eprintln!("error: {flag} requires a file path");
         std::process::exit(2);
     }
     let path = args.remove(i + 1);
@@ -178,7 +200,10 @@ fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let validate = args.iter().any(|a| a == "--validate");
     args.retain(|a| a != "--validate");
+    let strict = args.iter().any(|a| a == "--strict");
+    args.retain(|a| a != "--strict");
     let telemetry = take_telemetry_arg(&mut args);
+    let record_schedule = take_path_arg(&mut args, "--record-schedule");
     let params = match args.get(1).map(String::as_str) {
         Some("--print-defaults") => {
             println!("# Mini-FEM-PIC configuration keys and defaults");
@@ -197,8 +222,11 @@ fn main() {
         eprintln!("config error: {e}");
         std::process::exit(2);
     });
+    if let Some(path) = &record_schedule {
+        run_record_schedule(cfg, steps, path);
+    }
     if validate {
-        run_validation(cfg, steps, telemetry.as_deref());
+        run_validation(cfg, steps, telemetry.as_deref(), strict);
     }
 
     println!(

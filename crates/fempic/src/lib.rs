@@ -29,10 +29,12 @@ pub mod collisions;
 pub mod config;
 pub mod conform;
 pub mod fields;
+pub mod schedule;
 pub mod sim;
 pub mod validate;
 
 pub use collisions::{collide, CollisionModel, CollisionStats};
 pub use config::{FemPicConfig, Integrator, MoveStrategy};
 pub use fields::FemSolver;
+pub use schedule::record_schedule;
 pub use sim::{FemPic, StepDiagnostics};

@@ -84,6 +84,9 @@ pub struct FemPic {
     /// The deposit method the next `deposit_charge` will run — either
     /// `cfg.deposit` or the auto-tuner's last pick.
     pub(crate) active_deposit: DepositMethod,
+    /// Schedule recorder for `--record-schedule`: when attached, each
+    /// stage records its loop event (one `Option` check otherwise).
+    pub schedule: Option<oppic_core::ScheduleRecorder>,
 }
 
 impl FemPic {
@@ -166,6 +169,14 @@ impl FemPic {
             tuner: AutoTuner::default(),
             last_quarantined: 0,
             active_deposit,
+            schedule: None,
+        }
+    }
+
+    /// Record a loop event when a schedule recorder is attached.
+    fn record_loop(&self, name: &str) {
+        if let Some(rec) = &self.schedule {
+            rec.record_loop(name);
         }
     }
 
@@ -177,6 +188,7 @@ impl FemPic {
     /// communication between stages; single-process users call
     /// [`FemPic::step`].
     pub fn inject(&mut self) -> usize {
+        self.record_loop("Inject");
         let n = self.cfg.inject_per_step;
         let total_area = self.inlets.last().expect("nonempty inlets").cumulative_area;
         // Pre-draw randomness so the hot loop is branch-light.
@@ -221,6 +233,7 @@ impl FemPic {
     /// separate weighting stage — exactly the paper's observation for
     /// Mini-FEM-PIC).
     pub fn calc_pos_vel(&mut self) {
+        self.record_loop("CalcPosVel");
         let qm_dt = self.cfg.charge / self.cfg.mass * self.cfg.dt;
         let dt = self.cfg.dt;
         let ef = &self.efield;
@@ -281,6 +294,7 @@ impl FemPic {
     /// position — barycentric walk (multi-hop) or overlay-seeded
     /// (direct-hop). Out-of-domain particles are removed (hole-filled).
     pub fn move_particles(&mut self) -> usize {
+        self.record_loop("Move");
         let mesh = &self.mesh;
         let (cells, pos) = self.ps.cells_mut_with_col(self.pos);
         let kernel = |i: usize, cell: usize| -> MoveStatus {
@@ -393,6 +407,7 @@ impl FemPic {
     /// four cell nodes — the double-indirect increment handled by the
     /// configured [`oppic_core::DepositMethod`].
     pub fn deposit_charge(&mut self) {
+        self.record_loop("DepositCharge");
         // Weighting pass: lc <- barycentric(pos, cell). With a fresh
         // CSR index the four cell vertices are fetched once per
         // segment instead of once per particle.
@@ -486,6 +501,7 @@ impl FemPic {
 
     /// Field-solver group: RHS, PCG solve, per-cell E.
     pub fn field_solve(&mut self) -> usize {
+        self.record_loop("SolvePotential");
         let phi_iters;
         {
             let charge = self.node_charge.raw();
@@ -501,6 +517,7 @@ impl FemPic {
         }
         self.profiler
             .classify("ComputeF1Vector+SolvePotential", KernelClass::FieldSolve);
+        self.record_loop("ComputeElectricField");
         self.profiler.time("ComputeElectricField", || {
             self.fem.electric_field(&self.mesh, self.efield.raw_mut());
         });
@@ -515,6 +532,9 @@ impl FemPic {
     /// Advance one PIC step; returns diagnostics.
     pub fn step(&mut self) -> StepDiagnostics {
         self.step_no += 1;
+        if let Some(rec) = &self.schedule {
+            rec.begin_step();
+        }
 
         // Install this sim's telemetry as the thread's current hub so
         // the DSL executors (move engine, deposit, particle store,

@@ -34,6 +34,7 @@ impl FemPic {
             .expect("fresh registry");
         r.decl_dat(self.node_charge.name(), "nodes", 1)
             .expect("fresh registry");
+        r.decl_dat("potential", "nodes", 1).expect("fresh registry");
         r.decl_dat(self.efield.name(), "cells", 3)
             .expect("fresh registry");
         r.decl_dat("pos", "particles", 3).expect("fresh registry");
@@ -106,11 +107,28 @@ impl FemPic {
         }
         plans.register(deposit_plan);
         // The field-solve group runs in the FEM solver (sequential CG).
+        // SolvePotential consumes the deposited charge — the dataflow
+        // analyzer's witness that the deposit's reduction must have
+        // folded every rank's partial sums before the solve reads them.
+        plans.register(LoopPlan::direct(
+            LoopDecl::new(
+                "SolvePotential",
+                "nodes",
+                vec![
+                    ArgDecl::direct(self.node_charge.name(), 1, Access::Read),
+                    ArgDecl::direct("potential", 1, Access::Write),
+                ],
+            ),
+            &ExecPolicy::Seq,
+        ));
         plans.register(LoopPlan::direct(
             LoopDecl::new(
                 "ComputeElectricField",
                 "cells",
-                vec![ArgDecl::direct(self.efield.name(), 3, Access::Write)],
+                vec![
+                    ArgDecl::indirect("potential", 1, Access::Read, "c2n"),
+                    ArgDecl::direct(self.efield.name(), 3, Access::Write),
+                ],
             ),
             &ExecPolicy::Seq,
         ));

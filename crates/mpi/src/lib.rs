@@ -27,6 +27,7 @@ pub mod fault;
 pub mod halo;
 pub mod partition;
 pub mod solve;
+pub mod tagged;
 
 pub use comm::{world_run, world_run_faulty, Message, RankCtx};
 pub use exchange::migrate_particles;
@@ -36,3 +37,6 @@ pub use partition::{
     directional_partition, graph_growing_partition, rcb_partition, PartitionStats,
 };
 pub use solve::{cg_solve_distributed, partition_system, DistributedSystem};
+pub use tagged::{
+    allreduce_vec_sum_tagged, forward_tagged, migrate_particles_tagged, reverse_add_tagged,
+};

@@ -1,0 +1,164 @@
+//! Tagged exchange wrappers — the communication half of schedule
+//! recording.
+//!
+//! The dataflow analyzer (`oppic-analyzer --audit-schedule`) audits the
+//! *sequence* of loops and exchanges a step executes; loops record
+//! themselves from the app stages, exchanges record themselves here.
+//! Each wrapper is the plain executor plus one optional
+//! [`ScheduleRecorder`] hit that stamps the dat name, the exchange
+//! direction, and a call-site tag (e.g. `"fempic/node_charge"`) that
+//! survives into `schedule-report.json`. With no recorder attached the
+//! wrappers compile down to the underlying call — the recording pass
+//! stays out of the hot path.
+
+use crate::comm::RankCtx;
+use crate::exchange::{migrate_particles, MigrationStats};
+use crate::halo::{HaloError, HaloExchangePlan};
+use oppic_core::particles::ParticleDats;
+use oppic_core::schedule::{ExchangeDir, ScheduleRecorder};
+
+/// [`HaloExchangePlan::forward`] plus an exchange-event record.
+pub fn forward_tagged(
+    plan: &HaloExchangePlan,
+    ctx: &mut RankCtx,
+    data: &mut [f64],
+    dim: usize,
+    rec: Option<&ScheduleRecorder>,
+    dat: &str,
+    tag: &str,
+) -> Result<(), HaloError> {
+    if let Some(r) = rec {
+        r.record_exchange(dat, ExchangeDir::Forward, tag);
+    }
+    plan.forward(ctx, data, dim)
+}
+
+/// [`HaloExchangePlan::reverse_add`] plus an exchange-event record.
+pub fn reverse_add_tagged(
+    plan: &HaloExchangePlan,
+    ctx: &mut RankCtx,
+    data: &mut [f64],
+    dim: usize,
+    rec: Option<&ScheduleRecorder>,
+    dat: &str,
+    tag: &str,
+) -> Result<(), HaloError> {
+    if let Some(r) = rec {
+        r.record_exchange(dat, ExchangeDir::ReverseAdd, tag);
+    }
+    plan.reverse_add(ctx, data, dim)
+}
+
+/// [`RankCtx::allreduce_vec_sum`] plus an exchange-event record — the
+/// in-process drivers' replicated-field stand-in for a halo exchange
+/// (DESIGN.md §7) and the paper's global reductions.
+pub fn allreduce_vec_sum_tagged(
+    ctx: &mut RankCtx,
+    x: &[f64],
+    rec: Option<&ScheduleRecorder>,
+    dat: &str,
+    tag: &str,
+) -> Vec<f64> {
+    if let Some(r) = rec {
+        r.record_exchange(dat, ExchangeDir::ReduceSum, tag);
+    }
+    ctx.allreduce_vec_sum(x)
+}
+
+/// [`migrate_particles`] plus an exchange-event record. The "dat" of a
+/// migration is the particle *set*: the exchange re-homes every dat on
+/// it at once.
+pub fn migrate_particles_tagged(
+    ctx: &mut RankCtx,
+    ps: &mut ParticleDats,
+    leavers: &[(usize, u32, i32)],
+    rec: Option<&ScheduleRecorder>,
+    set: &str,
+    tag: &str,
+) -> MigrationStats {
+    if let Some(r) = rec {
+        r.record_exchange(set, ExchangeDir::Migrate, tag);
+    }
+    migrate_particles(ctx, ps, leavers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::world_run;
+    use oppic_core::schedule::{ScheduleEvent, TraceEvent};
+
+    #[test]
+    fn tagged_reduce_records_and_still_reduces() {
+        let rec = ScheduleRecorder::new();
+        rec.begin_step();
+        let r2 = rec.clone();
+        let sums = world_run(2, move |ctx| {
+            let mine = vec![ctx.rank as f64 + 1.0; 3];
+            // Only rank 0 records — one event per logical exchange, not
+            // one per rank.
+            let r = (ctx.rank == 0).then_some(&r2);
+            allreduce_vec_sum_tagged(ctx, &mine, r, "charge", "test/charge")
+        });
+        for s in sums {
+            assert_eq!(s, vec![3.0, 3.0, 3.0]);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0],
+            TraceEvent {
+                step: 1,
+                event: ScheduleEvent::Exchange {
+                    dat: "charge".into(),
+                    dir: ExchangeDir::ReduceSum,
+                    tag: "test/charge".into(),
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn tagged_halo_roundtrip_records_both_directions() {
+        let rec = ScheduleRecorder::new();
+        rec.begin_step();
+        // Two ranks, one shared interface cell each way: rank r owns
+        // local cell 0, ghosts the neighbour's as local cell 1.
+        let plans = [
+            HaloExchangePlan {
+                send: vec![(1, vec![0])],
+                recv: vec![(1, vec![1])],
+            },
+            HaloExchangePlan {
+                send: vec![(0, vec![0])],
+                recv: vec![(0, vec![1])],
+            },
+        ];
+        let r2 = rec.clone();
+        let finals = world_run(2, move |ctx| {
+            let plan = &plans[ctx.rank];
+            let r = (ctx.rank == 0).then_some(&r2);
+            let mut data = vec![(ctx.rank + 1) as f64 * 10.0, 0.0];
+            forward_tagged(plan, ctx, &mut data, 1, r, "phi", "t/phi").unwrap();
+            // Ghost slot now holds the neighbour's owned value.
+            assert_eq!(data[1], (2 - ctx.rank) as f64 * 10.0);
+            // Accumulate +1 in the ghost, fold it back to the owner.
+            data[1] = 1.0;
+            reverse_add_tagged(plan, ctx, &mut data, 1, r, "phi", "t/phi").unwrap();
+            data
+        });
+        for (rank, data) in finals.iter().enumerate() {
+            assert_eq!(data[0], (rank + 1) as f64 * 10.0 + 1.0, "owner folded");
+            assert_eq!(data[1], 0.0, "ghost zeroed");
+        }
+        let dirs: Vec<_> = rec
+            .events()
+            .iter()
+            .map(|e| match &e.event {
+                ScheduleEvent::Exchange { dir, .. } => *dir,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(dirs, vec![ExchangeDir::Forward, ExchangeDir::ReverseAdd]);
+    }
+}
