@@ -1,0 +1,12 @@
+/root/repo/target-base/debug/deps/oppic_analyzer-c61c350ed7db896e.d: crates/analyzer/src/lib.rs crates/analyzer/src/audit.rs crates/analyzer/src/diag.rs crates/analyzer/src/shadow.rs crates/analyzer/src/static_check.rs crates/analyzer/src/telemetry_audit.rs
+
+/root/repo/target-base/debug/deps/liboppic_analyzer-c61c350ed7db896e.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/audit.rs crates/analyzer/src/diag.rs crates/analyzer/src/shadow.rs crates/analyzer/src/static_check.rs crates/analyzer/src/telemetry_audit.rs
+
+/root/repo/target-base/debug/deps/liboppic_analyzer-c61c350ed7db896e.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/audit.rs crates/analyzer/src/diag.rs crates/analyzer/src/shadow.rs crates/analyzer/src/static_check.rs crates/analyzer/src/telemetry_audit.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/audit.rs:
+crates/analyzer/src/diag.rs:
+crates/analyzer/src/shadow.rs:
+crates/analyzer/src/static_check.rs:
+crates/analyzer/src/telemetry_audit.rs:

@@ -1,0 +1,11 @@
+/root/repo/target-base/debug/deps/oppic_bench-9bb1849faf22cd7e.d: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/distributed.rs crates/bench/src/report.rs crates/bench/src/telemetry_report.rs
+
+/root/repo/target-base/debug/deps/liboppic_bench-9bb1849faf22cd7e.rlib: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/distributed.rs crates/bench/src/report.rs crates/bench/src/telemetry_report.rs
+
+/root/repo/target-base/debug/deps/liboppic_bench-9bb1849faf22cd7e.rmeta: crates/bench/src/lib.rs crates/bench/src/analysis.rs crates/bench/src/distributed.rs crates/bench/src/report.rs crates/bench/src/telemetry_report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/analysis.rs:
+crates/bench/src/distributed.rs:
+crates/bench/src/report.rs:
+crates/bench/src/telemetry_report.rs:

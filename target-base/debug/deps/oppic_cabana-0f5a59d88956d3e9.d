@@ -1,0 +1,14 @@
+/root/repo/target-base/debug/deps/oppic_cabana-0f5a59d88956d3e9.d: crates/cabana/src/lib.rs crates/cabana/src/common.rs crates/cabana/src/config.rs crates/cabana/src/conform.rs crates/cabana/src/dsl.rs crates/cabana/src/engine.rs crates/cabana/src/structured.rs crates/cabana/src/validate.rs
+
+/root/repo/target-base/debug/deps/liboppic_cabana-0f5a59d88956d3e9.rlib: crates/cabana/src/lib.rs crates/cabana/src/common.rs crates/cabana/src/config.rs crates/cabana/src/conform.rs crates/cabana/src/dsl.rs crates/cabana/src/engine.rs crates/cabana/src/structured.rs crates/cabana/src/validate.rs
+
+/root/repo/target-base/debug/deps/liboppic_cabana-0f5a59d88956d3e9.rmeta: crates/cabana/src/lib.rs crates/cabana/src/common.rs crates/cabana/src/config.rs crates/cabana/src/conform.rs crates/cabana/src/dsl.rs crates/cabana/src/engine.rs crates/cabana/src/structured.rs crates/cabana/src/validate.rs
+
+crates/cabana/src/lib.rs:
+crates/cabana/src/common.rs:
+crates/cabana/src/config.rs:
+crates/cabana/src/conform.rs:
+crates/cabana/src/dsl.rs:
+crates/cabana/src/engine.rs:
+crates/cabana/src/structured.rs:
+crates/cabana/src/validate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target-base/debug/deps/oppic_conformance-373c1374196466c8.d: crates/conformance/src/lib.rs crates/conformance/src/chaos.rs crates/conformance/src/matrix.rs crates/conformance/src/oracle.rs crates/conformance/src/report.rs crates/conformance/src/runner.rs crates/conformance/src/shrink.rs
+
+/root/repo/target-base/debug/deps/oppic_conformance-373c1374196466c8: crates/conformance/src/lib.rs crates/conformance/src/chaos.rs crates/conformance/src/matrix.rs crates/conformance/src/oracle.rs crates/conformance/src/report.rs crates/conformance/src/runner.rs crates/conformance/src/shrink.rs
+
+crates/conformance/src/lib.rs:
+crates/conformance/src/chaos.rs:
+crates/conformance/src/matrix.rs:
+crates/conformance/src/oracle.rs:
+crates/conformance/src/report.rs:
+crates/conformance/src/runner.rs:
+crates/conformance/src/shrink.rs:

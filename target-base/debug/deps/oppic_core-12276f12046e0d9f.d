@@ -1,0 +1,22 @@
+/root/repo/target-base/debug/deps/oppic_core-12276f12046e0d9f.d: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/checkpoint.rs crates/core/src/dat.rs crates/core/src/decl.rs crates/core/src/macros.rs crates/core/src/deposit.rs crates/core/src/json.rs crates/core/src/move_engine.rs crates/core/src/params.rs crates/core/src/parloop.rs crates/core/src/particles.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/sim.rs crates/core/src/telemetry.rs
+
+/root/repo/target-base/debug/deps/liboppic_core-12276f12046e0d9f.rlib: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/checkpoint.rs crates/core/src/dat.rs crates/core/src/decl.rs crates/core/src/macros.rs crates/core/src/deposit.rs crates/core/src/json.rs crates/core/src/move_engine.rs crates/core/src/params.rs crates/core/src/parloop.rs crates/core/src/particles.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/sim.rs crates/core/src/telemetry.rs
+
+/root/repo/target-base/debug/deps/liboppic_core-12276f12046e0d9f.rmeta: crates/core/src/lib.rs crates/core/src/access.rs crates/core/src/checkpoint.rs crates/core/src/dat.rs crates/core/src/decl.rs crates/core/src/macros.rs crates/core/src/deposit.rs crates/core/src/json.rs crates/core/src/move_engine.rs crates/core/src/params.rs crates/core/src/parloop.rs crates/core/src/particles.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/sim.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/access.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/dat.rs:
+crates/core/src/decl.rs:
+crates/core/src/macros.rs:
+crates/core/src/deposit.rs:
+crates/core/src/json.rs:
+crates/core/src/move_engine.rs:
+crates/core/src/params.rs:
+crates/core/src/parloop.rs:
+crates/core/src/particles.rs:
+crates/core/src/plan.rs:
+crates/core/src/profile.rs:
+crates/core/src/sim.rs:
+crates/core/src/telemetry.rs:

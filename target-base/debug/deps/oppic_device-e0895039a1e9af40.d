@@ -1,0 +1,10 @@
+/root/repo/target-base/debug/deps/oppic_device-e0895039a1e9af40.d: crates/device/src/lib.rs crates/device/src/buffer.rs crates/device/src/exec.rs crates/device/src/spec.rs
+
+/root/repo/target-base/debug/deps/liboppic_device-e0895039a1e9af40.rlib: crates/device/src/lib.rs crates/device/src/buffer.rs crates/device/src/exec.rs crates/device/src/spec.rs
+
+/root/repo/target-base/debug/deps/liboppic_device-e0895039a1e9af40.rmeta: crates/device/src/lib.rs crates/device/src/buffer.rs crates/device/src/exec.rs crates/device/src/spec.rs
+
+crates/device/src/lib.rs:
+crates/device/src/buffer.rs:
+crates/device/src/exec.rs:
+crates/device/src/spec.rs:

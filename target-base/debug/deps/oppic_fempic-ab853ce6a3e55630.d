@@ -1,0 +1,13 @@
+/root/repo/target-base/debug/deps/oppic_fempic-ab853ce6a3e55630.d: crates/fempic/src/lib.rs crates/fempic/src/collisions.rs crates/fempic/src/config.rs crates/fempic/src/conform.rs crates/fempic/src/fields.rs crates/fempic/src/sim.rs crates/fempic/src/validate.rs
+
+/root/repo/target-base/debug/deps/liboppic_fempic-ab853ce6a3e55630.rlib: crates/fempic/src/lib.rs crates/fempic/src/collisions.rs crates/fempic/src/config.rs crates/fempic/src/conform.rs crates/fempic/src/fields.rs crates/fempic/src/sim.rs crates/fempic/src/validate.rs
+
+/root/repo/target-base/debug/deps/liboppic_fempic-ab853ce6a3e55630.rmeta: crates/fempic/src/lib.rs crates/fempic/src/collisions.rs crates/fempic/src/config.rs crates/fempic/src/conform.rs crates/fempic/src/fields.rs crates/fempic/src/sim.rs crates/fempic/src/validate.rs
+
+crates/fempic/src/lib.rs:
+crates/fempic/src/collisions.rs:
+crates/fempic/src/config.rs:
+crates/fempic/src/conform.rs:
+crates/fempic/src/fields.rs:
+crates/fempic/src/sim.rs:
+crates/fempic/src/validate.rs:

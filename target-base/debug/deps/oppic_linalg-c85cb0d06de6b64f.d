@@ -1,0 +1,10 @@
+/root/repo/target-base/debug/deps/oppic_linalg-c85cb0d06de6b64f.d: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/csr.rs crates/linalg/src/dense.rs
+
+/root/repo/target-base/debug/deps/liboppic_linalg-c85cb0d06de6b64f.rlib: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/csr.rs crates/linalg/src/dense.rs
+
+/root/repo/target-base/debug/deps/liboppic_linalg-c85cb0d06de6b64f.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/csr.rs crates/linalg/src/dense.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cg.rs:
+crates/linalg/src/csr.rs:
+crates/linalg/src/dense.rs:

@@ -1,0 +1,14 @@
+/root/repo/target-base/debug/deps/oppic_mesh-e03d21732c5f0074.d: crates/mesh/src/lib.rs crates/mesh/src/connectivity.rs crates/mesh/src/entities.rs crates/mesh/src/geometry.rs crates/mesh/src/hex.rs crates/mesh/src/io.rs crates/mesh/src/overlay.rs crates/mesh/src/tet.rs
+
+/root/repo/target-base/debug/deps/liboppic_mesh-e03d21732c5f0074.rlib: crates/mesh/src/lib.rs crates/mesh/src/connectivity.rs crates/mesh/src/entities.rs crates/mesh/src/geometry.rs crates/mesh/src/hex.rs crates/mesh/src/io.rs crates/mesh/src/overlay.rs crates/mesh/src/tet.rs
+
+/root/repo/target-base/debug/deps/liboppic_mesh-e03d21732c5f0074.rmeta: crates/mesh/src/lib.rs crates/mesh/src/connectivity.rs crates/mesh/src/entities.rs crates/mesh/src/geometry.rs crates/mesh/src/hex.rs crates/mesh/src/io.rs crates/mesh/src/overlay.rs crates/mesh/src/tet.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/connectivity.rs:
+crates/mesh/src/entities.rs:
+crates/mesh/src/geometry.rs:
+crates/mesh/src/hex.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/overlay.rs:
+crates/mesh/src/tet.rs:

@@ -1,0 +1,11 @@
+/root/repo/target-base/debug/deps/oppic_model-2c4cbee9f96e199e.d: crates/model/src/lib.rs crates/model/src/power.rs crates/model/src/roofline.rs crates/model/src/scaling.rs crates/model/src/system.rs
+
+/root/repo/target-base/debug/deps/liboppic_model-2c4cbee9f96e199e.rlib: crates/model/src/lib.rs crates/model/src/power.rs crates/model/src/roofline.rs crates/model/src/scaling.rs crates/model/src/system.rs
+
+/root/repo/target-base/debug/deps/liboppic_model-2c4cbee9f96e199e.rmeta: crates/model/src/lib.rs crates/model/src/power.rs crates/model/src/roofline.rs crates/model/src/scaling.rs crates/model/src/system.rs
+
+crates/model/src/lib.rs:
+crates/model/src/power.rs:
+crates/model/src/roofline.rs:
+crates/model/src/scaling.rs:
+crates/model/src/system.rs:

@@ -1,0 +1,13 @@
+/root/repo/target-base/debug/deps/oppic_mpi-1d1a8f18d2901c95.d: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/exchange.rs crates/mpi/src/fault.rs crates/mpi/src/halo.rs crates/mpi/src/partition.rs crates/mpi/src/solve.rs
+
+/root/repo/target-base/debug/deps/liboppic_mpi-1d1a8f18d2901c95.rlib: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/exchange.rs crates/mpi/src/fault.rs crates/mpi/src/halo.rs crates/mpi/src/partition.rs crates/mpi/src/solve.rs
+
+/root/repo/target-base/debug/deps/liboppic_mpi-1d1a8f18d2901c95.rmeta: crates/mpi/src/lib.rs crates/mpi/src/comm.rs crates/mpi/src/exchange.rs crates/mpi/src/fault.rs crates/mpi/src/halo.rs crates/mpi/src/partition.rs crates/mpi/src/solve.rs
+
+crates/mpi/src/lib.rs:
+crates/mpi/src/comm.rs:
+crates/mpi/src/exchange.rs:
+crates/mpi/src/fault.rs:
+crates/mpi/src/halo.rs:
+crates/mpi/src/partition.rs:
+crates/mpi/src/solve.rs:

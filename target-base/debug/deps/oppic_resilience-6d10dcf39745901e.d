@@ -1,0 +1,11 @@
+/root/repo/target-base/debug/deps/oppic_resilience-6d10dcf39745901e.d: crates/resilience/src/lib.rs crates/resilience/src/envelope.rs crates/resilience/src/migrate.rs crates/resilience/src/recovery.rs crates/resilience/src/retry.rs
+
+/root/repo/target-base/debug/deps/liboppic_resilience-6d10dcf39745901e.rlib: crates/resilience/src/lib.rs crates/resilience/src/envelope.rs crates/resilience/src/migrate.rs crates/resilience/src/recovery.rs crates/resilience/src/retry.rs
+
+/root/repo/target-base/debug/deps/liboppic_resilience-6d10dcf39745901e.rmeta: crates/resilience/src/lib.rs crates/resilience/src/envelope.rs crates/resilience/src/migrate.rs crates/resilience/src/recovery.rs crates/resilience/src/retry.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/envelope.rs:
+crates/resilience/src/migrate.rs:
+crates/resilience/src/recovery.rs:
+crates/resilience/src/retry.rs:

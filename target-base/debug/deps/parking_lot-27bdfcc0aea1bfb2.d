@@ -1,0 +1,7 @@
+/root/repo/target-base/debug/deps/parking_lot-27bdfcc0aea1bfb2.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target-base/debug/deps/libparking_lot-27bdfcc0aea1bfb2.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target-base/debug/deps/libparking_lot-27bdfcc0aea1bfb2.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target-base/debug/deps/rand_chacha-ddaeb4ec9d03732b.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target-base/debug/deps/librand_chacha-ddaeb4ec9d03732b.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target-base/debug/deps/librand_chacha-ddaeb4ec9d03732b.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

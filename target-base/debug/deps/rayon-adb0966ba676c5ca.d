@@ -1,0 +1,10 @@
+/root/repo/target-base/debug/deps/rayon-adb0966ba676c5ca.d: shims/rayon/src/lib.rs shims/rayon/src/iter.rs shims/rayon/src/pool.rs shims/rayon/src/slice.rs
+
+/root/repo/target-base/debug/deps/librayon-adb0966ba676c5ca.rlib: shims/rayon/src/lib.rs shims/rayon/src/iter.rs shims/rayon/src/pool.rs shims/rayon/src/slice.rs
+
+/root/repo/target-base/debug/deps/librayon-adb0966ba676c5ca.rmeta: shims/rayon/src/lib.rs shims/rayon/src/iter.rs shims/rayon/src/pool.rs shims/rayon/src/slice.rs
+
+shims/rayon/src/lib.rs:
+shims/rayon/src/iter.rs:
+shims/rayon/src/pool.rs:
+shims/rayon/src/slice.rs:
