@@ -30,6 +30,9 @@ echo "== --validate with the cell-locality engine (sorted segments / per-step so
 # audit must pass.
 ./target/release/fempic configs/fempic_sorted.cfg --validate >/dev/null
 ./target/release/cabana configs/cabana_sorted.cfg --validate >/dev/null
+# Same gate for the matrixized engine: the Matrix plan needs the same
+# freshness attestation, and the run checks Exact-mode bit-identity.
+./target/release/fempic configs/fempic_matrix.cfg --validate >/dev/null
 
 echo "== telemetry smoke (sink -> audit -> report)"
 # A validated run writes a JSONL event stream; the analyzer's offline
@@ -86,6 +89,9 @@ fi
 
 echo "== bench smoke"
 cargo bench --offline --workspace --no-run --quiet
+# The cell-locality sweep also asserts (before timing, at any scale)
+# that the exact-mode matrix deposit is bit-identical to Serial and
+# that every strategy agrees numerically — a matrix-deposit smoke.
 OPPIC_SCALE=0.02 OPPIC_STEPS=2 ./target/release/ablation_deposit_strategies >/dev/null
 
 # Allowed-to-warn sanitizer stage: `./ci.sh sanitize` additionally runs

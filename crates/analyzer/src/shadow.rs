@@ -88,7 +88,8 @@ pub enum Schedule<'a> {
         groups: &'a [u32],
     },
     /// Owner-computes gather — the shape of
-    /// [`oppic_core::deposit_loop_sorted`] (SortedSegments): the
+    /// [`oppic_core::deposit_loop_sorted`] (SortedSegments) and
+    /// [`oppic_core::deposit_loop_matrix`] (Matrix tiles): the
     /// parallel unit is a *target element* of the `owned` dat, and each
     /// owner serially folds every iteration that touches its element.
     /// Touches on the owned dat therefore never conflict (same element
@@ -437,6 +438,36 @@ mod tests {
             &RaceOptions::default(),
         );
         assert_eq!(races.len(), 2, "{races:?}");
+    }
+
+    #[test]
+    fn matrix_schedule_keeps_aliased_deposit_target_racy() {
+        // The matrixized deposit runs owner-computes over its target
+        // dat, exactly like SortedSegments. A kernel that also
+        // scatters into an *alias* of that target (a second dat
+        // viewing the same storage) gets no blessing from the
+        // schedule: the aliased writes must surface as exactly one
+        // race Error, not be silenced by the owner-computes argument.
+        let run = shadow_record(4, |i, ctx| {
+            ctx.inc("node_charge", i % 2);
+            ctx.write("node_charge_alias", 0);
+        });
+        let races = run.detect_races(
+            Schedule::OwnerComputes {
+                owned: "node_charge",
+            },
+            &RaceOptions::default(),
+        );
+        assert_eq!(races.len(), 1, "{races:?}");
+        assert_eq!(races[0].dat, "node_charge_alias");
+        let diags = ShadowRun::races_to_diagnostics("DepositCharge[MX]", &races);
+        let errors: Vec<_> = diags.iter().filter(|d| d.code == "race/conflict").collect();
+        assert_eq!(errors.len(), 1, "{diags:?}");
+        assert!(
+            errors[0].message.contains("node_charge_alias"),
+            "{:?}",
+            errors[0]
+        );
     }
 
     #[test]

@@ -41,25 +41,35 @@ pub fn check_plan(plan: &LoopPlan, reg: Option<&Registry>) -> Vec<Diagnostic> {
         ));
     }
 
-    // SortedSegments is only race-free when particles are grouped by
-    // cell: the plan must attest a fresh CSR cell index at dispatch
-    // time. Without it the plain `+=` per segment has no ownership
-    // argument and races exactly like a strategy-less deposit.
+    // SortedSegments and Matrix are only race-free when particles are
+    // grouped by cell: the plan must attest a fresh CSR cell index at
+    // dispatch time. Without it the plain `+=` per segment has no
+    // ownership argument and races exactly like a strategy-less
+    // deposit.
     if plan.parallel
-        && plan.race_strategy == RaceStrategy::Deposit(DepositMethod::SortedSegments)
+        && matches!(
+            plan.race_strategy,
+            RaceStrategy::Deposit(DepositMethod::SortedSegments | DepositMethod::Matrix)
+        )
         && plan.index_fresh != Some(true)
     {
+        let method = match plan.race_strategy {
+            RaceStrategy::Deposit(m) => m.label(),
+            _ => unreachable!("matched Deposit above"),
+        };
         out.push(Diagnostic::error(
             "plan/stale-index",
             name.clone(),
             match plan.index_fresh {
-                None => "SortedSegments under a parallel policy with no cell-index \
-                         freshness attestation (call with_index_freshness after \
-                         sort_by_cell)"
-                    .to_string(),
-                _ => "SortedSegments under a parallel policy on a stale CSR cell \
-                      index; re-sort (sort_by_cell) before the deposit"
-                    .to_string(),
+                None => format!(
+                    "{method} deposit under a parallel policy with no cell-index \
+                     freshness attestation (call with_index_freshness after \
+                     sort_by_cell)"
+                ),
+                _ => format!(
+                    "{method} deposit under a parallel policy on a stale CSR cell \
+                     index; re-sort (sort_by_cell) before the deposit"
+                ),
             },
         ));
     }
@@ -404,6 +414,75 @@ mod tests {
         assert!(
             !diags.iter().any(|d| d.code == "plan/stale-index"),
             "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn matrix_without_fresh_index_is_an_error() {
+        // The matrixized deposit inherits SortedSegments' ownership
+        // argument — and therefore its freshness precondition.
+        let strat = RaceStrategy::Deposit(DepositMethod::Matrix);
+        let plan = LoopPlan::new(deposit_decl(), &ExecPolicy::Par, strat);
+        let diags = check_plan(&plan, Some(&fem_registry()));
+        assert!(
+            diags.iter().any(|d| d.code == "plan/stale-index"
+                && d.severity == crate::diag::Severity::Error
+                && d.message.contains("MX")),
+            "{diags:?}"
+        );
+        // Explicitly stale.
+        let plan =
+            LoopPlan::new(deposit_decl(), &ExecPolicy::Par, strat).with_index_freshness(false);
+        let diags = check_plan(&plan, Some(&fem_registry()));
+        assert!(
+            diags.iter().any(|d| d.code == "plan/stale-index"),
+            "{diags:?}"
+        );
+        // Fresh index: clean.
+        let plan =
+            LoopPlan::new(deposit_decl(), &ExecPolicy::Par, strat).with_index_freshness(true);
+        let diags = check_plan(&plan, Some(&fem_registry()));
+        assert!(
+            !diags.iter().any(|d| d.code == "plan/stale-index"),
+            "{diags:?}"
+        );
+        // Sequential execution owns every target trivially.
+        let plan = LoopPlan::new(deposit_decl(), &ExecPolicy::Seq, strat);
+        let diags = check_plan(&plan, Some(&fem_registry()));
+        assert!(
+            !diags.iter().any(|d| d.code == "plan/stale-index"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn matrix_plan_with_aliased_target_still_reports_the_alias() {
+        // A hand-built plan that reaches the deposit target through a
+        // second route: the Matrix schedule (owner-computes, fresh
+        // index attested) must not silence the alias rule — exactly
+        // one plan/alias Error.
+        let decl = LoopDecl::new(
+            "DepositCharge",
+            "particles",
+            vec![
+                ArgDecl::direct("lc", 4, Access::Read),
+                ArgDecl::double_indirect("node_charge", 1, Access::Inc, "p2c.c2n"),
+                ArgDecl::indirect("node_charge", 1, Access::Read, "p2n"),
+            ],
+        );
+        let plan = LoopPlan::new(
+            decl,
+            &ExecPolicy::Par,
+            RaceStrategy::Deposit(DepositMethod::Matrix),
+        )
+        .with_index_freshness(true);
+        let diags = check_plan(&plan, None);
+        let aliases: Vec<_> = diags.iter().filter(|d| d.code == "plan/alias").collect();
+        assert_eq!(aliases.len(), 1, "{diags:?}");
+        assert_eq!(aliases[0].severity, crate::diag::Severity::Error);
+        assert!(
+            !diags.iter().any(|d| d.code == "plan/stale-index"),
+            "freshness was attested: {diags:?}"
         );
     }
 

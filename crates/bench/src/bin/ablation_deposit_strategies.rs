@@ -10,13 +10,16 @@
 //! 3. modeled GPU deposit times, reproducing "standard atomics (AT) on
 //!    AMD GPUs perform significantly worse, over 200× slower than UA
 //!    or SR";
-//! 4. sorted (SS over a fresh CSR cell index) vs unsorted (SA/AT)
-//!    deposit across particle-per-cell regimes, recorded to
-//!    `results/BENCH_ablation_deposit_sorted.json`.
+//! 4. sorted (SS segments and MX shape-matrix tiles over a fresh CSR
+//!    cell index) vs unsorted (SA/AT) deposit across particle-per-cell
+//!    regimes and thread counts {1, 4, 8}, recorded to
+//!    `results/BENCH_ablation_deposit_matrix.json` (supersedes the
+//!    older `BENCH_ablation_deposit_sorted.json` single-thread table).
 
 use oppic_bench::report::{banner, scale_factor, steps, telemetry_from_env};
 use oppic_core::{
-    deposit_loop, deposit_loop_sorted, invert_cell_targets, DepositMethod, ExecPolicy, ParticleDats,
+    deposit_loop, deposit_loop_matrix, deposit_loop_sorted, invert_cell_targets, DepositMethod,
+    ExecPolicy, MatAccumulate, ParticleDats,
 };
 use oppic_device::{analyze_warps, AtomicFlavor, DeviceSpec};
 use oppic_fempic::{FemPic, FemPicConfig};
@@ -169,15 +172,18 @@ fn lcg(state: &mut u64) -> u64 {
     *state >> 33
 }
 
-/// Sorted-segments over a fresh CSR cell index versus the unsorted
-/// scatter-array / atomic paths, across mean particles-per-cell
-/// regimes on a synthetic FEM-like mesh (every cell scatters into 4
-/// of `n_targets` node slots, as the tet-weighting deposit does).
+/// Sorted-segments and matrixized tiles over a fresh CSR cell index
+/// versus the unsorted scatter-array / atomic paths, across mean
+/// particles-per-cell regimes and thread counts on a synthetic
+/// FEM-like mesh (every cell scatters into 4 of `n_targets` node
+/// slots, as the tet-weighting deposit does). The matrix column runs
+/// the fast (lane-accumulated) mode; its exact mode is asserted
+/// bit-identical to the Serial fold before any timing is reported.
 fn cell_locality_sweep() {
     let sf = scale_factor(1.0);
     let n_cells = ((24_000.0 * sf) as usize).max(64);
     let n_targets = ((50_000.0 * sf) as usize).max(32);
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let thread_sweep = [1usize, 4, 8];
     let reps = 3usize;
 
     // Synthetic cells→nodes relation: 4 distinct pseudo-random targets
@@ -200,18 +206,31 @@ fn cell_locality_sweep() {
     let inv = invert_cell_targets(&c2n, n_targets);
 
     println!(
-        "\n--- cell-locality: sorted segments vs unsorted deposit ---\n\
-         {n_cells} cells -> {n_targets} targets, 4 adds/particle, {threads} threads, best of {reps} (ms)"
+        "\n--- cell-locality: sorted segments / matrix tiles vs unsorted deposit ---\n\
+         {n_cells} cells -> {n_targets} targets, 4 adds/particle, threads {thread_sweep:?}, \
+         best of {reps} (ms)"
     );
     println!(
-        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
-        "ppc", "particles", "SA(unsort)", "AT(unsort)", "SS(sorted)", "sort"
+        "{:>6} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "ppc",
+        "threads",
+        "particles",
+        "SA(unsort)",
+        "AT(unsort)",
+        "SS(sorted)",
+        "MX(sorted)",
+        "sort"
     );
 
-    let mut json_rows = Vec::new();
+    // (threads, ppc, n, sa, at, ss, mx, sort) — assembled into
+    // per-thread-count JSON sweeps at the end.
+    type Row = (usize, usize, usize, f64, f64, f64, f64, f64);
+    let mut rows: Vec<Row> = Vec::new();
     for ppc in [8usize, 64, 256] {
         let n = n_cells * ppc;
-        // Random (unsorted) cell assignment + per-particle weights.
+        // Random (unsorted) cell assignment + per-particle weights —
+        // one store per regime, shared by every thread count so the
+        // sweeps are directly comparable.
         let cells: Vec<i32> = (0..n)
             .map(|_| ((lcg(&mut seed) as usize) % n_cells) as i32)
             .collect();
@@ -233,55 +252,132 @@ fn cell_locality_sweep() {
             (best, total)
         };
 
-        // Unsorted paths: the store as injected.
+        // Unsorted inputs: the store as injected. Snapshotted before
+        // the sort below so every thread count times the same bytes.
         let pcells = ps.cells().to_vec();
         let w = ps.col(wid).to_vec();
-        let unsorted = |method: DepositMethod| {
-            time_best(&mut || {
-                let mut buf = vec![0.0f64; n_targets];
-                deposit_loop(&ExecPolicy::Par, method, n, &mut buf, |i, dep| {
-                    let c = pcells[i] as usize;
-                    for (k, &t) in c2n[c].iter().enumerate() {
-                        dep.add(t, w[i * 4 + k]);
-                    }
-                });
-                buf.iter().sum()
-            })
-        };
-        let (sa_ms, sa_total) = unsorted(DepositMethod::ScatterArrays);
-        let (at_ms, at_total) = unsorted(DepositMethod::Atomics);
 
-        // Sorted path: rebuild the CSR index, then sorted segments.
+        // Sorted inputs: rebuild the CSR index once per regime (the
+        // rebuild cost is policy-independent) and keep the sorted
+        // order for the segment/tile paths.
         let t0 = Instant::now();
         ps.sort_by_cell(n_cells);
         let sort_ms = t0.elapsed().as_secs_f64() * 1e3;
         let cell_start = ps.cell_index().expect("fresh after sort").to_vec();
+        let scells = ps.cells().to_vec();
         let ws = ps.col(wid);
-        let (ss_ms, ss_total) = time_best(&mut || {
-            let mut buf = vec![0.0f64; n_targets];
-            deposit_loop_sorted(&ExecPolicy::Par, &cell_start, &inv, &mut buf, |p, s| {
-                ws[p * 4 + s]
-            });
-            buf.iter().sum()
-        });
 
-        assert!(
-            (sa_total - ss_total).abs() < 1e-6 * sa_total.abs().max(1.0)
-                && (at_total - ss_total).abs() < 1e-6 * at_total.abs().max(1.0),
-            "strategies must agree numerically"
-        );
-        println!("{ppc:>6} {n:>10} {sa_ms:>12.3} {at_ms:>12.3} {ss_ms:>12.3} {sort_ms:>10.3}");
-        json_rows.push(format!(
-            "    {{\"ppc\": {ppc}, \"n_particles\": {n}, \"ms\": {{\"scatter_arrays\": {sa_ms:.4}, \
-             \"atomics\": {at_ms:.4}, \"sorted_segments\": {ss_ms:.4}, \"sort\": {sort_ms:.4}}}}}"
-        ));
+        // Conformance guard before any timing: the exact-accumulation
+        // tile fold must replay the Serial deposit bit for bit on the
+        // sorted store.
+        {
+            let mut serial = vec![0.0f64; n_targets];
+            deposit_loop(
+                &ExecPolicy::Seq,
+                DepositMethod::Serial,
+                n,
+                &mut serial,
+                |i, dep| {
+                    let c = scells[i] as usize;
+                    for (k, &t) in c2n[c].iter().enumerate() {
+                        dep.add(t, ws[i * 4 + k]);
+                    }
+                },
+            );
+            let mut exact = vec![0.0f64; n_targets];
+            deposit_loop_matrix(
+                &ExecPolicy::Par,
+                &cell_start,
+                &inv,
+                &mut exact,
+                MatAccumulate::Exact,
+                |p, s| ws[p * 4 + s],
+            );
+            assert!(
+                serial
+                    .iter()
+                    .zip(&exact)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "ppc {ppc}: exact matrix deposit must be bit-identical to Serial"
+            );
+        }
+
+        for &threads in &thread_sweep {
+            let policy = ExecPolicy::pool(threads);
+            let unsorted = |method: DepositMethod| {
+                time_best(&mut || {
+                    let mut buf = vec![0.0f64; n_targets];
+                    deposit_loop(&policy, method, n, &mut buf, |i, dep| {
+                        let c = pcells[i] as usize;
+                        for (k, &t) in c2n[c].iter().enumerate() {
+                            dep.add(t, w[i * 4 + k]);
+                        }
+                    });
+                    buf.iter().sum()
+                })
+            };
+            let (sa_ms, sa_total) = unsorted(DepositMethod::ScatterArrays);
+            let (at_ms, at_total) = unsorted(DepositMethod::Atomics);
+
+            let (ss_ms, ss_total) = time_best(&mut || {
+                let mut buf = vec![0.0f64; n_targets];
+                deposit_loop_sorted(&policy, &cell_start, &inv, &mut buf, |p, s| ws[p * 4 + s]);
+                buf.iter().sum()
+            });
+            let (mx_ms, mx_total) = time_best(&mut || {
+                let mut buf = vec![0.0f64; n_targets];
+                deposit_loop_matrix(
+                    &policy,
+                    &cell_start,
+                    &inv,
+                    &mut buf,
+                    MatAccumulate::Fast,
+                    |p, s| ws[p * 4 + s],
+                );
+                buf.iter().sum()
+            });
+
+            for (label, total) in [("AT", at_total), ("SS", ss_total), ("MX", mx_total)] {
+                assert!(
+                    (sa_total - total).abs() < 1e-6 * sa_total.abs().max(1.0),
+                    "{label} must agree numerically with SA at ppc {ppc}"
+                );
+            }
+            println!(
+                "{ppc:>6} {threads:>8} {n:>10} {sa_ms:>12.3} {at_ms:>12.3} {ss_ms:>12.3} \
+                 {mx_ms:>12.3} {sort_ms:>10.3}"
+            );
+            rows.push((threads, ppc, n, sa_ms, at_ms, ss_ms, mx_ms, sort_ms));
+        }
     }
 
+    let sweeps: Vec<String> = thread_sweep
+        .iter()
+        .map(|&t| {
+            let regimes: Vec<String> = rows
+                .iter()
+                .filter(|r| r.0 == t)
+                .map(|&(_, ppc, n, sa, at, ss, mx, sort)| {
+                    format!(
+                        "        {{\"ppc\": {ppc}, \"n_particles\": {n}, \"ms\": \
+                         {{\"scatter_arrays\": {sa:.4}, \"atomics\": {at:.4}, \
+                         \"sorted_segments\": {ss:.4}, \"matrix\": {mx:.4}, \
+                         \"sort\": {sort:.4}}}}}"
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"threads\": {t}, \"regimes\": [\n{}\n    ]}}",
+                regimes.join(",\n")
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"ablation_deposit_strategies/cell_locality\",\n  \
-         \"n_cells\": {n_cells},\n  \"n_targets\": {n_targets},\n  \"threads\": {threads},\n  \
-         \"adds_per_particle\": 4,\n  \"best_of\": {reps},\n  \"regimes\": [\n{}\n  ]\n}}\n",
-        json_rows.join(",\n")
+        "{{\n  \"bench\": \"ablation_deposit_strategies/cell_locality_matrix\",\n  \
+         \"n_cells\": {n_cells},\n  \"n_targets\": {n_targets},\n  \
+         \"threads\": [1, 4, 8],\n  \"adds_per_particle\": 4,\n  \"best_of\": {reps},\n  \
+         \"sweeps\": [\n{}\n  ]\n}}\n",
+        sweeps.join(",\n")
     );
     if sf < 1.0 {
         println!("\nOPPIC_SCALE={sf} < 1: smoke run, not recording results/");
@@ -289,7 +385,7 @@ fn cell_locality_sweep() {
     }
     let path = std::path::Path::new("results");
     if std::fs::create_dir_all(path).is_ok() {
-        let file = path.join("BENCH_ablation_deposit_sorted.json");
+        let file = path.join("BENCH_ablation_deposit_matrix.json");
         match std::fs::write(&file, &json) {
             Ok(()) => println!("\nrecorded {}", file.display()),
             Err(e) => eprintln!("could not record {}: {e}", file.display()),

@@ -3,10 +3,11 @@
 //! mesh from `nx ny nz` at runtime; so does this).
 //!
 //! Config keys: `nx ny nz ppc v0 perturbation modes dt charge mass
-//! steps parallel structured sort_every sort_dirty report_every seed`
-//! (`sort_every` / `sort_dirty` drive the cell-locality engine's CSR
-//! index rebuild cadence; a fresh index makes `Move_Deposit` gather
-//! segment-batched).
+//! steps parallel structured sort_every sort_dirty matrix_gather
+//! report_every seed` (`sort_every` / `sort_dirty` drive the
+//! cell-locality engine's CSR index rebuild cadence; a fresh index
+//! makes `Move_Deposit` gather segment-batched, and `matrix_gather`
+//! upgrades that path to shape-matrix tiles).
 
 use oppic_cabana::{CabanaConfig, CabanaPic, StructuredCabana};
 use oppic_core::telemetry::fnv1a;
@@ -28,6 +29,7 @@ const KNOWN: &[&str] = &[
     "structured",
     "sort_every",
     "sort_dirty",
+    "matrix_gather",
     "report_every",
     "seed",
 ];
@@ -70,6 +72,7 @@ fn config_from(params: &Params) -> Result<(CabanaConfig, usize, usize, bool), St
                 SortPolicy::Never
             }
         },
+        matrix_gather: params.get_bool("matrix_gather", false)?,
     };
     if cfg.ppc < 2 || !cfg.ppc.is_multiple_of(2) {
         return Err("ppc must be an even number >= 2 (two beams)".into());

@@ -232,6 +232,63 @@ pub fn gather_trilinear_stencil(
     out
 }
 
+/// One row of a per-tile trilinear *shape matrix*: the 8 corner
+/// weights and their 3×3×3-stencil indices for a particle, factored
+/// out of [`gather_trilinear_stencil`]. The weight products are
+/// computed in exactly the stencil gather's order, so applying the row
+/// with [`gather_shape_row`] is bit-identical to calling the gather —
+/// but the row is computed *once* per particle and reused across every
+/// field gathered against it (E and B in the fused mover), instead of
+/// being recomputed per field.
+#[inline]
+pub fn trilinear_shape_row(geom: &GridGeom, pos: [f64; 3], cell: usize) -> ([f64; 8], [usize; 8]) {
+    let ijk = geom.cell_ijk(cell);
+    let lo = geom.cell_lo(ijk);
+    let d = geom.deltas();
+    let mut w = [0.0f64; 3];
+    let mut dir = [1i32; 3];
+    for a in 0..3 {
+        let frac = (pos[a] - lo[a]) / d[a] - 0.5;
+        dir[a] = if frac >= 0.0 { 1 } else { -1 };
+        w[a] = frac.abs().min(1.0);
+    }
+    const STRIDE: [i32; 3] = [1, 3, 9];
+    let mut weights = [0.0f64; 8];
+    let mut idx = [0usize; 8];
+    for (corner, (weight_out, idx_out)) in weights.iter_mut().zip(idx.iter_mut()).enumerate() {
+        let mut i = 13i32; // the centre of the stencil
+        let mut weight = 1.0;
+        for a in 0..3 {
+            if corner >> a & 1 == 1 {
+                i += dir[a] * STRIDE[a];
+                weight *= w[a];
+            } else {
+                weight *= 1.0 - w[a];
+            }
+        }
+        *weight_out = weight;
+        *idx_out = i as usize;
+    }
+    (weights, idx)
+}
+
+/// Apply one shape row (see [`trilinear_shape_row`]) against a
+/// pre-gathered 3×3×3 field stencil: `out = Σ_corner w·field[idx]` in
+/// corner-ascending order — the same loads and adds as
+/// [`gather_trilinear_stencil`], so the result is bit-identical.
+#[inline]
+pub fn gather_shape_row(weights: &[f64; 8], idx: &[usize; 8], field: &[[f64; 3]; 27]) -> [f64; 3] {
+    let mut out = [0.0f64; 3];
+    for corner in 0..8usize {
+        let f = &field[idx[corner]];
+        let weight = weights[corner];
+        out[0] += weight * f[0];
+        out[1] += weight * f[1];
+        out[2] += weight * f[2];
+    }
+    out
+}
+
 /// Path-splitting move + per-cell residence fractions — the core of
 /// `Move_Deposit` (Section 2, step 4: "in electromagnetic simulations,
 /// the fields are generally assessed on each cell along the particle's
@@ -691,6 +748,33 @@ mod tests {
                 let p = [lo[0] + fx * g.dx, lo[1] + fy * g.dy, lo[2] + fz * g.dz];
                 let a = gather_trilinear(&g, p, cell, nb, get);
                 let b = gather_trilinear_stencil(&g, p, cell, &field);
+                assert_eq!(a, b, "cell {cell} pos {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_row_gather_is_bit_identical_to_stencil_gather() {
+        let g = geom();
+        let nb = arith_neighbor(&g);
+        let get = |c: usize| [c as f64 * 0.5, -(c as f64), (c * 7 % 11) as f64];
+        for cell in [0, 7, g.n_cells() - 1] {
+            let ids = stencil27(cell, &nb);
+            let mut field = [[0.0f64; 3]; 27];
+            for (k, &id) in ids.iter().enumerate() {
+                field[k] = get(id);
+            }
+            let ijk = g.cell_ijk(cell);
+            let lo = g.cell_lo(ijk);
+            for (fx, fy, fz) in [(0.5, 0.5, 0.5), (0.07, 0.93, 0.41), (0.99, 0.01, 0.66)] {
+                let p = [lo[0] + fx * g.dx, lo[1] + fy * g.dy, lo[2] + fz * g.dz];
+                let (w, idx) = trilinear_shape_row(&g, p, cell);
+                assert!(
+                    (w.iter().sum::<f64>() - 1.0).abs() < 1e-12,
+                    "partition of unity"
+                );
+                let a = gather_trilinear_stencil(&g, p, cell, &field);
+                let b = gather_shape_row(&w, &idx, &field);
                 assert_eq!(a, b, "cell {cell} pos {p:?}");
             }
         }

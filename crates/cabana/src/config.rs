@@ -43,6 +43,14 @@ pub struct CabanaConfig {
     /// is gathered once per cell segment instead of 16 loads per
     /// particle.
     pub sort_policy: SortPolicy,
+    /// Tile-batched *shape-matrix* gather on the segment-batched
+    /// mover path: particles of a cell segment are processed in tiles
+    /// of [`oppic_core::MAT_TILE_WIDTH`], the trilinear shape rows
+    /// (8 corner weights + stencil indices) are built once per tile
+    /// and reused for both the E and B gathers — halving the weight
+    /// arithmetic while staying bit-identical to the per-particle
+    /// stencil gather. No effect without a fresh CSR cell index.
+    pub matrix_gather: bool,
 }
 
 impl Default for CabanaConfig {
@@ -65,6 +73,7 @@ impl Default for CabanaConfig {
             seed: 0xCAB4A,
             record_visits: false,
             sort_policy: SortPolicy::Never,
+            matrix_gather: false,
         }
     }
 }

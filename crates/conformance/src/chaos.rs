@@ -34,6 +34,7 @@ use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 pub const CHAOS_SCHEMA: &str = "oppic-chaos-repro-v1";
 
@@ -177,6 +178,7 @@ fn run_reliable_fempic(
     sched: Option<Arc<FaultSchedule>>,
 ) -> Vec<Result<RankOut, String>> {
     let n_ranks = cell.ranks;
+    let fault_free = sched.is_none();
     world_run_faulty(n_ranks, sched, |ctx: &mut RankCtx| {
         let hub = Arc::new(Telemetry::new());
         let _guard = hub.make_current();
@@ -195,6 +197,16 @@ fn run_reliable_fempic(
         let cell_rank = directional_partition(&centroids, 1, n_ranks);
         let mut link = ReliableLink::new(RetryPolicy {
             max_retries: cell.max_retries,
+            // The short retransmit timer exists to recover *injected*
+            // faults. With no schedule armed (reference runs and the
+            // disarmed control) an expiry can only be scheduler noise
+            // on a loaded test box, so give clean traffic a timer that
+            // cannot plausibly fire.
+            base_timeout: if fault_free {
+                Duration::from_millis(500)
+            } else {
+                RetryPolicy::default().base_timeout
+            },
             ..RetryPolicy::default()
         });
 
@@ -711,7 +723,6 @@ pub fn write_chaos_reproducer(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     /// The disarmed control: the reliable protocol itself must be
     /// bit-transparent against the fault-free reference.

@@ -186,6 +186,7 @@ pub fn quick_matrix() -> Vec<CellConfig> {
         DepositMethod::ScatterArrays,
         DepositMethod::Atomics,
         DepositMethod::SortedSegments,
+        DepositMethod::Matrix,
     ] {
         for mover in [Mover::MultiHop, Mover::DirectHop] {
             cells.push(CellConfig {
@@ -201,6 +202,7 @@ pub fn quick_matrix() -> Vec<CellConfig> {
         DepositMethod::ScatterArrays,
         DepositMethod::Atomics,
         DepositMethod::SortedSegments,
+        DepositMethod::Matrix,
     ] {
         cells.push(CellConfig {
             exec: Exec::Pool2,
@@ -264,6 +266,7 @@ pub fn full_matrix() -> Vec<CellConfig> {
             DepositMethod::ScatterArrays,
             DepositMethod::Atomics,
             DepositMethod::SortedSegments,
+            DepositMethod::Matrix,
         ] {
             for mover in [Mover::MultiHop, Mover::DirectHop] {
                 cells.push(CellConfig {
@@ -273,6 +276,19 @@ pub fn full_matrix() -> Vec<CellConfig> {
                     ..fem.clone()
                 });
             }
+        }
+    }
+    // The CSR-index-bound deposits × the sort-policy axis: the cell
+    // engine's own pre-deposit sort (sort_always=false above) against
+    // an every-step external rebuild.
+    for exec in [Exec::Seq, Exec::Pool2, Exec::Pool4] {
+        for deposit in [DepositMethod::SortedSegments, DepositMethod::Matrix] {
+            cells.push(CellConfig {
+                exec,
+                deposit,
+                sort_always: true,
+                ..fem.clone()
+            });
         }
     }
     // Device model (policy is the warp engine's own, movers differ).
@@ -328,6 +344,10 @@ mod tests {
         assert!(cells
             .iter()
             .any(|c| c.deposit == DepositMethod::SortedSegments));
+        assert!(
+            cells.iter().any(|c| c.deposit == DepositMethod::Matrix),
+            "the matrixized deposit must be exercised by the quick matrix"
+        );
         // Cell ids are unique (they key telemetry counters and files).
         let mut ids: Vec<String> = cells.iter().map(CellConfig::id).collect();
         ids.sort();
@@ -345,6 +365,12 @@ mod tests {
         assert!(cells
             .iter()
             .any(|c| c.exec == Exec::Pool4 && c.mover == Mover::DirectHop));
+        assert!(
+            cells
+                .iter()
+                .any(|c| c.deposit == DepositMethod::Matrix && c.sort_always),
+            "the full matrix crosses the matrixized deposit with the sort axis"
+        );
     }
 
     #[test]

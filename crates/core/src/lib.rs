@@ -53,9 +53,10 @@ pub use checkpoint::{crc64, BinReader, BinWriter, Crc64};
 pub use dat::Dat;
 pub use decl::Registry;
 pub use deposit::{
-    coloring_is_valid, deposit_loop, deposit_loop_colored, deposit_loop_sorted, greedy_color_cells,
-    invert_cell_targets, AutoTuner, DepositMethod, Depositor, TargetInverse, TunerDecision,
-    TunerInput,
+    coloring_is_valid, deposit_loop, deposit_loop_colored, deposit_loop_matrix,
+    deposit_loop_sorted, gather_loop_matrix, greedy_color_cells, invert_cell_targets, AutoTuner,
+    DepositMethod, Depositor, MatAccumulate, MatTile, TargetInverse, TunerDecision, TunerInput,
+    MAT_TILE_WIDTH,
 };
 pub use move_engine::{move_loop, move_loop_direct_hop, MoveConfig, MoveResult, MoveStatus};
 pub use params::Params;

@@ -57,9 +57,9 @@ pub struct LoopPlan {
     pub race_strategy: RaceStrategy,
     /// Whether the particle store's CSR cell index is fresh at the
     /// point the loop runs (`None` = the app did not attest either
-    /// way). `Deposit(SortedSegments)` *requires* `Some(true)`: on a
-    /// stale index its segment ownership argument collapses and the
-    /// plain `+=` races.
+    /// way). `Deposit(SortedSegments)` and `Deposit(Matrix)` *require*
+    /// `Some(true)`: on a stale index their segment ownership argument
+    /// collapses and the plain `+=` races.
     pub index_fresh: Option<bool>,
 }
 
@@ -106,11 +106,17 @@ impl LoopPlan {
             ));
         }
         if self.parallel
-            && self.race_strategy == RaceStrategy::Deposit(DepositMethod::SortedSegments)
+            && matches!(
+                self.race_strategy,
+                RaceStrategy::Deposit(DepositMethod::SortedSegments | DepositMethod::Matrix)
+            )
             && self.index_fresh != Some(true)
         {
+            let RaceStrategy::Deposit(m) = self.race_strategy else {
+                unreachable!("matched Deposit above")
+            };
             return Err(format!(
-                "loop '{}': SortedSegments requires a fresh CSR cell index \
+                "loop '{}': {m:?} requires a fresh CSR cell index \
                  (sort_by_cell with no mutation since); attest it with \
                  with_index_freshness(true)",
                 self.decl.name
@@ -236,6 +242,24 @@ mod tests {
             LoopPlan::new(deposit_decl(), &ExecPolicy::Par, strat).with_index_freshness(true);
         assert!(plan.quick_check().is_ok());
         // Sequential runs are the serial fold anyway.
+        let plan = LoopPlan::new(deposit_decl(), &ExecPolicy::Seq, strat);
+        assert!(plan.quick_check().is_ok());
+    }
+
+    #[test]
+    fn matrix_needs_fresh_index_attestation() {
+        // The matrixized deposit shares SortedSegments' ownership
+        // argument, so it carries the same freshness precondition.
+        let strat = RaceStrategy::Deposit(DepositMethod::Matrix);
+        let plan = LoopPlan::new(deposit_decl(), &ExecPolicy::Par, strat);
+        let err = plan.quick_check().unwrap_err();
+        assert!(err.contains("Matrix") && err.contains("fresh"), "{err}");
+        let plan =
+            LoopPlan::new(deposit_decl(), &ExecPolicy::Par, strat).with_index_freshness(false);
+        assert!(plan.quick_check().is_err());
+        let plan =
+            LoopPlan::new(deposit_decl(), &ExecPolicy::Par, strat).with_index_freshness(true);
+        assert!(plan.quick_check().is_ok());
         let plan = LoopPlan::new(deposit_decl(), &ExecPolicy::Seq, strat);
         assert!(plan.quick_check().is_ok());
     }

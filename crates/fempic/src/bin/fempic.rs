@@ -7,7 +7,8 @@
 //! inject_per_step seed`), backend (`parallel deposit move coloring
 //! integrator overlay_res`), cell-locality engine (`sort_every
 //! sort_dirty` — gather-side CSR index rebuild cadence; `deposit =
-//! ss` for sorted segments, `deposit = auto` for the auto-tuner).
+//! ss` for sorted segments, `deposit = mx` for matrixized tiles,
+//! `deposit = auto` for the auto-tuner).
 
 use oppic_core::telemetry::fnv1a;
 use oppic_core::{DepositMethod, ExecPolicy, Params, RunInfo, SortPolicy};
@@ -75,7 +76,12 @@ fn config_from(params: &Params) -> Result<(FemPicConfig, usize, usize), String> 
             "ua" => DepositMethod::UnsafeAtomics,
             "sr" => DepositMethod::SegmentedReduction,
             "ss" | "auto" => DepositMethod::SortedSegments,
-            other => return Err(format!("deposit = {other:?}: use seq/sa/at/ua/sr/ss/auto")),
+            "mx" | "matrix" => DepositMethod::Matrix,
+            other => {
+                return Err(format!(
+                    "deposit = {other:?}: use seq/sa/at/ua/sr/ss/mx/auto"
+                ))
+            }
         },
         auto_tune: params.get_str("deposit", "sa") == "auto",
         sort_policy: {

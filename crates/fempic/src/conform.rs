@@ -46,6 +46,24 @@ impl FemPic {
         self.active_deposit = saved;
         ok
     }
+
+    /// Same promise for the matrixized deposit: in its exact
+    /// accumulation mode the tile fold replays the Serial order lane
+    /// by lane, so on a freshly sorted store the charge must match the
+    /// Serial deposit bit for bit. Leaves `node_charge` holding the
+    /// (identical) Matrix result.
+    pub fn matrix_bit_identical(&mut self) -> bool {
+        self.ps.sort_by_cell(self.mesh.n_cells());
+        let saved = self.active_deposit;
+        self.active_deposit = DepositMethod::Serial;
+        self.deposit_charge();
+        let base = self.node_charge.raw().to_vec();
+        self.active_deposit = DepositMethod::Matrix;
+        self.deposit_charge();
+        let ok = self.node_charge.raw() == &base[..];
+        self.active_deposit = saved;
+        ok
+    }
 }
 
 impl Simulation for FemPic {

@@ -12,9 +12,9 @@ use oppic_core::move_engine::{move_loop, move_loop_direct_hop, MoveConfig, MoveR
 use oppic_core::parloop::{par_loop_segments2, par_loop_slices1, par_loop_slices2};
 use oppic_core::profile::{KernelClass, Profiler};
 use oppic_core::{
-    deposit_loop, deposit_loop_colored, deposit_loop_sorted, greedy_color_cells,
-    invert_cell_targets, AutoTuner, ColId, Dat, DepositMethod, Depositor, MoveStatus, ParticleDats,
-    TargetInverse, TunerInput,
+    deposit_loop, deposit_loop_colored, deposit_loop_matrix, deposit_loop_sorted,
+    greedy_color_cells, invert_cell_targets, AutoTuner, ColId, Dat, DepositMethod, Depositor,
+    MatAccumulate, MoveStatus, ParticleDats, TargetInverse, TunerInput,
 };
 use oppic_mesh::geometry::{bary_inside, bary_min_index, barycentric, sample_triangle};
 use oppic_mesh::{StructuredOverlay, TetMesh, Vec3};
@@ -392,7 +392,10 @@ impl FemPic {
         }
         let need_sort = self.cfg.coloring
             || sort_first
-            || (method == DepositMethod::SortedSegments && !self.ps.index_is_fresh());
+            || (matches!(
+                method,
+                DepositMethod::SortedSegments | DepositMethod::Matrix
+            ) && !self.ps.index_is_fresh());
         if need_sort {
             let tel = self.profiler.telemetry().clone();
             let _s = tel.span("SortParticles");
@@ -481,6 +484,29 @@ impl FemPic {
                     cell_start,
                     inv,
                     self.node_charge.raw_mut(),
+                    |p, k| q * lc[p * 4 + k],
+                );
+            }
+            None if self.active_deposit == DepositMethod::Matrix => {
+                // Matrixized owner-computes over the same fresh CSR
+                // index: per-cell runs packed into shape tiles. Exact
+                // accumulation keeps the charge bit-identical to the
+                // Serial method (the conformance matrix's oracle); the
+                // lane-parallel Fast mode is the ablation bench's
+                // subject, not the physics path.
+                let cell_start = self
+                    .ps
+                    .cell_index()
+                    .expect("Matrix requires a fresh CSR cell index (sort_by_cell)");
+                let inv = self
+                    .target_inverse
+                    .get_or_insert_with(|| invert_cell_targets(c2n, mesh.n_nodes()));
+                deposit_loop_matrix(
+                    &self.cfg.policy,
+                    cell_start,
+                    inv,
+                    self.node_charge.raw_mut(),
+                    MatAccumulate::Exact,
                     |p, k| q * lc[p * 4 + k],
                 );
             }
@@ -939,6 +965,59 @@ mod extension_tests {
 
         let mut a = FemPic::new(serial_cfg);
         let mut b = FemPic::new(ss_cfg);
+        for _ in 0..6 {
+            let da = a.step();
+            let db = b.step();
+            assert_eq!(da.n_particles, db.n_particles);
+            assert_eq!(da.removed, db.removed);
+            assert!((da.total_charge - db.total_charge).abs() < 1e-9);
+        }
+        for (x, y) in a.node_charge.raw().iter().zip(b.node_charge.raw()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+        // The precondition sort is actually recorded.
+        assert!(b.profiler.get("SortParticles").is_some());
+        assert!(a.profiler.get("SortParticles").is_none());
+    }
+
+    #[test]
+    fn matrix_deposit_is_bit_identical_to_serial() {
+        // The matrixized deposit runs in exact accumulation mode in
+        // the engine: on the same freshly sorted store it must replay
+        // the Serial fold order exactly — strict f64 equality.
+        let mut cfg = FemPicConfig::tiny();
+        cfg.inject_per_step = 150;
+        let mut sim = FemPic::new(cfg);
+        sim.run(5);
+        sim.ps.sort_by_cell(sim.mesh.n_cells());
+        assert!(sim.ps.index_is_fresh());
+
+        sim.active_deposit = DepositMethod::Serial;
+        sim.deposit_charge();
+        let base = sim.node_charge.raw().to_vec();
+
+        sim.active_deposit = DepositMethod::Matrix;
+        for policy in [ExecPolicy::Seq, ExecPolicy::Par] {
+            let label = format!("{policy:?}");
+            sim.cfg.policy = policy;
+            sim.deposit_charge();
+            assert_eq!(sim.node_charge.raw(), &base[..], "{label}");
+        }
+    }
+
+    #[test]
+    fn matrix_runs_the_full_pipeline() {
+        // End-to-end: the engine sorts before every matrix deposit
+        // (the move stales the index each step) and the physics
+        // matches the serial baseline to summation-order tolerance.
+        let mut serial_cfg = FemPicConfig::tiny();
+        serial_cfg.inject_per_step = 120;
+        let mut mx_cfg = serial_cfg.clone();
+        mx_cfg.deposit = DepositMethod::Matrix;
+        mx_cfg.policy = ExecPolicy::Par;
+
+        let mut a = FemPic::new(serial_cfg);
+        let mut b = FemPic::new(mx_cfg);
         for _ in 0..6 {
             let da = a.step();
             let db = b.step();

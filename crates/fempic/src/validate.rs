@@ -99,10 +99,13 @@ impl FemPic {
             policy,
             deposit_strategy,
         );
-        if deposit_strategy == RaceStrategy::Deposit(DepositMethod::SortedSegments) {
-            // The sorted-segments deposit must attest the CSR index
-            // freshness it dispatches with; the engine sorts right
-            // before the deposit, so this holds after any step.
+        if matches!(
+            deposit_strategy,
+            RaceStrategy::Deposit(DepositMethod::SortedSegments | DepositMethod::Matrix)
+        ) {
+            // The sorted-segments and matrix deposits must attest the
+            // CSR index freshness they dispatch with; the engine sorts
+            // right before the deposit, so this holds after any step.
             deposit_plan = deposit_plan.with_index_freshness(self.ps.index_is_fresh());
         }
         plans.register(deposit_plan);
@@ -206,10 +209,14 @@ impl FemPic {
             }
             (None, true) => {
                 let method = self.active_deposit;
-                if method == DepositMethod::SortedSegments {
-                    // Owner-computes: each node folds its own
-                    // contributions serially — the increments need no
-                    // synchronisation at all on the owned dat.
+                if matches!(
+                    method,
+                    DepositMethod::SortedSegments | DepositMethod::Matrix
+                ) {
+                    // Owner-computes (scalar fold or matrix tiles):
+                    // each node folds its own contributions serially —
+                    // the increments need no synchronisation at all on
+                    // the owned dat.
                     run.detect_races(
                         Schedule::OwnerComputes { owned: charge_dat },
                         &RaceOptions::default(),
@@ -300,6 +307,7 @@ mod tests {
             (false, DepositMethod::ScatterArrays, true),
             (false, DepositMethod::Atomics, true),
             (false, DepositMethod::SortedSegments, true),
+            (false, DepositMethod::Matrix, true),
             (true, DepositMethod::Serial, true),
             (false, DepositMethod::Serial, false),
         ] {
@@ -357,6 +365,25 @@ mod tests {
         let mut sim = FemPic::new(cfg);
         sim.run(2);
         assert!(sim.ps.index_is_fresh(), "the engine sorts before SS");
+        assert!(!sim.validate_all().has_errors());
+
+        sim.ps.inject(10, 0); // stale the index
+        let report = check_plans(&sim.loop_plans(), Some(&sim.decl_registry()));
+        assert!(report.has_errors(), "{report}");
+        assert_eq!(report.with_code("plan/stale-index").len(), 1, "{report}");
+    }
+
+    #[test]
+    fn matrix_plan_without_fresh_index_is_caught() {
+        // Same contract as SortedSegments: the tile kernels walk the
+        // CSR cell index, so a post-sort mutation must trip the static
+        // freshness rule.
+        let mut cfg = FemPicConfig::tiny();
+        cfg.deposit = DepositMethod::Matrix;
+        cfg.policy = ExecPolicy::Par;
+        let mut sim = FemPic::new(cfg);
+        sim.run(2);
+        assert!(sim.ps.index_is_fresh(), "the engine sorts before MX");
         assert!(!sim.validate_all().has_errors());
 
         sim.ps.inject(10, 0); // stale the index
