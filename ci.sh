@@ -94,6 +94,48 @@ cargo bench --offline --workspace --no-run --quiet
 # that every strategy agrees numerically — a matrix-deposit smoke.
 OPPIC_SCALE=0.02 OPPIC_STEPS=2 ./target/release/ablation_deposit_strategies >/dev/null
 
+# Observability smoke stage: `./ci.sh obs` runs the live plane
+# end-to-end (DESIGN.md §6). The fault-free control must exit 0 with
+# zero watchdog alerts and an audit-clean /metrics snapshot; the
+# injected-stall control must exit 3 with exactly one alert and a
+# decodable flight-recorder dump; the overhead gate must hold the
+# plane within 3% of telemetry-only median step time. (The live HTTP
+# exporter itself is scraped by bench_obs_overhead and the obs crate
+# tests; here the snapshot file carries the same exposition text.)
+if [ "${1:-}" = "obs" ]; then
+    echo "== obs: fault-free control (exit 0, zero alerts, audit-clean /metrics)"
+    rm -f /tmp/oppic_ci_obs.prom /tmp/oppic_ci_obs.opfr
+    ./target/release/fempic configs/fempic_obs.cfg \
+        --flight-recorder /tmp/oppic_ci_obs.opfr \
+        --metrics-dump /tmp/oppic_ci_obs.prom --watchdog >/dev/null
+    ./target/release/oppic-analyzer --audit-metrics /tmp/oppic_ci_obs.prom
+    if [ -e /tmp/oppic_ci_obs.opfr ]; then
+        echo "obs: fault-free run dumped the flight recorder (unexpected alert)" >&2
+        exit 1
+    fi
+
+    echo "== obs: injected stall (exit 3, one alert, decodable dump)"
+    rc=0
+    ./target/release/fempic configs/fempic_obs.cfg \
+        --flight-recorder /tmp/oppic_ci_obs.opfr \
+        --metrics-dump /tmp/oppic_ci_obs.prom --watchdog \
+        --obs-inject-stall 30 >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 3 ]; then
+        echo "obs: stall run exited $rc, expected 3 (watchdog alerts)" >&2
+        exit 1
+    fi
+    ./target/release/oppic-report --decode-recorder /tmp/oppic_ci_obs.opfr \
+        | grep -q "step_time_regression" \
+        || { echo "obs: dump lacks the step_time_regression alert" >&2; exit 1; }
+    rm -f /tmp/oppic_ci_obs.prom /tmp/oppic_ci_obs.opfr
+
+    echo "== obs: overhead gate (recorder + exporter within 3%)"
+    # CI writes the measurement to /tmp; the committed
+    # results/BENCH_obs_overhead.json is refreshed by hand.
+    ./target/release/bench_obs_overhead --out /tmp/oppic_ci_obs_overhead.json
+    rm -f /tmp/oppic_ci_obs_overhead.json
+fi
+
 # Allowed-to-warn sanitizer stage: `./ci.sh sanitize` additionally runs
 # miri over oppic-core's lock-free deposit paths and a ThreadSanitizer
 # smoke of the rayon executors. Both need a nightly toolchain with the

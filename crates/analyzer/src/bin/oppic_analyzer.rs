@@ -48,6 +48,35 @@ fn main() -> ExitCode {
             ExitCode::from(report.exit_code_strict(strict) as u8)
         }
         Some("--audit-schedule") => audit_schedule_cmd(&args[1..]),
+        Some("--audit-metrics") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("oppic-analyzer: --audit-metrics requires an exposition file path");
+                return ExitCode::FAILURE;
+            };
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("oppic-analyzer: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match oppic_obs::metrics::audit_exposition(&src) {
+                Ok(samples) => {
+                    println!(
+                        "PASS {path}: {samples} sample(s), all series match the \
+                         oppic metric schema (DESIGN.md \u{a7}6)"
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(problems) => {
+                    println!("FAIL {path}: {} problem(s)", problems.len());
+                    for p in &problems {
+                        println!("  {p}");
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("--help") | None => {
             println!(
                 "oppic-analyzer: loop-plan checker for the OP-PIC DSL\n\
@@ -58,6 +87,8 @@ fn main() -> ExitCode {
                  \x20                                           audit a telemetry JSONL event stream\n\
                  \x20 oppic-analyzer --audit-schedule <trace.json> [--report <out.json>] [--dot <out.dot>] [--strict]\n\
                  \x20                                           audit a recorded step schedule (dataflow passes)\n\
+                 \x20 oppic-analyzer --audit-metrics <file>     validate a Prometheus exposition snapshot\n\
+                 \x20                                           against the oppic metric schema\n\
                  \n\
                  Schedule traces come from `fempic --record-schedule <file>` /\n\
                  `cabana --record-schedule <file>`; applications run the plan\n\

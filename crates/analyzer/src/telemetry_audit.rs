@@ -92,6 +92,7 @@ pub fn audit_telemetry(src: &str) -> Report {
         let ty = ev.get("type").and_then(Json::as_str).unwrap_or("");
         match ty {
             "run_header" | "decision" => {}
+            "alert" => audit_alert(line, ev, &mut report),
             "span" => {
                 n_spans += 1;
                 audit_span(line, ev, &mut report);
@@ -155,6 +156,31 @@ pub fn audit_telemetry(src: &str) -> Report {
         ),
     ));
     report
+}
+
+/// Alert record coherence: a non-empty `rule` and a known `severity`
+/// (`warn` / `critical`). The alert itself is the watchdog's verdict,
+/// not the audit's — its presence is not a finding.
+fn audit_alert(line: usize, ev: &Json, report: &mut Report) {
+    if ev
+        .get("rule")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        report.push(Diagnostic::error(
+            "telemetry/alert-schema",
+            format!("line {line}"),
+            "alert record has no non-empty rule field",
+        ));
+    }
+    match ev.get("severity").and_then(Json::as_str) {
+        Some("warn" | "critical") => {}
+        other => report.push(Diagnostic::error(
+            "telemetry/alert-schema",
+            format!("line {line}"),
+            format!("alert severity {other:?} is not warn/critical"),
+        )),
+    }
 }
 
 /// Span record coherence: `path` is `>`-joined, `depth` counts the
@@ -348,6 +374,19 @@ mod tests {
         let hits = r.with_code("telemetry/counter-invariant");
         assert_eq!(hits.len(), 1, "{r}");
         assert!(hits[0].subject.contains("line 4"), "{r}");
+    }
+
+    #[test]
+    fn alert_records_are_known_and_schema_checked() {
+        let span =
+            r#"{"type":"span","step":1,"name":"Move","path":"step>Move","depth":1,"ms":0.5}"#;
+        let ok = r#"{"type":"alert","step":1,"ts":12,"rule":"step_time_regression","severity":"critical","message":"stall"}"#;
+        let r = audit_telemetry(&stream(&[HEADER, span, ok, FOOTER]));
+        assert!(!r.has_errors(), "{r}");
+        assert_eq!(r.count(Severity::Warn), 0, "{r}");
+        let bad = r#"{"type":"alert","rule":"","severity":"fatal"}"#;
+        let r = audit_telemetry(&stream(&[HEADER, span, bad, FOOTER]));
+        assert_eq!(r.with_code("telemetry/alert-schema").len(), 2, "{r}");
     }
 
     #[test]

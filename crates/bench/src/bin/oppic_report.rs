@@ -3,43 +3,103 @@
 //!
 //! ```text
 //! oppic-report [--artifacts <dir>] <run.jsonl>...
+//! oppic-report --timeline <out.json> [--schedule <trace.json>] <run.jsonl>...
+//! oppic-report --decode-recorder <dump.bin>
 //! ```
 //!
 //! Prints one breakdown table (kernels, per-class totals, step
 //! statistics) per input stream. With `--artifacts <dir>` it also
 //! writes `BENCH_roofline.csv` (Figure 10/11 operands) and
 //! `BENCH_step_timings.json` (per-step timings/populations) into the
-//! directory.
+//! directory. `--timeline` merges the runs (plus an optional
+//! `oppic-schedule-v1` trace) into Chrome-trace JSON for
+//! `chrome://tracing` / Perfetto; `--decode-recorder` pretty-prints a
+//! flight-recorder dump (`OPFR` binary, DESIGN.md §6).
 
 use oppic_bench::telemetry_report::{
     breakdown_table, parse_run, roofline_csv, step_timings_json, RunSummary,
 };
+use oppic_core::schedule::ScheduleTrace;
+use oppic_obs::recorder::FlightDump;
+use oppic_obs::timeline::chrome_trace;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: oppic-report [--artifacts <dir>] [--timeline <out.json>] \
+                     [--schedule <trace.json>] <run.jsonl>... | --decode-recorder <dump.bin>";
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} requires a value"));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(v))
+}
+
+/// `--decode-recorder` mode: parse and pretty-print an `OPFR` dump.
+fn decode_recorder(path: &str) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("oppic-report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dump = match FlightDump::parse(&bytes) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("oppic-report: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "flight recorder dump: format v{}, ring capacity {}, {} event(s) total, \
+         {} dropped, {} in window",
+        dump.version,
+        dump.capacity,
+        dump.total,
+        dump.dropped,
+        dump.records.len()
+    );
+    for r in &dump.records {
+        println!("{}", r.render());
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: oppic-report [--artifacts <dir>] <run.jsonl>...");
+        println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let artifacts = match args.iter().position(|a| a == "--artifacts") {
-        Some(i) => {
-            if i + 1 >= args.len() {
-                eprintln!("oppic-report: --artifacts requires a directory");
-                return ExitCode::FAILURE;
-            }
-            let dir = args.remove(i + 1);
-            args.remove(i);
-            Some(dir)
+    let (artifacts, timeline, schedule, decode) = match (|| {
+        Ok::<_, String>((
+            take_value(&mut args, "--artifacts")?,
+            take_value(&mut args, "--timeline")?,
+            take_value(&mut args, "--schedule")?,
+            take_value(&mut args, "--decode-recorder")?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("oppic-report: {e}");
+            return ExitCode::FAILURE;
         }
-        None => None,
     };
+    if let Some(path) = decode {
+        return decode_recorder(&path);
+    }
     if args.is_empty() {
-        eprintln!("usage: oppic-report [--artifacts <dir>] <run.jsonl>...");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
 
     let mut runs: Vec<RunSummary> = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in &args {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -54,12 +114,39 @@ fn main() -> ExitCode {
                 print!("{}", breakdown_table(&run));
                 println!();
                 runs.push(run);
+                sources.push((path.clone(), src));
             }
             Err(e) => {
                 eprintln!("oppic-report: {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(out) = timeline {
+        let trace = match &schedule {
+            Some(path) => match std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| ScheduleTrace::from_json(&s))
+            {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    eprintln!("oppic-report: schedule trace {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        let labeled: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(p, s)| (p.as_str(), s.as_str()))
+            .collect();
+        let json = chrome_trace(&labeled, trace.as_ref());
+        if let Err(e) = std::fs::write(&out, json) {
+            eprintln!("oppic-report: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out} (chrome://tracing / Perfetto format)");
     }
 
     if let Some(dir) = artifacts {

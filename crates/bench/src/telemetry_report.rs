@@ -35,6 +35,9 @@ pub struct RunSummary {
     /// `true` when no `run_footer` was found (the kernel table is then
     /// a reconstruction from span events).
     pub truncated: bool,
+    /// Lines that failed to parse as JSON and were skipped — typically
+    /// the torn tail of a crashed run's stream.
+    pub torn_lines: u64,
 }
 
 impl RunSummary {
@@ -85,11 +88,18 @@ pub fn parse_run(src: &str) -> Result<RunSummary, String> {
     let mut span_kernels: Vec<(String, KernelStats)> = Vec::new();
     let mut saw_footer = false;
 
-    for (i, line) in src.lines().enumerate() {
+    for line in src.lines() {
         if line.trim().is_empty() {
             continue;
         }
-        let ev = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        // A crashed run leaves a torn final line (and a missing
+        // footer); skip what doesn't parse rather than refusing the
+        // whole stream — the report is most needed for exactly those
+        // runs. `torn_lines` surfaces the count in the table header.
+        let Ok(ev) = json::parse(line) else {
+            run.torn_lines += 1;
+            continue;
+        };
         match ev.get("type").and_then(Json::as_str) {
             Some("run_header") => {
                 run.app = ev.get("app").and_then(Json::as_str).unwrap_or("?").into();
@@ -159,7 +169,14 @@ pub fn parse_run(src: &str) -> Result<RunSummary, String> {
         }
     }
     if run.app.is_empty() {
-        return Err("no run_header record".into());
+        return Err(if run.torn_lines > 0 {
+            format!(
+                "no run_header record ({} unparseable line(s) skipped)",
+                run.torn_lines
+            )
+        } else {
+            "no run_header record".into()
+        });
     }
     if !saw_footer {
         run.truncated = true;
@@ -187,6 +204,13 @@ pub fn breakdown_table(run: &RunSummary) -> String {
             ""
         }
     );
+    if run.torn_lines > 0 {
+        let _ = writeln!(
+            s,
+            "warning: {} unparseable line(s) skipped (torn stream tail)",
+            run.torn_lines
+        );
+    }
     let _ = writeln!(
         s,
         "{:<28} {:>12} {:>8} {:>12} {:>7} {:>12} {:>12}",
@@ -387,5 +411,31 @@ mod tests {
     #[test]
     fn headerless_stream_is_rejected() {
         assert!(parse_run(r#"{"type":"step","step":1,"ms":1}"#).is_err());
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_counted() {
+        // A crashed run: footer missing AND the last line cut mid-write.
+        let cut: String = STREAM
+            .lines()
+            .filter(|l| !l.contains("run_footer"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let torn = format!("{cut}{{\"type\":\"span\",\"step\":3,\"name\":\"Mo");
+        let run = parse_run(&torn).unwrap();
+        assert!(run.truncated);
+        assert_eq!(run.torn_lines, 1);
+        // The intact records still landed.
+        assert_eq!(run.steps.len(), 2);
+        assert_eq!(run.kernels[0].1.calls, 2);
+        let t = breakdown_table(&run);
+        assert!(t.contains("warning: 1 unparseable line(s) skipped"), "{t}");
+        assert!(t.contains("truncated stream"), "{t}");
+    }
+
+    #[test]
+    fn garbage_only_stream_reports_skip_count() {
+        let err = parse_run("not json at all\nalso not json\n").unwrap_err();
+        assert!(err.contains("2 unparseable line(s)"), "{err}");
     }
 }

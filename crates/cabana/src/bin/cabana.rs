@@ -12,6 +12,7 @@
 use oppic_cabana::{CabanaConfig, CabanaPic, StructuredCabana};
 use oppic_core::telemetry::fnv1a;
 use oppic_core::{ExecPolicy, Params, RunInfo, SortPolicy};
+use oppic_obs::{ObsArgs, StepObs};
 
 const KNOWN: &[&str] = &[
     "nx",
@@ -149,6 +150,7 @@ fn run<T: oppic_cabana::Topology>(
     steps: usize,
     report_every: usize,
     telemetry: Option<&str>,
+    obs_args: &ObsArgs,
 ) {
     if let Some(path) = telemetry {
         attach_telemetry(&sim, path, steps);
@@ -161,9 +163,36 @@ fn run<T: oppic_cabana::Topology>(
         sim.ps.len(),
         steps
     );
+    let threads = sim.cfg.policy.threads();
+    let mut plane = obs_args
+        .build(sim.profiler.telemetry(), "cabana", threads)
+        .unwrap_or_else(|e| {
+            eprintln!("error: observability plane: {e}");
+            std::process::exit(2);
+        });
+    if let Some(addr) = plane.as_ref().and_then(|p| p.metrics_addr()) {
+        println!("metrics: serving http://{addr}/metrics");
+    }
     let t0 = std::time::Instant::now();
     for s in 1..=steps {
+        let st = std::time::Instant::now();
+        if obs_args.inject_stall_step == Some(s as u64) {
+            // Negative control for the watchdog: a deliberate stall
+            // inside the timed window (see `ci.sh obs`).
+            std::thread::sleep(std::time::Duration::from_millis(300));
+        }
         let d = sim.step();
+        if let Some(plane) = plane.as_mut() {
+            // CabanaPIC's two-beam population is closed: no injection,
+            // no removal, periodic boundaries.
+            plane.on_step(StepObs {
+                step: s as u64,
+                ms: st.elapsed().as_secs_f64() * 1e3,
+                alive: sim.ps.len() as u64,
+                injected: 0,
+                removed: 0,
+            });
+        }
         if s % report_every == 0 || s == steps {
             println!(
                 "step {:>5}: E {:>12.5e}  B {:>12.5e}  kinetic {:>12.5e}",
@@ -180,6 +209,19 @@ fn run<T: oppic_cabana::Topology>(
     if let Err(e) = sim.check_invariants() {
         eprintln!("INVARIANT VIOLATION: {e}");
         std::process::exit(1);
+    }
+    if let Some(mut plane) = plane {
+        let summary = plane.finish().unwrap_or_else(|e| {
+            eprintln!("error: observability plane: {e}");
+            std::process::exit(2);
+        });
+        println!("watchdog: {} alert(s)", summary.alerts.len());
+        for a in &summary.alerts {
+            eprintln!("  [{}] step {}: {}", a.rule, a.step, a.message);
+        }
+        if !summary.alerts.is_empty() {
+            std::process::exit(3);
+        }
     }
 }
 
@@ -221,6 +263,10 @@ fn main() {
     args.retain(|a| a != "--strict");
     let record_schedule = take_path_arg(&mut args, "--record-schedule");
     let telemetry = take_telemetry_arg(&mut args);
+    let obs_args = ObsArgs::extract(&mut args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let tel = telemetry.as_deref();
     let params = match args.get(1).map(String::as_str) {
         Some(path) => Params::load(path).unwrap_or_else(|e| {
@@ -244,7 +290,8 @@ fn main() {
             steps,
             report_every,
             tel,
+            &obs_args,
         ),
-        (false, false) => run(CabanaPic::new_dsl(cfg), steps, report_every, tel),
+        (false, false) => run(CabanaPic::new_dsl(cfg), steps, report_every, tel, &obs_args),
     }
 }

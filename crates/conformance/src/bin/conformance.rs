@@ -20,8 +20,8 @@
 use oppic_conformance::{
     cell_fails, chaos_cell_fails, chaos_full_matrix, chaos_quick_matrix, check_cell, full_matrix,
     parse_chaos_reproducer, parse_reproducer, quick_matrix, run_chaos_cell, run_matrix, shrink,
-    shrink_chaos, verify_schedules, write_chaos_reproducer, write_reproducer, CellConfig,
-    ChaosCell, ChaosVerdict,
+    shrink_chaos, verify_schedules, watchdog_control_checks, write_chaos_reproducer,
+    write_reproducer, CellConfig, ChaosCell, ChaosVerdict,
 };
 use oppic_core::telemetry::Telemetry;
 use std::path::Path;
@@ -145,6 +145,20 @@ fn run(cells: &[CellConfig], label: &str) -> i32 {
 /// short of `Recovered` is shrunk into a reproducer.
 fn chaos_cell_outcome(cell: &ChaosCell) -> ChaosVerdict {
     let report = run_chaos_cell(cell);
+    // Flight-recorder evidence: recovery cells keep their event ring
+    // whenever anything alerted or the run fell short of Recovered.
+    if let Some(bytes) = &report.recorder_dump {
+        let path = Path::new(REPRO_DIR).join(format!("{}.opfr", cell.id()));
+        match std::fs::create_dir_all(REPRO_DIR).and_then(|()| std::fs::write(&path, bytes)) {
+            Ok(()) => println!(
+                "  flight recorder dump: {} ({} bytes; decode with oppic-report \
+                 --decode-recorder)",
+                path.display(),
+                bytes.len()
+            ),
+            Err(e) => eprintln!("  cannot write {}: {e}", path.display()),
+        }
+    }
     match &report.verdict {
         ChaosVerdict::Recovered {
             injected,
@@ -202,11 +216,30 @@ fn run_chaos(cells: &[ChaosCell], label: &str) -> i32 {
             ChaosVerdict::SilentCorruption { .. } => corrupted += 1,
         }
     }
+    // Watchdog negative controls (DESIGN.md §6): a fault-free
+    // synthetic step series must raise zero alerts, and each injected
+    // anomaly must trip exactly its own rule exactly once.
+    let controls = watchdog_control_checks();
+    println!("watchdog controls: {} checks", controls.len());
+    let mut control_failures = 0usize;
+    for check in &controls {
+        match &check.result {
+            Ok(()) => println!("  PASS  {}", check.name),
+            Err(evidence) => {
+                control_failures += 1;
+                println!("  FAIL  {}", check.name);
+                println!("        {evidence}");
+            }
+        }
+    }
     println!(
-        "{recovered} recovered, {aborted} clean aborts, {corrupted} silently corrupted, {:.2}s",
+        "{recovered} recovered, {aborted} clean aborts, {corrupted} silently corrupted, \
+         {}/{} watchdog controls passed, {:.2}s",
+        controls.len() - control_failures,
+        controls.len(),
         t0.elapsed().as_secs_f64()
     );
-    if corrupted == 0 {
+    if corrupted == 0 && control_failures == 0 {
         0
     } else {
         1

@@ -26,6 +26,8 @@ use oppic_core::{ExecPolicy, Simulation};
 use oppic_fempic::{FemPic, FemPicConfig};
 use oppic_mpi::comm::RankCtx;
 use oppic_mpi::partition::directional_partition;
+use oppic_obs::recorder::FlightRecorder;
+use oppic_obs::watchdog::{StepObs, Watchdog, WatchdogConfig, RULE_QUARANTINE, RULE_STEP_TIME};
 use oppic_resilience::{
     migrate_particles_reliable, world_run_faulty, FaultKind, FaultSchedule, RecoveryConfig,
     RecoveryDriver, ReliableLink, RetryPolicy,
@@ -126,6 +128,11 @@ pub enum ChaosVerdict {
 pub struct ChaosReport {
     pub cell: ChaosCell,
     pub verdict: ChaosVerdict,
+    /// Flight-recorder dump (`OPFR` binary) of the faulted run, when
+    /// the run raised alerts (rollbacks) or misbehaved. Written beside
+    /// the reproducer by the conformance binary. Recovery cells only —
+    /// MPI cells run one hub per in-process rank.
+    pub recorder_dump: Option<Vec<u8>>,
 }
 
 impl ChaosReport {
@@ -316,6 +323,7 @@ fn run_mpi_cell(cell: &ChaosCell) -> ChaosReport {
     ChaosReport {
         cell: cell.clone(),
         verdict: classify_mpi(&reference, &faulted, injected),
+        recorder_dump: None,
     }
 }
 
@@ -335,6 +343,15 @@ fn run_recovery_cell(cell: &ChaosCell) -> ChaosReport {
     let mut reference = FemPic::new(cfg.clone());
     reference.run(cell.steps);
 
+    // The faulted run gets a telemetry hub with the flight recorder
+    // attached: a rollback raises a `recovery_rollback` alert on the
+    // hub, and the post-mortem ring dump lands beside the reproducer.
+    let hub = Arc::new(Telemetry::new());
+    let recorder = Arc::new(FlightRecorder::new(4096));
+    hub.set_observer(Some(recorder.clone()));
+    let _guard = hub.make_current();
+    let take_dump = |recorder: &FlightRecorder| recorder.dump(Vec::new()).ok();
+
     let rec_cfg = RecoveryConfig {
         checkpoint_every: 2,
         max_recoveries: cell.max_retries.max(1),
@@ -348,6 +365,7 @@ fn run_recovery_cell(cell: &ChaosCell) -> ChaosReport {
                 verdict: ChaosVerdict::CleanAbort {
                     errors: vec![e.to_string()],
                 },
+                recorder_dump: None,
             }
         }
     };
@@ -379,6 +397,7 @@ fn run_recovery_cell(cell: &ChaosCell) -> ChaosReport {
                 verdict: ChaosVerdict::CleanAbort {
                     errors: vec![e.to_string()],
                 },
+                recorder_dump: take_dump(&recorder),
             };
         }
     }
@@ -410,9 +429,18 @@ fn run_recovery_cell(cell: &ChaosCell) -> ChaosReport {
     } else {
         ChaosVerdict::SilentCorruption { failures }
     };
+    // Keep the evidence whenever something alert-worthy happened: a
+    // rollback during a recovered run, or any non-recovered verdict.
+    let recorder_dump =
+        if hub.alert_total() > 0 || !matches!(verdict, ChaosVerdict::Recovered { .. }) {
+            take_dump(&recorder)
+        } else {
+            None
+        };
     ChaosReport {
         cell: cell.clone(),
         verdict,
+        recorder_dump,
     }
 }
 
@@ -496,6 +524,120 @@ pub fn chaos_full_matrix() -> Vec<ChaosCell> {
         max_retries: 4,
     });
     cells
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog negative controls
+// ---------------------------------------------------------------------------
+
+/// One watchdog control: a name plus pass/fail with evidence.
+#[derive(Debug, Clone)]
+pub struct WatchdogCheck {
+    pub name: &'static str,
+    pub result: Result<(), String>,
+}
+
+/// Deterministic negative controls for the anomaly watchdog, run as
+/// part of the chaos stage (ISSUE PR 8 acceptance): a synthetic
+/// fault-free step series must raise zero alerts, a single injected
+/// stall must raise exactly one `step_time_regression`, and a NaN
+/// quarantine burst must raise exactly one `quarantine_rate` — each
+/// with a parseable flight-recorder dump as the evidence trail.
+pub fn watchdog_control_checks() -> Vec<WatchdogCheck> {
+    let quiet = |step: u64| StepObs {
+        step,
+        // Deterministic jitter well inside the 4x + 50 ms envelope.
+        ms: 1.0 + 0.3 * ((step % 3) as f64 - 1.0),
+        alive: 100 + step,
+        injected: 1,
+        removed: 0,
+    };
+    let mut checks = Vec::new();
+
+    // Control 1: fault-free series, zero alerts.
+    let mut wd = Watchdog::new(WatchdogConfig::default());
+    for s in 1..=40 {
+        wd.observe(&quiet(s), None);
+    }
+    checks.push(WatchdogCheck {
+        name: "fault-free series raises zero alerts",
+        result: if wd.alerts().is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{:?}", wd.alerts()))
+        },
+    });
+
+    // Control 2: one 300 ms stall on the hub, exactly one alert, and
+    // the alert + dump flow through a real telemetry hub + recorder.
+    let hub = Arc::new(Telemetry::new());
+    let recorder = Arc::new(FlightRecorder::new(1024));
+    hub.set_observer(Some(recorder.clone()));
+    let mut wd = Watchdog::new(WatchdogConfig::default());
+    for s in 1..=40 {
+        let mut obs = quiet(s);
+        if s == 30 {
+            obs.ms += 300.0;
+        }
+        for a in wd.observe(&obs, Some(&hub)) {
+            hub.alert(a.rule, a.severity, &a.message);
+        }
+    }
+    let stall_result = (|| {
+        let alerts = wd.alerts();
+        if alerts.len() != 1 || alerts[0].rule != RULE_STEP_TIME || alerts[0].step != 30 {
+            return Err(format!("expected one step-30 stall alert, got {alerts:?}"));
+        }
+        if hub.alert_total() != 1 {
+            return Err(format!(
+                "hub counted {} alerts, expected 1",
+                hub.alert_total()
+            ));
+        }
+        let bytes = recorder
+            .dump(Vec::new())
+            .map_err(|e| format!("recorder dump failed: {e}"))?;
+        let dump = oppic_obs::recorder::FlightDump::parse(&bytes)
+            .map_err(|e| format!("dump does not parse: {e}"))?;
+        if !dump
+            .records
+            .iter()
+            .any(|r| r.kind == oppic_obs::recorder::EventKind::Alert)
+        {
+            return Err("dump holds no alert record".into());
+        }
+        Ok(())
+    })();
+    checks.push(WatchdogCheck {
+        name: "single stall trips exactly one step_time_regression",
+        result: stall_result,
+    });
+
+    // Control 3: a quarantine burst on the hub counters trips the
+    // quarantine rule exactly once (the mark absorbs the total).
+    let hub = Arc::new(Telemetry::new());
+    let mut wd = Watchdog::new(WatchdogConfig::default());
+    wd.observe(&quiet(1), Some(&hub));
+    hub.counter_add("resilience.quarantined", 2);
+    wd.observe(&quiet(2), Some(&hub));
+    wd.observe(&quiet(3), Some(&hub));
+    checks.push(WatchdogCheck {
+        name: "quarantine burst trips quarantine_rate exactly once",
+        result: {
+            let q: Vec<_> = wd
+                .alerts()
+                .iter()
+                .filter(|a| a.rule == RULE_QUARANTINE)
+                .collect();
+            if q.len() == 1 && q[0].step == 2 && wd.alerts().len() == 1 {
+                Ok(())
+            } else {
+                Err(format!("{:?}", wd.alerts()))
+            }
+        },
+    });
+
+    checks
 }
 
 // ---------------------------------------------------------------------------
@@ -944,5 +1086,44 @@ mod tests {
     fn default_retry_policy_bounds_abort_latency() {
         let p = RetryPolicy::default();
         assert!(p.base_timeout <= Duration::from_millis(10));
+    }
+
+    /// The watchdog negative controls are part of the chaos stage's
+    /// green state: all three must pass deterministically.
+    #[test]
+    fn watchdog_controls_all_pass() {
+        for check in watchdog_control_checks() {
+            assert!(check.result.is_ok(), "{}: {:?}", check.name, check.result);
+        }
+    }
+
+    /// A recovered NaN-inject cell rolls back, and rollback now raises
+    /// a `recovery_rollback` alert — so the report must carry a
+    /// parseable flight-recorder dump as evidence.
+    #[test]
+    fn nan_inject_cell_keeps_a_recorder_dump() {
+        let cell = ChaosCell {
+            fault: ChaosFault::NanInject { step: 3 },
+            seed: 11,
+            ranks: 1,
+            steps: 6,
+            particles: 40,
+            max_retries: 4,
+        };
+        let report = run_chaos_cell(&cell);
+        assert!(report.recovered(), "{:?}", report.failure_lines());
+        let bytes = report
+            .recorder_dump
+            .as_deref()
+            .expect("rollback alert should retain the event ring");
+        let dump = oppic_obs::recorder::FlightDump::parse(bytes).expect("dump parses");
+        assert!(
+            dump.records.iter().any(|r| {
+                r.kind == oppic_obs::recorder::EventKind::Alert
+                    && r.name.as_deref() == Some("recovery_rollback")
+            }),
+            "no recovery_rollback alert in {} record(s)",
+            dump.records.len()
+        );
     }
 }

@@ -33,8 +33,9 @@ pub mod shrink;
 
 pub use chaos::{
     chaos_cell_fails, chaos_full_matrix, chaos_quick_matrix, chaos_reproducer_json,
-    parse_chaos_reproducer, run_chaos_cell, shrink_chaos, write_chaos_reproducer, ChaosCell,
-    ChaosFault, ChaosReport, ChaosVerdict, CHAOS_SCHEMA,
+    parse_chaos_reproducer, run_chaos_cell, shrink_chaos, watchdog_control_checks,
+    write_chaos_reproducer, ChaosCell, ChaosFault, ChaosReport, ChaosVerdict, WatchdogCheck,
+    CHAOS_SCHEMA,
 };
 pub use matrix::{full_matrix, quick_matrix, App, CellConfig, Exec, Mover, Mutation, Runtime};
 pub use oracle::{compare, Comparison, Divergence, Oracle};

@@ -251,18 +251,28 @@ impl HistogramSnapshot {
     }
 
     /// Upper bound of the bucket where the cumulative count first
-    /// reaches `q · count` — a coarse quantile estimate.
+    /// reaches `q · count` — a coarse quantile estimate. Edges are
+    /// pinned: an empty snapshot has no quantiles, `q ≤ 0` (and NaN)
+    /// is the recorded minimum, `q ≥ 1` the recorded maximum, and
+    /// every interior result is clamped into `[min, max]` so a sparse
+    /// snapshot can never report a value outside the observed range.
     pub fn approx_quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        if q.is_nan() || q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut cum = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             cum += b;
             if cum >= target {
                 let hi = if i == 0 { 0 } else { 1u64 << i };
-                return Some(hi.min(self.max));
+                return Some(hi.clamp(self.min, self.max));
             }
         }
         Some(self.max)
@@ -320,6 +330,81 @@ struct Sink {
     path: PathBuf,
 }
 
+/// Severity attached to alert events (watchdog rule trips, recovery
+/// rollbacks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AlertSeverity {
+    Warn,
+    Critical,
+}
+
+impl AlertSeverity {
+    /// Stable string form used in the JSONL `alert` record.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertSeverity::Warn => "warn",
+            AlertSeverity::Critical => "critical",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        Some(match s {
+            "warn" => AlertSeverity::Warn,
+            "critical" => AlertSeverity::Critical,
+            _ => return None,
+        })
+    }
+}
+
+/// A live telemetry event, pushed to the attached [`EventObserver`] at
+/// the moment it happens. Borrowed payloads keep the hot path
+/// allocation-free; observers that need to retain an event copy what
+/// they need (the flight recorder interns names into its own table).
+#[derive(Debug, Clone, Copy)]
+pub enum TelemetryEvent<'a> {
+    /// A span (timed scope) closed.
+    SpanClose {
+        name: &'a str,
+        path: &'a str,
+        depth: usize,
+        ms: f64,
+        step: Option<u64>,
+        ts_us: u64,
+    },
+    /// A monotonic counter advanced by `delta`.
+    Count {
+        name: &'a str,
+        delta: u64,
+        step: Option<u64>,
+        ts_us: u64,
+    },
+    /// A decision trace line was recorded.
+    Decision {
+        name: &'a str,
+        text: &'a str,
+        step: Option<u64>,
+        ts_us: u64,
+    },
+    /// A simulation step closed.
+    StepEnd { step: u64, ms: f64, ts_us: u64 },
+    /// A structured alert was raised via [`Telemetry::alert`].
+    Alert {
+        rule: &'a str,
+        severity: AlertSeverity,
+        message: &'a str,
+        step: Option<u64>,
+        ts_us: u64,
+    },
+}
+
+/// Subscriber for the live event stream (the observability plane's
+/// flight recorder). At most one observer is attached per hub; when
+/// none is, the publish sites cost one relaxed atomic load.
+pub trait EventObserver: Send + Sync {
+    fn on_event(&self, ev: &TelemetryEvent<'_>);
+}
+
 /// The telemetry hub. Thread-safe; applications own one (usually via
 /// `Profiler`) and share it by `Arc`.
 pub struct Telemetry {
@@ -328,6 +413,11 @@ pub struct Telemetry {
     sink: Mutex<Option<Sink>>,
     /// Cheap gate so event formatting is skipped when no sink is open.
     sink_attached: AtomicBool,
+    /// Same gate for the live observer.
+    observer_attached: AtomicBool,
+    observer: Mutex<Option<Arc<dyn EventObserver>>>,
+    /// Zero point of the `ts` microsecond clock on every event.
+    origin: Instant,
     step: AtomicU64,
     events_written: AtomicU64,
 }
@@ -339,6 +429,9 @@ impl Default for Telemetry {
             spans: Mutex::new(Vec::new()),
             sink: Mutex::new(None),
             sink_attached: AtomicBool::new(false),
+            observer_attached: AtomicBool::new(false),
+            observer: Mutex::new(None),
+            origin: Instant::now(),
             step: AtomicU64::new(NO_STEP),
             events_written: AtomicU64::new(0),
         }
@@ -389,7 +482,7 @@ impl Telemetry {
             let k = &mut st.kernels[id.0 as usize];
             k.calls += 1;
             k.seconds += d.as_secs_f64();
-            if self.sink_attached.load(Ordering::Relaxed) {
+            if self.events_wanted() {
                 Some(st.names[id.0 as usize].clone())
             } else {
                 None
@@ -410,7 +503,7 @@ impl Telemetry {
             k.calls += 1;
             k.seconds += d.as_secs_f64();
         }
-        if self.sink_attached.load(Ordering::Relaxed) {
+        if self.events_wanted() {
             self.emit_leaf_span(name, d);
         }
     }
@@ -518,7 +611,7 @@ impl Telemetry {
                     k.calls += 1;
                     k.seconds += dur.as_secs_f64();
                 }
-                if self.sink_attached.load(Ordering::Relaxed) {
+                if self.events_wanted() {
                     let name = path.rsplit('>').next().unwrap_or(&path).to_string();
                     self.emit_span(&name, &path, dur);
                 }
@@ -530,13 +623,23 @@ impl Telemetry {
 
     /// Add `n` to a monotonic counter.
     pub fn counter_add(&self, name: &str, n: u64) {
-        let mut st = self.state.lock();
-        match st.counters.get_mut(name) {
-            Some(c) => c.total += n,
-            None => {
-                st.counters
-                    .insert(name.to_string(), Counter { total: n, mark: 0 });
+        {
+            let mut st = self.state.lock();
+            match st.counters.get_mut(name) {
+                Some(c) => c.total += n,
+                None => {
+                    st.counters
+                        .insert(name.to_string(), Counter { total: n, mark: 0 });
+                }
             }
+        }
+        if self.observer_attached.load(Ordering::Relaxed) {
+            self.notify(&TelemetryEvent::Count {
+                name,
+                delta: n,
+                step: self.current_step(),
+                ts_us: self.ts_us(),
+            });
         }
     }
 
@@ -604,18 +707,25 @@ impl Telemetry {
             }
             tb.buf.push_back((name.to_string(), line.clone()));
         }
+        let ts = self.ts_us();
         if self.sink_attached.load(Ordering::Relaxed) {
             let mut ev = String::with_capacity(64 + line.len());
             ev.push_str("{\"type\":\"decision\"");
             self.push_step_field(&mut ev);
             let _ = write!(
                 ev,
-                ",\"name\":{},\"text\":{}}}",
+                ",\"ts\":{ts},\"name\":{},\"text\":{}}}",
                 json::quote(name),
                 json::quote(&line)
             );
             self.emit(&ev);
         }
+        self.notify(&TelemetryEvent::Decision {
+            name,
+            text: &line,
+            step: self.current_step(),
+            ts_us: ts,
+        });
     }
 
     /// All retained decision traces in emission order.
@@ -699,11 +809,12 @@ impl Telemetry {
             v.sort();
             v
         };
+        let ts = self.ts_us();
         if self.sink_attached.load(Ordering::Relaxed) {
             let mut ev = String::with_capacity(128);
             let _ = write!(
                 ev,
-                "{{\"type\":\"step\",\"step\":{step},\"ms\":{}",
+                "{{\"type\":\"step\",\"step\":{step},\"ts\":{ts},\"ms\":{}",
                 json::num(ms)
             );
             ev.push_str(",\"gauges\":{");
@@ -723,6 +834,11 @@ impl Telemetry {
             ev.push_str("}}");
             self.emit(&ev);
         }
+        self.notify(&TelemetryEvent::StepEnd {
+            step,
+            ms,
+            ts_us: ts,
+        });
         self.step.store(NO_STEP, Ordering::Relaxed);
     }
 
@@ -976,17 +1092,29 @@ impl Telemetry {
 
     fn emit_span(&self, name: &str, path: &str, d: Duration) {
         let depth = path.matches('>').count();
-        let mut ev = String::with_capacity(96);
-        ev.push_str("{\"type\":\"span\"");
-        self.push_step_field(&mut ev);
-        let _ = write!(
-            ev,
-            ",\"name\":{},\"path\":{},\"depth\":{depth},\"ms\":{}}}",
-            json::quote(name),
-            json::quote(path),
-            json::num(d.as_secs_f64() * 1e3),
-        );
-        self.emit(&ev);
+        let ms = d.as_secs_f64() * 1e3;
+        let ts = self.ts_us();
+        if self.sink_attached.load(Ordering::Relaxed) {
+            let mut ev = String::with_capacity(112);
+            ev.push_str("{\"type\":\"span\"");
+            self.push_step_field(&mut ev);
+            let _ = write!(
+                ev,
+                ",\"ts\":{ts},\"name\":{},\"path\":{},\"depth\":{depth},\"ms\":{}}}",
+                json::quote(name),
+                json::quote(path),
+                json::num(ms),
+            );
+            self.emit(&ev);
+        }
+        self.notify(&TelemetryEvent::SpanClose {
+            name,
+            path,
+            depth,
+            ms,
+            step: self.current_step(),
+            ts_us: ts,
+        });
     }
 
     fn emit(&self, line: &str) {
@@ -995,6 +1123,82 @@ impl Telemetry {
             let _ = writeln!(s.w, "{line}");
             self.events_written.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    // -- live observer + alerts --------------------------------------
+
+    /// Microseconds since this hub was created — the shared clock for
+    /// the JSONL `ts` fields, the observer stream, and the flight
+    /// recorder.
+    pub fn ts_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Attach (or with `None`, detach) the live event observer.
+    pub fn set_observer(&self, obs: Option<Arc<dyn EventObserver>>) {
+        let mut slot = self.observer.lock();
+        self.observer_attached
+            .store(obs.is_some(), Ordering::Relaxed);
+        *slot = obs;
+    }
+
+    /// Whether a live observer is currently attached.
+    pub fn observer_is_attached(&self) -> bool {
+        self.observer_attached.load(Ordering::Relaxed)
+    }
+
+    /// Either event consumer wants span events assembled.
+    fn events_wanted(&self) -> bool {
+        self.sink_attached.load(Ordering::Relaxed) || self.observer_attached.load(Ordering::Relaxed)
+    }
+
+    /// Push one event to the observer, outside any hub lock (the
+    /// handle is cloned first so an observer may call back into the
+    /// hub without deadlocking).
+    fn notify(&self, ev: &TelemetryEvent<'_>) {
+        if !self.observer_attached.load(Ordering::Relaxed) {
+            return;
+        }
+        let obs = self.observer.lock().clone();
+        if let Some(o) = obs {
+            o.on_event(ev);
+        }
+    }
+
+    /// Raise a structured alert (watchdog rule trip, recovery
+    /// rollback): bump `alerts.total` and `alerts.<rule>`, emit an
+    /// `alert` JSONL record when a sink is attached, and push the
+    /// event to the observer so the flight recorder can dump around
+    /// it.
+    pub fn alert(&self, rule: &str, severity: AlertSeverity, message: &str) {
+        self.counter_add("alerts.total", 1);
+        self.counter_add(&format!("alerts.{rule}"), 1);
+        let ts = self.ts_us();
+        if self.sink_attached.load(Ordering::Relaxed) {
+            let mut ev = String::with_capacity(96 + message.len());
+            ev.push_str("{\"type\":\"alert\"");
+            self.push_step_field(&mut ev);
+            let _ = write!(
+                ev,
+                ",\"ts\":{ts},\"rule\":{},\"severity\":{},\"message\":{}}}",
+                json::quote(rule),
+                json::quote(severity.as_str()),
+                json::quote(message),
+            );
+            self.emit(&ev);
+        }
+        self.notify(&TelemetryEvent::Alert {
+            rule,
+            severity,
+            message,
+            step: self.current_step(),
+            ts_us: ts,
+        });
+    }
+
+    /// Total alerts raised on this hub.
+    pub fn alert_total(&self) -> u64 {
+        self.counter("alerts.total")
     }
 }
 
@@ -1205,6 +1409,122 @@ mod tests {
         let mut m = a.snapshot();
         m.merge(&b.snapshot());
         assert_eq!(m, both.snapshot());
+    }
+
+    #[test]
+    fn approx_quantile_pins_edges() {
+        // Empty snapshot: no quantiles at any q.
+        let empty = HistogramSnapshot::default();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.approx_quantile(q), None);
+        }
+        // Single value: every quantile is that value.
+        let h = Histogram::new();
+        h.record(5);
+        let s = h.snapshot();
+        for q in [-0.5, 0.0, 0.25, 0.5, 1.0, 7.0] {
+            assert_eq!(s.approx_quantile(q), Some(5), "q={q}");
+        }
+        // Multi-bucket: q≤0 pins to min, q≥1 to max, NaN to min, and
+        // interior estimates stay inside [min, max].
+        let h = Histogram::new();
+        for v in [2u64, 3, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.approx_quantile(0.0), Some(2));
+        assert_eq!(s.approx_quantile(-3.0), Some(2));
+        assert_eq!(s.approx_quantile(f64::NAN), Some(2));
+        assert_eq!(s.approx_quantile(1.0), Some(100));
+        assert_eq!(s.approx_quantile(42.0), Some(100));
+        let p50 = s.approx_quantile(0.5).unwrap();
+        assert!((2..=100).contains(&p50), "p50={p50}");
+        // Zero-only histogram: bucket 0's upper bound is 0 == min == max.
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.snapshot().approx_quantile(0.5), Some(0));
+    }
+
+    #[test]
+    fn alert_counts_and_emits_record() {
+        let path = tmp_path("alert");
+        let t = Arc::new(Telemetry::new());
+        t.attach_sink(&path, &RunInfo::default()).unwrap();
+        t.alert(
+            "step_time_regression",
+            AlertSeverity::Critical,
+            "step 7 took 310.0 ms vs EWMA 1.2 ms",
+        );
+        t.finish().unwrap();
+        assert_eq!(t.counter("alerts.total"), 1);
+        assert_eq!(t.counter("alerts.step_time_regression"), 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let alert = text
+            .lines()
+            .map(|l| crate::json::parse(l).expect("valid json"))
+            .find(|l| l.get("type").and_then(|v| v.as_str()) == Some("alert"))
+            .expect("alert event");
+        assert_eq!(
+            alert.get("rule").and_then(|v| v.as_str()),
+            Some("step_time_regression")
+        );
+        assert_eq!(
+            alert.get("severity").and_then(|v| v.as_str()),
+            Some("critical")
+        );
+        assert!(alert.get("ts").and_then(|v| v.as_u64()).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn observer_receives_events_without_sink() {
+        struct Rec(Mutex<Vec<String>>);
+        impl EventObserver for Rec {
+            fn on_event(&self, ev: &TelemetryEvent<'_>) {
+                let tag = match ev {
+                    TelemetryEvent::SpanClose { name, .. } => format!("span:{name}"),
+                    TelemetryEvent::Count { name, delta, .. } => format!("count:{name}:{delta}"),
+                    TelemetryEvent::Decision { name, .. } => format!("decision:{name}"),
+                    TelemetryEvent::StepEnd { step, .. } => format!("step:{step}"),
+                    TelemetryEvent::Alert { rule, severity, .. } => {
+                        format!("alert:{rule}:{}", severity.as_str())
+                    }
+                };
+                self.0.lock().push(tag);
+            }
+        }
+        let rec = Arc::new(Rec(Mutex::new(Vec::new())));
+        let t = Arc::new(Telemetry::new());
+        t.set_observer(Some(rec.clone()));
+        assert!(t.observer_is_attached());
+        t.begin_step(3);
+        {
+            let _s = t.span("Move");
+        }
+        t.counter_add("moved", 4);
+        t.trace("tuner", "chose SS");
+        t.end_step(&[]);
+        t.alert("nan_rate", AlertSeverity::Warn, "2 quarantined");
+        t.set_observer(None);
+        t.counter_add("after_detach", 1);
+        let got = rec.0.lock().clone();
+        assert!(got.contains(&"span:Move".to_string()), "{got:?}");
+        assert!(got.contains(&"count:moved:4".to_string()));
+        assert!(got.contains(&"decision:tuner".to_string()));
+        assert!(got.contains(&"step:3".to_string()));
+        assert!(got.contains(&"alert:nan_rate:warn".to_string()));
+        // Alerts bump counters, which the observer also sees.
+        assert!(got.contains(&"count:alerts.nan_rate:1".to_string()));
+        assert!(!got.iter().any(|g| g.contains("after_detach")));
+    }
+
+    #[test]
+    fn span_events_carry_monotonic_ts() {
+        let t = Arc::new(Telemetry::new());
+        let a = t.ts_us();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = t.ts_us();
+        assert!(b > a);
     }
 
     #[test]

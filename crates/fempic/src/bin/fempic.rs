@@ -13,6 +13,7 @@
 use oppic_core::telemetry::fnv1a;
 use oppic_core::{DepositMethod, ExecPolicy, Params, RunInfo, SortPolicy};
 use oppic_fempic::{FemPic, FemPicConfig, Integrator, MoveStrategy};
+use oppic_obs::{ObsArgs, StepObs};
 
 const KNOWN: &[&str] = &[
     "nx",
@@ -210,6 +211,10 @@ fn main() {
     args.retain(|a| a != "--strict");
     let telemetry = take_telemetry_arg(&mut args);
     let record_schedule = take_path_arg(&mut args, "--record-schedule");
+    let obs_args = ObsArgs::extract(&mut args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let params = match args.get(1).map(String::as_str) {
         Some("--print-defaults") => {
             println!("# Mini-FEM-PIC configuration keys and defaults");
@@ -245,9 +250,34 @@ fn main() {
     if let Some(path) = &telemetry {
         attach_telemetry(&sim, path, steps);
     }
+    let threads = sim.cfg.policy.threads();
+    let mut plane = obs_args
+        .build(sim.profiler.telemetry(), "fempic", threads)
+        .unwrap_or_else(|e| {
+            eprintln!("error: observability plane: {e}");
+            std::process::exit(2);
+        });
+    if let Some(addr) = plane.as_ref().and_then(|p| p.metrics_addr()) {
+        println!("metrics: serving http://{addr}/metrics");
+    }
     let t0 = std::time::Instant::now();
     for s in 1..=steps {
+        let st = std::time::Instant::now();
+        if obs_args.inject_stall_step == Some(s as u64) {
+            // Negative control for the watchdog: a deliberate stall
+            // inside the timed window (see `ci.sh obs`).
+            std::thread::sleep(std::time::Duration::from_millis(300));
+        }
         let d = sim.step();
+        if let Some(plane) = plane.as_mut() {
+            plane.on_step(StepObs {
+                step: s as u64,
+                ms: st.elapsed().as_secs_f64() * 1e3,
+                alive: d.n_particles as u64,
+                injected: d.injected as u64,
+                removed: d.removed as u64,
+            });
+        }
         if s % report_every == 0 || s == steps {
             println!(
                 "step {:>5}: particles {:>9}  removed {:>6}  charge {:>12.5}  CG iters {:>4}",
@@ -264,5 +294,18 @@ fn main() {
     if let Err(e) = sim.check_invariants() {
         eprintln!("INVARIANT VIOLATION: {e}");
         std::process::exit(1);
+    }
+    if let Some(mut plane) = plane {
+        let summary = plane.finish().unwrap_or_else(|e| {
+            eprintln!("error: observability plane: {e}");
+            std::process::exit(2);
+        });
+        println!("watchdog: {} alert(s)", summary.alerts.len());
+        for a in &summary.alerts {
+            eprintln!("  [{}] step {}: {}", a.rule, a.step, a.message);
+        }
+        if !summary.alerts.is_empty() {
+            std::process::exit(3);
+        }
     }
 }

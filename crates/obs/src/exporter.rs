@@ -1,0 +1,222 @@
+//! Tiny blocking HTTP listener serving `GET /metrics`, plus the
+//! snapshot-on-SIGUSR1 fallback for environments where no port can be
+//! opened.
+//!
+//! The server is deliberately minimal — one accept-loop thread, one
+//! request per connection, `Connection: close` — because its job is a
+//! scrape every few seconds, not traffic. Shutdown sets a flag and
+//! self-connects to unblock `accept`.
+
+use crate::metrics::MetricsRegistry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running metrics endpoint.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9464`, or port `0` for an
+    /// ephemeral port) and serve scrapes of `registry` until shutdown.
+    pub fn serve(registry: Arc<MetricsRegistry>, addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("oppic-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Serve inline: scrapes are rare and tiny, and one
+                    // slow client must not accumulate threads.
+                    let _ = serve_one(stream, &registry);
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shutdown.store(true, Ordering::Relaxed);
+            // Unblock accept(); the loop re-checks the flag first.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(2000)))?;
+    let mut buf = [0u8; 4096];
+    let mut req = Vec::new();
+    // Read until the end of the request head (we ignore any body).
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16384 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&req);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(resp.as_bytes())?;
+    stream.flush()
+}
+
+/// One-shot client: GET `path` from `addr` and return the body. Used
+/// by the apps' `--metrics-dump` self-scrape and the CI smoke stage.
+pub fn scrape(addr: &SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_millis(2000)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp)?;
+    let body = resp
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(resp);
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------
+// SIGUSR1 snapshot fallback
+// ---------------------------------------------------------------------
+
+/// SIGUSR1 latch. The handler only sets an atomic flag
+/// (async-signal-safe); the plane's watcher thread polls
+/// [`sigusr1_pending`] and writes the snapshot from normal code.
+#[cfg(target_os = "linux")]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static PENDING: AtomicBool = AtomicBool::new(false);
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    /// `SIGUSR1` on Linux.
+    const SIGUSR1: i32 = 10;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigusr1(_sig: i32) {
+        PENDING.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // SAFETY: registers an async-signal-safe handler (one relaxed
+        // atomic store, no allocation, no locks) for SIGUSR1 via the
+        // C `signal` entry point; the handler is a static function so
+        // its address stays valid for the program's lifetime.
+        unsafe {
+            signal(SIGUSR1, on_sigusr1 as *const () as usize);
+        }
+    }
+
+    pub fn pending() -> bool {
+        PENDING.swap(false, Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sig {
+    pub fn install() {}
+
+    pub fn pending() -> bool {
+        false
+    }
+}
+
+/// Install the SIGUSR1 handler (idempotent; no-op off Linux).
+pub fn install_sigusr1() {
+    sig::install()
+}
+
+/// Consume a pending SIGUSR1 delivery, if any.
+pub fn sigusr1_pending() -> bool {
+    sig::pending()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oppic_core::telemetry::Telemetry;
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        let tel = Arc::new(Telemetry::new());
+        tel.counter_add("c", 3);
+        let reg = Arc::new(MetricsRegistry::new(tel, "test", 1));
+        let server = MetricsServer::serve(reg, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let body = scrape(&addr, "/metrics").unwrap();
+        assert!(body.contains("oppic_events_total{name=\"c\"} 3"), "{body}");
+        assert!(crate::metrics::audit_exposition(&body).is_ok());
+        assert_eq!(scrape(&addr, "/healthz").unwrap(), "ok\n");
+        assert!(scrape(&addr, "/nope").unwrap().contains("not found"));
+        server.shutdown();
+        // The port no longer answers.
+        assert!(TcpStream::connect(addr).is_err() || scrape(&addr, "/healthz").is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Anomaly watchdog: declarative per-step rules over the step stream.
+//!
+//! The plane feeds one [`StepObs`] per completed step; each rule
+//! keeps a small amount of state (an EWMA, the previous alive count,
+//! counter marks) and raises an [`Alert`] when its predicate trips.
+//! Detection here mirrors the particle-thread-binding study's point
+//! (arXiv 2506.21524) that regime shifts are only visible in
+//! continuous per-step measurement: a stall, a population
+//! discontinuity, a NaN/quarantine burst, or a retransmit storm shows
+//! up in the step it happens, not in end-of-run aggregates.
+//!
+//! Rule names are the stable contract: they label the telemetry
+//! `alert` records, the `alerts.<rule>` counters, and the
+//! `oppic_watchdog_alerts_total{rule=...}` series (DESIGN.md §6).
+
+use oppic_core::telemetry::{AlertSeverity, Telemetry};
+
+/// Rule: a step took `factor`× longer than the EWMA of previous steps.
+pub const RULE_STEP_TIME: &str = "step_time_regression";
+/// Rule: alive count broke `alive_k = alive_{k-1} + injected - removed`.
+pub const RULE_ALIVE: &str = "alive_discontinuity";
+/// Rule: NaN quarantines this step exceeded the configured budget.
+pub const RULE_QUARANTINE: &str = "quarantine_rate";
+/// Rule: resilience-layer retransmits this step exceeded the budget.
+pub const RULE_RETRANSMIT: &str = "retransmit_storm";
+/// Rule: a step reported a non-finite duration or alive count.
+pub const RULE_NONFINITE: &str = "nonfinite_observation";
+
+/// Tunable thresholds. The defaults are deliberately loose — the
+/// fault-free CI control must never trip (see `ci.sh obs`).
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// EWMA smoothing factor for step times.
+    pub ewma_alpha: f64,
+    /// Trip when `ms > ewma * step_time_factor` ...
+    pub step_time_factor: f64,
+    /// ... and the excess over the EWMA is at least this many ms
+    /// (absolute floor so µs-scale jitter cannot trip the ratio).
+    pub step_time_min_excess_ms: f64,
+    /// Steps observed before the step-time rule arms.
+    pub warmup_steps: u64,
+    /// Quarantined particles allowed per step before tripping.
+    pub max_quarantined_per_step: u64,
+    /// Retransmits allowed per step before tripping.
+    pub max_retransmits_per_step: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            ewma_alpha: 0.2,
+            step_time_factor: 4.0,
+            step_time_min_excess_ms: 50.0,
+            warmup_steps: 5,
+            max_quarantined_per_step: 0,
+            max_retransmits_per_step: 16,
+        }
+    }
+}
+
+/// One completed step, as observed by the application driver.
+#[derive(Debug, Clone, Copy)]
+pub struct StepObs {
+    pub step: u64,
+    /// Wall-clock duration of the step in milliseconds.
+    pub ms: f64,
+    /// Alive particles after the step.
+    pub alive: u64,
+    /// Particles injected during the step.
+    pub injected: u64,
+    /// Particles removed during the step (including quarantined).
+    pub removed: u64,
+}
+
+/// A tripped rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    pub rule: &'static str,
+    pub severity: AlertSeverity,
+    pub step: u64,
+    pub message: String,
+}
+
+/// Per-run rule state. Feed one [`Self::observe`] per step; alerts
+/// are returned to the caller (the plane raises them on the hub and
+/// triggers the flight-recorder dump).
+#[derive(Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    ewma_ms: Option<f64>,
+    steps_seen: u64,
+    prev_alive: Option<u64>,
+    quarantined_mark: u64,
+    retransmits_mark: u64,
+    alerts: Vec<Alert>,
+}
+
+impl Watchdog {
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Watchdog {
+            cfg,
+            ewma_ms: None,
+            steps_seen: 0,
+            prev_alive: None,
+            quarantined_mark: 0,
+            retransmits_mark: 0,
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Every alert raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Evaluate all rules against one completed step. `hub` supplies
+    /// the quarantine / retransmit counters; the watchdog keeps its
+    /// own marks so it sees per-step deltas regardless of when the
+    /// hub's own step marks were taken.
+    pub fn observe(&mut self, obs: &StepObs, hub: Option<&Telemetry>) -> Vec<Alert> {
+        let mut new = Vec::new();
+        let mut raise = |rule, severity, message: String| {
+            new.push(Alert {
+                rule,
+                severity,
+                step: obs.step,
+                message,
+            });
+        };
+
+        if !obs.ms.is_finite() {
+            raise(
+                RULE_NONFINITE,
+                AlertSeverity::Critical,
+                format!("step {} reported non-finite duration {}", obs.step, obs.ms),
+            );
+        }
+
+        // Step-time EWMA regression. The stalled sample still updates
+        // the EWMA afterwards, so a single stall trips exactly once
+        // and the baseline re-converges.
+        if obs.ms.is_finite() {
+            if let Some(ewma) = self.ewma_ms {
+                let armed = self.steps_seen >= self.cfg.warmup_steps;
+                let excess = obs.ms - ewma;
+                if armed
+                    && obs.ms > ewma * self.cfg.step_time_factor
+                    && excess >= self.cfg.step_time_min_excess_ms
+                {
+                    raise(
+                        RULE_STEP_TIME,
+                        AlertSeverity::Critical,
+                        format!(
+                            "step {} took {:.2} ms, {:.1}x the {:.2} ms EWMA",
+                            obs.step,
+                            obs.ms,
+                            obs.ms / ewma.max(1e-12),
+                            ewma
+                        ),
+                    );
+                }
+                self.ewma_ms = Some(ewma + self.cfg.ewma_alpha * (obs.ms - ewma));
+            } else {
+                self.ewma_ms = Some(obs.ms);
+            }
+        }
+        self.steps_seen += 1;
+
+        // Alive continuity against the driver's own injection/removal
+        // accounting.
+        if let Some(prev) = self.prev_alive {
+            let expect = (prev + obs.injected) as i128 - obs.removed as i128;
+            if obs.alive as i128 != expect {
+                raise(
+                    RULE_ALIVE,
+                    AlertSeverity::Critical,
+                    format!(
+                        "step {}: alive = {} but {} + {} injected - {} removed = {}",
+                        obs.step, obs.alive, prev, obs.injected, obs.removed, expect
+                    ),
+                );
+            }
+        }
+        self.prev_alive = Some(obs.alive);
+
+        // Counter-delta rules (quarantine bursts, retransmit storms).
+        if let Some(hub) = hub {
+            let quarantined = hub.counter("resilience.quarantined");
+            let dq = quarantined.saturating_sub(self.quarantined_mark);
+            self.quarantined_mark = quarantined;
+            if dq > self.cfg.max_quarantined_per_step {
+                raise(
+                    RULE_QUARANTINE,
+                    AlertSeverity::Warn,
+                    format!(
+                        "step {}: {dq} particle(s) quarantined with non-finite state \
+                         (budget {})",
+                        obs.step, self.cfg.max_quarantined_per_step
+                    ),
+                );
+            }
+            let retransmits = hub.counter("resilience.retransmits");
+            let dr = retransmits.saturating_sub(self.retransmits_mark);
+            self.retransmits_mark = retransmits;
+            if dr > self.cfg.max_retransmits_per_step {
+                raise(
+                    RULE_RETRANSMIT,
+                    AlertSeverity::Warn,
+                    format!(
+                        "step {}: {dr} retransmit(s) in one step (budget {})",
+                        obs.step, self.cfg.max_retransmits_per_step
+                    ),
+                );
+            }
+        }
+
+        self.alerts.extend(new.iter().cloned());
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_step(step: u64, alive: u64) -> StepObs {
+        StepObs {
+            step,
+            ms: 1.0,
+            alive,
+            injected: 0,
+            removed: 0,
+        }
+    }
+
+    #[test]
+    fn fault_free_series_raises_nothing() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        for s in 1..=50 {
+            // Realistic jitter: ±30% around 1 ms never arms the 4x +
+            // 50 ms rule.
+            let obs = StepObs {
+                ms: 1.0 + 0.3 * ((s % 3) as f64 - 1.0),
+                ..quiet_step(s, 100 + s)
+            };
+            let obs = StepObs { injected: 1, ..obs };
+            assert!(wd.observe(&obs, None).is_empty(), "step {s}");
+        }
+        assert!(wd.alerts().is_empty());
+    }
+
+    #[test]
+    fn single_stall_trips_step_time_exactly_once() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        let mut trips = 0;
+        for s in 1..=30 {
+            let ms = if s == 20 { 300.0 } else { 1.0 };
+            let alerts = wd.observe(
+                &StepObs {
+                    ms,
+                    ..quiet_step(s, 100)
+                },
+                None,
+            );
+            trips += alerts.iter().filter(|a| a.rule == RULE_STEP_TIME).count();
+        }
+        assert_eq!(trips, 1);
+        assert_eq!(wd.alerts().len(), 1);
+        assert_eq!(wd.alerts()[0].step, 20);
+        assert_eq!(wd.alerts()[0].severity, AlertSeverity::Critical);
+    }
+
+    #[test]
+    fn stall_before_warmup_does_not_trip() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        for s in 1..=4 {
+            let ms = if s == 3 { 300.0 } else { 1.0 };
+            let alerts = wd.observe(
+                &StepObs {
+                    ms,
+                    ..quiet_step(s, 100)
+                },
+                None,
+            );
+            assert!(alerts.is_empty(), "step {s}: {alerts:?}");
+        }
+    }
+
+    #[test]
+    fn alive_discontinuity_trips() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        assert!(wd.observe(&quiet_step(1, 100), None).is_empty());
+        let ok = StepObs {
+            injected: 10,
+            removed: 3,
+            ..quiet_step(2, 107)
+        };
+        assert!(wd.observe(&ok, None).is_empty());
+        let bad = StepObs {
+            injected: 0,
+            removed: 0,
+            ..quiet_step(3, 90)
+        };
+        let alerts = wd.observe(&bad, None);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, RULE_ALIVE);
+    }
+
+    #[test]
+    fn quarantine_and_retransmit_deltas_use_marks() {
+        let hub = Telemetry::new();
+        let mut wd = Watchdog::new(WatchdogConfig {
+            max_retransmits_per_step: 2,
+            ..WatchdogConfig::default()
+        });
+        hub.counter_add("resilience.quarantined", 1);
+        let alerts = wd.observe(&quiet_step(1, 10), Some(&hub));
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].rule, RULE_QUARANTINE);
+        // No new quarantines: the mark absorbs the old total.
+        assert!(wd.observe(&quiet_step(2, 10), Some(&hub)).is_empty());
+        hub.counter_add("resilience.retransmits", 5);
+        let alerts = wd.observe(&quiet_step(3, 10), Some(&hub));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, RULE_RETRANSMIT);
+    }
+
+    #[test]
+    fn nonfinite_duration_trips() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        let alerts = wd.observe(
+            &StepObs {
+                ms: f64::NAN,
+                ..quiet_step(1, 1)
+            },
+            None,
+        );
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, RULE_NONFINITE);
+    }
+}

@@ -267,6 +267,19 @@ impl<S: Recoverable> RecoveryDriver<S> {
                                  latency_s={latency:.6}"
                             ),
                         );
+                        // A rollback is always alert-worthy: the run
+                        // survived, but something corrupted live state.
+                        // Publishing through the hub also triggers the
+                        // observability plane's flight-recorder dump,
+                        // capturing the events leading up to the fault.
+                        hub.alert(
+                            "recovery_rollback",
+                            telemetry::AlertSeverity::Warn,
+                            &format!(
+                                "rolled back step {detected_at} -> {rollback_to} \
+                                 ({replayed} replayed): {fault}"
+                            ),
+                        );
                     }
                     self.events.push(RecoveryEvent {
                         detected_at_step: detected_at,

@@ -14,6 +14,9 @@
 //! * [`model`] — machine models, rooflines, scaling/power projections.
 //! * [`analyzer`] — the loop-plan checker: static descriptor
 //!   validation, shadow race detection, map-invariant audits.
+//! * [`obs`] — the live observability plane: flight recorder,
+//!   Prometheus-style `/metrics` exporter, merged Chrome-trace
+//!   timeline, and the per-step anomaly watchdog.
 //! * [`fempic`] / [`cabana`] — the paper's two applications.
 //!
 //! ```
@@ -33,3 +36,4 @@ pub use oppic_linalg as linalg;
 pub use oppic_mesh as mesh;
 pub use oppic_model as model;
 pub use oppic_mpi as mpi;
+pub use oppic_obs as obs;
